@@ -1,0 +1,81 @@
+"""Figure 5(a): answer size vs object update rate.
+
+Paper setup: network-generated moving objects and moving square queries,
+server evaluation every 5 seconds, x-axis "update rate for objects (%)"
+— the fraction of objects that reported a location change within the
+last period.  Two series: the incremental answer size and the complete
+answer size, in KB.
+
+Expected shape (paper): the complete answer is constant in the update
+rate and sits far above the worst-case incremental answer; the
+incremental answer grows with the update rate.  The conclusion's claim
+that the incremental result is ~10 % of the complete result (CLAIM1) is
+printed as the ratio column.
+"""
+
+from conftest import scaled
+
+from repro import Simulation, SimulationConfig, WorkloadConfig
+from repro.stats import format_table
+
+UPDATE_RATES = (0.10, 0.25, 0.50, 0.75, 1.00)
+CYCLES = 6
+
+
+def run_point(update_rate: float) -> Simulation:
+    config = SimulationConfig(
+        object_count=scaled(3000),
+        workload=WorkloadConfig(
+            range_queries=scaled(3000),
+            side=0.03,
+            moving_fraction=0.5,
+            seed=5,
+        ),
+        grid_size=64,
+        eval_period=5.0,
+        object_report_fraction=update_rate,
+        blocks=16,
+        seed=9,
+    )
+    sim = Simulation(config)
+    sim.run(CYCLES)
+    return sim
+
+
+def test_fig5a_update_rate_sweep(benchmark, record_series):
+    rows = []
+    for rate in UPDATE_RATES:
+        sim = run_point(rate)
+        incremental = sim.mean_incremental_kb()
+        complete = sim.mean_complete_kb()
+        rows.append(
+            [
+                f"{100 * rate:.0f}%",
+                incremental,
+                complete,
+                incremental / complete if complete else 0.0,
+            ]
+        )
+    record_series(
+        "fig5a_update_rate",
+        format_table(
+            ["update rate", "incremental KB", "complete KB", "inc/complete"],
+            rows,
+        ),
+    )
+
+    # Shape assertions mirroring the paper's reading of the figure.
+    incrementals = [row[1] for row in rows]
+    completes = [row[2] for row in rows]
+    assert incrementals == sorted(incrementals), (
+        "incremental answer must grow with the update rate"
+    )
+    spread = (max(completes) - min(completes)) / max(completes)
+    assert spread < 0.25, "complete answer must be ~constant in update rate"
+    assert incrementals[-1] < completes[-1], (
+        "even the worst-case incremental answer stays below the complete one"
+    )
+
+    # Timed operation: one evaluation cycle at full update rate.
+    sim = run_point(1.0)
+    benchmark(sim.step)

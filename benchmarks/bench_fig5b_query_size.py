@@ -1,0 +1,74 @@
+"""Figure 5(b): answer size vs query side length.
+
+Paper setup: the query side length varies from 0.01 to 0.04 of the unit
+world.  Expected shape: the complete answer grows sharply with the side
+length (membership scales with area) "up to seven times that of the
+incremental result" at side 0.04, while the incremental answer grows
+only mildly (churn scales with the boundary).
+"""
+
+from conftest import scaled
+
+from repro import Simulation, SimulationConfig, WorkloadConfig
+from repro.stats import format_table
+
+SIDES = (0.01, 0.02, 0.03, 0.04)
+CYCLES = 6
+
+
+def run_point(side: float) -> Simulation:
+    config = SimulationConfig(
+        object_count=scaled(3000),
+        workload=WorkloadConfig(
+            range_queries=scaled(3000),
+            side=side,
+            moving_fraction=0.5,
+            seed=5,
+        ),
+        grid_size=64,
+        eval_period=5.0,
+        blocks=16,
+        seed=9,
+    )
+    sim = Simulation(config)
+    sim.run(CYCLES)
+    return sim
+
+
+def test_fig5b_query_size_sweep(benchmark, record_series):
+    rows = []
+    for side in SIDES:
+        sim = run_point(side)
+        incremental = sim.mean_incremental_kb()
+        complete = sim.mean_complete_kb()
+        rows.append(
+            [
+                side,
+                incremental,
+                complete,
+                complete / incremental if incremental else 0.0,
+            ]
+        )
+    record_series(
+        "fig5b_query_size",
+        format_table(
+            ["side", "incremental KB", "complete KB", "complete/inc"], rows
+        ),
+    )
+
+    completes = [row[2] for row in rows]
+    assert completes == sorted(completes), (
+        "complete answer must grow with the query side length"
+    )
+    # The advantage widens with query size (the paper reads ~7x at 0.04).
+    ratios = [row[3] for row in rows]
+    assert ratios[-1] > ratios[0], (
+        "complete/incremental ratio must grow with query size"
+    )
+    assert ratios[-1] > 3.0, (
+        "at side 0.04 the complete answer should be several times the "
+        f"incremental one (got {ratios[-1]:.1f}x)"
+    )
+
+    sim = run_point(0.04)
+    benchmark(sim.step)

@@ -1,0 +1,60 @@
+"""ABL2: grid granularity sensitivity.
+
+The framework's one tuning knob is N, the grid resolution.  Too coarse
+and every cell join degenerates toward nested loops; too fine and query
+regions clip to many cells (placement and candidate-merge overhead).
+This ablation sweeps N for a fixed workload and times an evaluation
+cycle, exposing the U-shaped cost curve the DESIGN notes call out.
+"""
+
+import random
+import time
+
+from conftest import scaled
+
+from repro.core import IncrementalEngine
+from repro.geometry import Point, Rect
+from repro.stats import format_table
+
+OBJECT_COUNT = scaled(2000)
+QUERY_COUNT = scaled(2000)
+GRID_SIZES = (4, 16, 64, 256)
+
+
+def run_point(grid_size: int, seed: int = 6) -> float:
+    rng = random.Random(seed)
+    engine = IncrementalEngine(grid_size=grid_size)
+    objects = {
+        oid: Point(rng.random(), rng.random()) for oid in range(OBJECT_COUNT)
+    }
+    for oid, location in objects.items():
+        engine.report_object(oid, location, 0.0)
+    for i in range(QUERY_COUNT):
+        engine.register_range_query(
+            10**6 + i, Rect.square(Point(rng.random(), rng.random()), 0.03)
+        )
+    engine.evaluate(0.0)
+    moves = {
+        oid: Point(rng.random(), rng.random())
+        for oid in rng.sample(sorted(objects), OBJECT_COUNT // 5)
+    }
+    started = time.perf_counter()
+    for oid, location in moves.items():
+        engine.report_object(oid, location, 1.0)
+    engine.evaluate(1.0)
+    return time.perf_counter() - started
+
+
+def test_grid_granularity_sweep(benchmark, record_series):
+    rows = [[n, run_point(n) * 1e3] for n in GRID_SIZES]
+    record_series(
+        "abl2_grid_granularity",
+        format_table(["grid N", "cycle ms"], rows),
+    )
+
+    times = {n: ms for n, ms in rows}
+    # The extremes must not beat a mid-range resolution: coarse grids
+    # degenerate toward scanning, ultra-fine grids pay clipping overhead.
+    assert min(times[16], times[64]) <= times[4]
+
+    benchmark(run_point, 64)

@@ -1,0 +1,88 @@
+"""ABL6: incremental k-NN maintenance vs recompute-from-scratch.
+
+A continuous k-NN answer only changes when movement touches its circle
+(or a member departs).  The incremental engine therefore repairs only
+the queries a batch actually dirtied; the strawman recomputes every
+k-NN query every cycle.  Low churn should separate the two sharply.
+"""
+
+import random
+import time
+
+from conftest import scaled
+
+from repro.core import IncrementalEngine
+from repro.core.knn import knn_search
+from repro.geometry import Point
+from repro.stats import format_table
+
+OBJECT_COUNT = scaled(2000)
+QUERY_COUNT = scaled(200)
+K = 5
+MOVE_FRACTIONS = (0.01, 0.05, 0.2, 0.5)
+
+
+def build(seed: int = 12):
+    rng = random.Random(seed)
+    engine = IncrementalEngine(grid_size=64)
+    objects = {
+        oid: Point(rng.random(), rng.random()) for oid in range(OBJECT_COUNT)
+    }
+    for oid, location in objects.items():
+        engine.report_object(oid, location, 0.0)
+    centers = {
+        10**6 + i: Point(rng.random(), rng.random()) for i in range(QUERY_COUNT)
+    }
+    for qid, center in centers.items():
+        engine.register_knn_query(qid, center, K)
+    engine.evaluate(0.0)
+    return rng, engine, objects, centers
+
+
+def test_knn_maintenance(benchmark, record_series):
+    rows = []
+    for fraction in MOVE_FRACTIONS:
+        rng, engine, objects, centers = build()
+        moved = rng.sample(sorted(objects), max(1, int(OBJECT_COUNT * fraction)))
+        for oid in moved:
+            objects[oid] = Point(rng.random(), rng.random())
+
+        # Incremental: report + one evaluation (dirty queries only).
+        started = time.perf_counter()
+        for oid in moved:
+            engine.report_object(oid, objects[oid], 1.0)
+        engine.evaluate(1.0)
+        incremental_ms = (time.perf_counter() - started) * 1e3
+
+        # Strawman: recompute every k-NN query over the updated index.
+        started = time.perf_counter()
+        for center in centers.values():
+            knn_search(engine.index, engine.objects, center, K)
+        recompute_ms = (time.perf_counter() - started) * 1e3
+
+        # Consistency: the maintained answers equal a fresh recompute.
+        for qid, center in list(centers.items())[:10]:
+            fresh = {oid for __, oid in knn_search(engine.index, engine.objects, center, K)}
+            assert set(engine.answer_of(qid)) == fresh
+
+        rows.append([f"{100 * fraction:.0f}%", incremental_ms, recompute_ms])
+
+    record_series(
+        "abl6_knn_maintenance",
+        format_table(["moved", "incremental ms", "recompute-all ms"], rows),
+    )
+
+    # At the lowest churn the incremental path must win.
+    assert rows[0][1] < rows[0][2]
+
+    rng, engine, objects, __ = build()
+    moved = rng.sample(sorted(objects), OBJECT_COUNT // 20)
+    now = [1.0]
+
+    def one_cycle():
+        for oid in moved:
+            engine.report_object(oid, Point(rng.random(), rng.random()), now[0])
+        engine.evaluate(now[0])
+        now[0] += 1.0
+
+    benchmark(one_cycle)

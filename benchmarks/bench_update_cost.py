@@ -1,0 +1,100 @@
+"""ABL10: index update cost under the paper's massive update stream.
+
+"Since a typical location-aware server receives a massive amount of
+updates from moving objects and queries, it becomes a huge overhead to
+handle each update individually."  Three object-index strategies:
+
+* classic R-tree: top-down delete + insert per update;
+* memo (RUM-style) R-tree: one insert per update, stale entries
+  filtered at query time and garbage-collected lazily;
+* the shared grid: O(1) bucket moves (what the engine actually uses).
+"""
+
+import random
+import time
+
+from conftest import scaled
+
+from repro.geometry import Point, Rect
+from repro.grid import Grid, GridIndex
+from repro.rtree import RTree, RumTree
+from repro.stats import format_table
+
+OBJECT_COUNT = scaled(2000)
+UPDATES = scaled(10_000)
+
+
+def workload(seed: int = 41):
+    rng = random.Random(seed)
+    initial = {
+        oid: Point(rng.random(), rng.random()) for oid in range(OBJECT_COUNT)
+    }
+    stream = [
+        (rng.randrange(OBJECT_COUNT), Point(rng.random(), rng.random()))
+        for __ in range(UPDATES)
+    ]
+    return initial, stream
+
+
+def test_update_cost(benchmark, record_series):
+    initial, stream = workload()
+
+    rtree = RTree(max_entries=16)
+    for oid, location in initial.items():
+        rtree.insert(oid, Rect(location.x, location.y, location.x, location.y))
+    started = time.perf_counter()
+    for oid, location in stream:
+        rtree.update(oid, Rect(location.x, location.y, location.x, location.y))
+    rtree_ms = (time.perf_counter() - started) * 1e3
+
+    rum = RumTree(max_entries=16, gc_stale_ratio=0.5)
+    for oid, location in initial.items():
+        rum.upsert(oid, location)
+    started = time.perf_counter()
+    for oid, location in stream:
+        rum.upsert(oid, location)
+    rum_ms = (time.perf_counter() - started) * 1e3
+
+    grid = GridIndex(Grid(Rect(0.0, 0.0, 1.0, 1.0), 64))
+    for oid, location in initial.items():
+        grid.place_object_at(oid, location)
+    started = time.perf_counter()
+    for oid, location in stream:
+        grid.place_object_at(oid, location)
+    grid_ms = (time.perf_counter() - started) * 1e3
+
+    rows = [
+        ["rtree delete+insert", rtree_ms, UPDATES / (rtree_ms / 1e3)],
+        [f"rum memo (gc x{rum.gc_runs})", rum_ms, UPDATES / (rum_ms / 1e3)],
+        ["shared grid", grid_ms, UPDATES / (grid_ms / 1e3)],
+    ]
+    record_series(
+        "abl10_update_cost",
+        format_table(["index", "total ms", "updates/s"], rows),
+    )
+
+    # Query-equivalence spot check after the full stream.
+    final = dict(initial)
+    for oid, location in stream:
+        final[oid] = location
+    region = Rect(0.3, 0.3, 0.5, 0.5)
+    want = {oid for oid, p in final.items() if region.contains_point(p)}
+    assert {e.key for e in rtree.search(region)} == want
+    assert set(rum.search(region)) == want
+    got_grid = {
+        oid
+        for oid in grid.objects_overlapping(region)
+        if region.contains_point(final[oid])
+    }
+    assert got_grid == want
+
+    # The robust finding — and the paper's actual design argument — is
+    # that the O(1) grid dominates any R-tree maintenance discipline by
+    # orders of magnitude.  (Between the two R-tree strategies the memo
+    # only wins when deletes need a top-down search, as on disk; this
+    # in-memory R-tree keeps a direct leaf handle per key, so classic
+    # delete+insert is already cheap.  The table reports both honestly.)
+    assert grid_ms < rtree_ms / 10
+    assert grid_ms < rum_ms / 10
+
+    benchmark(grid.place_object_at, 0, Point(0.42, 0.42))

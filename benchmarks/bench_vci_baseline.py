@@ -1,0 +1,112 @@
+"""ABL7: Velocity-Constrained Indexing vs the incremental grid engine.
+
+VCI avoids per-report index maintenance by probing with velocity-
+expanded regions; the cost resurfaces as candidate inflation that grows
+with index staleness.  This ablation sweeps the rebuild interval and
+reports per-cycle evaluation time and refined-candidate counts, with
+the incremental engine as the reference point.
+"""
+
+import random
+import time
+
+from conftest import scaled
+
+from repro.baselines import VCIEngine
+from repro.core import IncrementalEngine
+from repro.geometry import Point, Rect
+from repro.stats import format_table
+
+OBJECT_COUNT = scaled(2000)
+QUERY_COUNT = scaled(500)
+MAX_SPEED = 0.002  # per second, honoured by the synthetic drift
+PERIOD = 5.0
+CYCLES = 10
+REBUILD_EVERY = (1, 5, 10)
+
+
+def drift(rng, objects):
+    step = MAX_SPEED * PERIOD
+    for oid, p in objects.items():
+        objects[oid] = Point(
+            min(1.0, max(0.0, p.x + rng.uniform(-step, step))),
+            min(1.0, max(0.0, p.y + rng.uniform(-step, step))),
+        )
+
+
+def build(seed: int = 21):
+    rng = random.Random(seed)
+    objects = {
+        oid: Point(rng.random(), rng.random()) for oid in range(OBJECT_COUNT)
+    }
+    queries = {
+        10**6 + i: Rect.square(Point(rng.random(), rng.random()), 0.04)
+        for i in range(QUERY_COUNT)
+    }
+    return rng, objects, queries
+
+
+def run_vci(rebuild_every: int):
+    rng, objects, queries = build()
+    engine = VCIEngine(max_speed=MAX_SPEED)
+    for oid, location in objects.items():
+        engine.report_object(oid, location, 0.0)
+    for qid, region in queries.items():
+        engine.register_range_query(qid, region)
+    engine.rebuild(0.0)
+    elapsed = 0.0
+    for cycle in range(1, CYCLES + 1):
+        now = cycle * PERIOD
+        drift(rng, objects)
+        for oid, location in objects.items():
+            engine.report_object(oid, location, now)
+        if cycle % rebuild_every == 0:
+            engine.rebuild(now)
+        started = time.perf_counter()
+        answers = engine.evaluate(now)
+        elapsed += time.perf_counter() - started
+    return elapsed * 1e3 / CYCLES, engine.probe_count / CYCLES, answers, objects, queries
+
+
+def run_incremental():
+    rng, objects, queries = build()
+    engine = IncrementalEngine(grid_size=64)
+    for oid, location in objects.items():
+        engine.report_object(oid, location, 0.0)
+    for qid, region in queries.items():
+        engine.register_range_query(qid, region)
+    engine.evaluate(0.0)
+    elapsed = 0.0
+    for cycle in range(1, CYCLES + 1):
+        now = cycle * PERIOD
+        drift(rng, objects)
+        started = time.perf_counter()
+        for oid, location in objects.items():
+            engine.report_object(oid, location, now)
+        engine.evaluate(now)
+        elapsed += time.perf_counter() - started
+    return elapsed * 1e3 / CYCLES, engine
+
+
+def test_vci_rebuild_tradeoff(benchmark, record_series):
+    rows = []
+    probes = {}
+    for rebuild_every in REBUILD_EVERY:
+        ms, probe_rate, answers, objects, queries = run_vci(rebuild_every)
+        probes[rebuild_every] = probe_rate
+        rows.append([f"every {rebuild_every}", ms, probe_rate])
+        # VCI stays exact under bounded drift regardless of staleness.
+        for qid, region in list(queries.items())[:20]:
+            want = {oid for oid, p in objects.items() if region.contains_point(p)}
+            assert set(answers[qid]) == want
+    incremental_ms, __ = run_incremental()
+    rows.append(["incremental", incremental_ms, 0.0])
+    record_series(
+        "abl7_vci",
+        format_table(["rebuild", "cycle ms", "candidates/cycle"], rows),
+    )
+
+    # Candidate inflation must grow as rebuilds become rarer.
+    assert probes[10] > probes[1]
+
+    benchmark(run_vci, 5)

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints (and archives under ``benchmarks/results/``) the
+series the corresponding paper figure plots, then hands one
+representative operation to pytest-benchmark for timing.  Scale with::
+
+    REPRO_BENCH_SCALE=10 pytest benchmarks/ --benchmark-only
+
+``REPRO_BENCH_SCALE=50`` approximates the paper's 100K objects + 100K
+queries (not run by default: pure-Python minutes per sweep point).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scaled(base: int) -> int:
+    """A population size scaled by REPRO_BENCH_SCALE."""
+    return max(1, int(base * SCALE))
+
+
+@pytest.fixture
+def record_series():
+    """Print a named result table and archive it under results/."""
+
+    def _record(name: str, table: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        header = f"== {name} (scale={SCALE}) =="
+        body = f"{header}\n{table}\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(body)
+        print(f"\n{body}")
+
+    return _record

@@ -1,0 +1,61 @@
+"""Continuous k-NN: a dispatch center tracking its nearest ambulances.
+
+Two stationary dispatch centers each watch their 3 nearest ambulances;
+one mobile command vehicle carries a moving k-NN query.  As the fleet
+moves, the engine maintains every answer as an adaptive circular region
+and emits only the handovers (−old-unit, +new-unit).
+
+Run:  python examples/fleet_dispatch_knn.py
+"""
+
+from repro import IncrementalEngine, Point
+from repro.generator import MovingObjectSimulator, manhattan_city
+
+DISPATCH_EAST = 100
+DISPATCH_WEST = 200
+MOBILE_COMMAND = 300
+
+
+def main() -> None:
+    city = manhattan_city(blocks=12)
+    fleet = MovingObjectSimulator(city, object_count=40, seed=3)
+    engine = IncrementalEngine(grid_size=32)
+
+    for report in fleet.initial_reports():
+        engine.report_object(report.oid, report.location, report.t)
+
+    engine.register_knn_query(DISPATCH_EAST, Point(0.8, 0.5), k=3)
+    engine.register_knn_query(DISPATCH_WEST, Point(0.2, 0.5), k=3)
+    # The mobile command post rides along with ambulance 0.
+    engine.register_knn_query(MOBILE_COMMAND, fleet.position_of(0), k=3)
+
+    names = {DISPATCH_EAST: "east", DISPATCH_WEST: "west", MOBILE_COMMAND: "mobile"}
+    engine.evaluate(0.0)
+    for qid, name in names.items():
+        print(f"t=0   {name:>6}: units {sorted(engine.answer_of(qid))}")
+
+    for cycle in range(1, 13):
+        reports = fleet.tick(10.0)
+        for report in reports:
+            engine.report_object(report.oid, report.location, report.t)
+        engine.move_knn_query(MOBILE_COMMAND, fleet.position_of(0), fleet.now)
+        updates = engine.evaluate(fleet.now)
+        handovers = [u for u in updates if u.qid in names]
+        if handovers:
+            shown = ", ".join(
+                f"{names[u.qid]}:{'+' if u.is_positive else '-'}unit{u.oid}"
+                for u in handovers
+            )
+            print(f"t={fleet.now:<4.0f} handovers: {shown}")
+
+    print()
+    for qid, name in names.items():
+        query = engine.queries[qid]
+        print(
+            f"final {name:>6}: units {sorted(engine.answer_of(qid))} "
+            f"(watch radius {query.radius:.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Past queries: reconstructing an incident from the location archive.
+
+The server archives every superseded location in the repository ("the
+old information becomes persistent").  This example records city traffic
+through a :class:`HistoryStore`, then investigates an incident after the
+fact: who was near the scene during the critical window, where exactly
+was a suspect vehicle at the moment of the report, and which three
+vehicles were closest — the paper's "queries about the past".
+
+Run:  python examples/incident_forensics.py
+"""
+
+from repro import Point, Rect
+from repro.core import LocationAwareServer
+from repro.generator import MovingObjectSimulator, manhattan_city
+from repro.grid import Grid
+from repro.history import HistoricalQueryEngine, HistoryStore
+from repro.storage import BufferPool, InMemoryDiskManager
+
+SCENE = Rect(0.40, 0.40, 0.55, 0.55)
+INCIDENT_TIME = 90.0
+
+
+def main() -> None:
+    world = Rect(0.0, 0.0, 1.0, 1.0)
+    store = HistoryStore(
+        BufferPool(InMemoryDiskManager(), capacity=64),
+        Grid(world, 32),
+        bucket_seconds=30.0,
+    )
+    server = LocationAwareServer(grid_size=32, history=store)
+    city = manhattan_city(blocks=12)
+    traffic = MovingObjectSimulator(city, object_count=150, seed=42)
+
+    # Record three minutes of traffic at 5-second resolution.
+    for report in traffic.initial_reports():
+        server.receive_object_report(report.oid, report.location, report.t)
+    server.evaluate_cycle(0.0)
+    while traffic.now < 180.0:
+        for report in traffic.tick(5.0):
+            server.receive_object_report(
+                report.oid, report.location, report.t, report.velocity
+            )
+        server.evaluate_cycle(traffic.now)
+
+    print(f"archive: {store.record_count()} location records, "
+          f"{store.temporal.populated_bucket_count} time/space buckets")
+
+    forensics = HistoricalQueryEngine(store)
+
+    # Who was at the scene around the incident?
+    visits = forensics.past_range(SCENE, INCIDENT_TIME - 15, INCIDENT_TIME + 15)
+    suspects = sorted({visit.oid for visit in visits})
+    print(f"\nvehicles sighted at the scene in t=[75, 105]: {suspects}")
+    for visit in visits[:5]:
+        print(f"  t={visit.t:5.1f}  vehicle {visit.oid:3d} at "
+              f"({visit.location.x:.3f}, {visit.location.y:.3f})")
+
+    # Where exactly was the first suspect at the incident moment?
+    if suspects:
+        suspect = suspects[0]
+        position = forensics.position_at(suspect, INCIDENT_TIME)
+        print(f"\nvehicle {suspect} interpolated position at t={INCIDENT_TIME:.0f}: "
+              f"({position.x:.3f}, {position.y:.3f})")
+        trail = forensics.trajectory_between(suspect, 60.0, 120.0)
+        print(f"its archived trail t=[60, 120] has {len(trail)} samples")
+
+    # Which three vehicles were nearest the scene center at the moment?
+    nearest = forensics.knn_at(SCENE.center, k=3, t=INCIDENT_TIME)
+    print("\nthree nearest vehicles at the incident moment:")
+    for distance, oid in nearest:
+        print(f"  vehicle {oid:3d} at distance {distance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

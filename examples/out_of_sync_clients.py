@@ -1,0 +1,70 @@
+"""Out-of-sync clients: the Figure 4 scenario, with byte accounting.
+
+A client holding a large answer disconnects briefly.  On wakeup the
+server resynchronises it two ways — the paper's committed-answer diff
+versus naive full retransmission — and prints what each costs.
+
+Run:  python examples/out_of_sync_clients.py
+"""
+
+import random
+
+from repro import Client, LocationAwareServer, Point, Rect
+
+REGION = Rect(0.30, 0.30, 0.70, 0.70)
+QUERY = 500
+
+
+def build_world(seed: int) -> tuple[LocationAwareServer, Client, random.Random]:
+    rng = random.Random(seed)
+    server = LocationAwareServer(grid_size=32)
+    client = Client(client_id=1, server=server)
+    server.register_range_query(1, QUERY, REGION, 0.0)
+    client.track_query(QUERY)
+    for oid in range(400):
+        server.receive_object_report(oid, Point(rng.random(), rng.random()), 0.0)
+    server.evaluate_cycle(0.0)
+    client.pump()
+    client.send_commit(QUERY)
+    return server, client, rng
+
+
+def drift(server: LocationAwareServer, rng: random.Random, t: float, n: int) -> None:
+    """Move n random objects — the world changing during the outage."""
+    for oid in rng.sample(range(400), n):
+        server.receive_object_report(oid, Point(rng.random(), rng.random()), t)
+    server.evaluate_cycle(t)
+
+
+def main() -> None:
+    # --- committed-answer recovery -----------------------------------
+    server, client, rng = build_world(seed=1)
+    answer_size = len(client.answer_of(QUERY))
+    print(f"answer before outage: {answer_size} objects")
+
+    client.disconnect()
+    drift(server, rng, 5.0, n=40)
+    drift(server, rng, 10.0, n=40)
+
+    before = server.stats.delivered_bytes
+    client.reconnect()  # wakeup -> committed-vs-current diff
+    diff_bytes = server.stats.delivered_bytes - before
+    assert client.answer_of(QUERY) == server.engine.answer_of(QUERY)
+    print(f"committed-answer recovery: {diff_bytes} bytes "
+          f"(client verified consistent)")
+
+    # --- naive recovery on an identical world ------------------------
+    server2, client2, rng2 = build_world(seed=1)
+    client2.disconnect()
+    drift(server2, rng2, 5.0, n=40)
+    drift(server2, rng2, 10.0, n=40)
+    naive_bytes = server2.recover_naive(1)
+    client2.pump()
+    print(f"naive full retransmission: {naive_bytes} bytes")
+
+    print(f"savings: {100 * (1 - diff_bytes / naive_bytes):.0f}% "
+          f"for a short outage on a {answer_size}-object answer")
+
+
+if __name__ == "__main__":
+    main()

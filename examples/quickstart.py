@@ -1,0 +1,46 @@
+"""Quickstart: the incremental engine in a dozen lines.
+
+Registers one range query and one k-NN query over a handful of objects,
+then shows the defining behaviour of the framework: after the first
+answer, the server only ever emits positive/negative updates — silent
+when nothing changed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import IncrementalEngine, Point, Rect
+
+
+def main() -> None:
+    engine = IncrementalEngine()  # unit-square world, 64x64 grid
+
+    # Three taxis report their positions at t=0.
+    engine.report_object(1, Point(0.52, 0.51), t=0.0)
+    engine.report_object(2, Point(0.58, 0.55), t=0.0)
+    engine.report_object(3, Point(0.10, 0.90), t=0.0)
+
+    # A dispatcher watches the downtown block and the 2 nearest taxis.
+    engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+    engine.register_knn_query(200, Point(0.5, 0.5), k=2)
+
+    print("t=0  first-time answers:")
+    for update in engine.evaluate(0.0):
+        print(f"     {update}")
+
+    # t=5: taxi 1 leaves downtown, taxi 3 races toward the center.
+    engine.report_object(1, Point(0.80, 0.20), t=5.0)
+    engine.report_object(3, Point(0.49, 0.52), t=5.0)
+    print("t=5  incremental updates:")
+    for update in engine.evaluate(5.0):
+        print(f"     {update}")
+
+    # t=10: nobody moved — a snapshot server would retransmit both full
+    # answers; the incremental server says nothing at all.
+    print(f"t=10 updates when nothing changed: {engine.evaluate(10.0)}")
+
+    print(f"range answer: {sorted(engine.answer_of(100))}")
+    print(f"knn answer:   {sorted(engine.answer_of(200))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs in offline environments
+where the ``wheel`` package (required by PEP 660 editable builds) is
+unavailable.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

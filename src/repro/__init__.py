@@ -1,0 +1,59 @@
+"""repro — scalable incremental processing of continuous spatio-temporal queries.
+
+A full reproduction of Mokbel, *Continuous Query Processing in
+Spatio-temporal Databases* (EDBT 2004 Ph.D. workshop): one shared grid
+indexes both moving objects and moving queries, bulk evaluation runs as
+a spatial join over buffered updates, and clients receive only positive
+and negative answer updates instead of complete answers.
+
+Quick start::
+
+    from repro import IncrementalEngine, Point, Rect
+
+    engine = IncrementalEngine()
+    engine.report_object(1, Point(0.52, 0.51), t=0.0)
+    engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+    print(engine.evaluate(0.0))          # [(Q100, +p1)]
+    engine.report_object(1, Point(0.9, 0.9), t=5.0)
+    print(engine.evaluate(5.0))          # [(Q100, -p1)]
+
+Subpackages: :mod:`repro.core` (the engine, server, clients),
+:mod:`repro.grid`, :mod:`repro.rtree`, :mod:`repro.join`,
+:mod:`repro.generator`, :mod:`repro.storage`, :mod:`repro.net`,
+:mod:`repro.baselines`, :mod:`repro.lang`, :mod:`repro.stats`.
+"""
+
+from repro.geometry import Circle, LinearMotion, Point, Rect, Segment, Velocity
+from repro.core import (
+    Client,
+    CycleResult,
+    IncrementalEngine,
+    LocationAwareServer,
+    Update,
+    apply_updates,
+    diff_answers,
+)
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.generator import WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Circle",
+    "Segment",
+    "Velocity",
+    "LinearMotion",
+    "Update",
+    "diff_answers",
+    "apply_updates",
+    "IncrementalEngine",
+    "LocationAwareServer",
+    "Client",
+    "CycleResult",
+    "Simulation",
+    "SimulationConfig",
+    "WorkloadConfig",
+    "__version__",
+]

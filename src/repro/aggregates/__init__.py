@@ -1,0 +1,26 @@
+"""Continuous aggregate queries over the shared grid.
+
+The paper grounds its choice of data structure in the observation that
+"simple grid structures are commonly used to support different
+spatio-temporal queries (e.g., range queries, future queries, and
+aggregate queries [Hadjieleftheriou et al., SSTD 2003])".  This package
+supplies that third family with the same incremental discipline as the
+core engine:
+
+* **continuous count queries** — "how many vehicles are inside this
+  region" — re-reported only when the count changes, and computed
+  cell-wise: cells fully inside the region contribute their resident
+  count wholesale, only boundary cells inspect individual objects;
+* **density monitors** — on-line discovery of dense grid cells; clients
+  receive positive/negative *cell* updates as cells cross the density
+  threshold, mirroring the core engine's positive/negative object
+  updates.
+"""
+
+from repro.aggregates.engine import (
+    AggregateEngine,
+    CellUpdate,
+    CountUpdate,
+)
+
+__all__ = ["AggregateEngine", "CountUpdate", "CellUpdate"]

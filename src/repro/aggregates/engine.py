@@ -1,0 +1,180 @@
+"""Incremental count queries and dense-area monitors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Rect
+from repro.grid import Grid
+
+
+@dataclass(frozen=True, slots=True)
+class CountUpdate:
+    """A continuous count query's new value (sent only on change)."""
+
+    qid: int
+    count: int
+
+
+@dataclass(frozen=True, slots=True)
+class CellUpdate:
+    """A density monitor's incremental answer change.
+
+    ``sign`` follows the core engine's convention: +1 means the cell
+    became dense (entered the monitor's answer), -1 means it stopped
+    being dense.
+    """
+
+    qid: int
+    cell: int
+    sign: int
+
+    def __post_init__(self) -> None:
+        if self.sign not in (1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+
+
+@dataclass(slots=True)
+class _CountQuery:
+    qid: int
+    region: Rect
+    interior_cells: frozenset[int]  # fully covered: count wholesale
+    boundary_cells: frozenset[int]  # partially covered: inspect objects
+    last_count: int = -1  # force an initial report
+
+
+@dataclass(slots=True)
+class _DensityMonitor:
+    qid: int
+    threshold: int
+    dense: set[int] = field(default_factory=set)
+
+
+class AggregateEngine:
+    """Grid-resident object counts plus the aggregate query types.
+
+    Reports are applied immediately (each costs O(1) counter updates);
+    :meth:`evaluate` then emits only the aggregate *changes* — a count
+    query that kept its value and a cell that stayed on its side of the
+    density threshold produce no traffic.
+    """
+
+    def __init__(self, world: Rect = Rect(0.0, 0.0, 1.0, 1.0), grid_size: int = 64):
+        self.grid = Grid(world, grid_size)
+        self._locations: dict[int, Point] = {}
+        self._home_cell: dict[int, int] = {}
+        self._residents: dict[int, set[int]] = {}
+        self._count_queries: dict[int, _CountQuery] = {}
+        self._monitors: dict[int, _DensityMonitor] = {}
+
+    # ------------------------------------------------------------------
+    # Object stream
+    # ------------------------------------------------------------------
+
+    @property
+    def object_count(self) -> int:
+        return len(self._locations)
+
+    def report_object(self, oid: int, location: Point, t: float = 0.0) -> None:
+        """Move (or insert) an object; O(1) counter maintenance."""
+        new_cell = self.grid.cell_of(location)
+        old_cell = self._home_cell.get(oid)
+        if old_cell is not None and old_cell != new_cell:
+            self._residents[old_cell].discard(oid)
+            if not self._residents[old_cell]:
+                del self._residents[old_cell]
+        if old_cell != new_cell:
+            self._residents.setdefault(new_cell, set()).add(oid)
+            self._home_cell[oid] = new_cell
+        self._locations[oid] = location
+
+    def remove_object(self, oid: int) -> None:
+        location = self._locations.pop(oid, None)
+        if location is None:
+            return
+        cell = self._home_cell.pop(oid)
+        self._residents[cell].discard(oid)
+        if not self._residents[cell]:
+            del self._residents[cell]
+
+    def cell_count(self, cell: int) -> int:
+        """Current number of objects resident in ``cell``."""
+        residents = self._residents.get(cell)
+        return len(residents) if residents else 0
+
+    # ------------------------------------------------------------------
+    # Query registration
+    # ------------------------------------------------------------------
+
+    def register_count_query(self, qid: int, region: Rect) -> None:
+        """Continuous COUNT over ``region``; first evaluate() reports it."""
+        if qid in self._count_queries or qid in self._monitors:
+            raise KeyError(f"aggregate query {qid} is already registered")
+        cells = self.grid.cells_overlapping_set(region)
+        interior = frozenset(
+            cell for cell in cells if region.contains_rect(self.grid.cell_rect(cell))
+        )
+        self._count_queries[qid] = _CountQuery(
+            qid, region, interior, cells - interior
+        )
+
+    def register_density_monitor(self, qid: int, threshold: int) -> None:
+        """Continuous discovery of cells holding >= ``threshold`` objects."""
+        if qid in self._count_queries or qid in self._monitors:
+            raise KeyError(f"aggregate query {qid} is already registered")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self._monitors[qid] = _DensityMonitor(qid, threshold)
+
+    def unregister(self, qid: int) -> None:
+        if self._count_queries.pop(qid, None) is None:
+            if self._monitors.pop(qid, None) is None:
+                raise KeyError(f"unknown aggregate query {qid}")
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self) -> list[CountUpdate | CellUpdate]:
+        """Emit aggregate changes since the previous evaluation."""
+        updates: list[CountUpdate | CellUpdate] = []
+        for query in self._count_queries.values():
+            count = self._count_region(query)
+            if count != query.last_count:
+                query.last_count = count
+                updates.append(CountUpdate(query.qid, count))
+        for monitor in self._monitors.values():
+            now_dense = {
+                cell
+                for cell, residents in self._residents.items()
+                if len(residents) >= monitor.threshold
+            }
+            for cell in sorted(monitor.dense - now_dense):
+                updates.append(CellUpdate(monitor.qid, cell, -1))
+            for cell in sorted(now_dense - monitor.dense):
+                updates.append(CellUpdate(monitor.qid, cell, 1))
+            monitor.dense = now_dense
+        return updates
+
+    def count_of(self, qid: int) -> int:
+        """The current (exact, freshly computed) count for ``qid``."""
+        return self._count_region(self._count_queries[qid])
+
+    def dense_cells_of(self, qid: int) -> frozenset[int]:
+        """The last evaluated dense-cell set of monitor ``qid``."""
+        return frozenset(self._monitors[qid].dense)
+
+    def _count_region(self, query: _CountQuery) -> int:
+        count = 0
+        for cell in query.interior_cells:
+            residents = self._residents.get(cell)
+            if residents:
+                count += len(residents)
+        for cell in query.boundary_cells:
+            residents = self._residents.get(cell)
+            if not residents:
+                continue
+            for oid in residents:
+                if query.region.contains_point(self._locations[oid]):
+                    count += 1
+        return count

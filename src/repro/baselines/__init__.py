@@ -1,0 +1,31 @@
+"""Baseline continuous-query processors the paper argues against.
+
+* :class:`SnapshotEngine` — models the "series of snapshot queries"
+  approach: every period each query is re-evaluated from scratch and the
+  *complete* answer is shipped, even if nothing changed.
+* :class:`QIndexEngine` — the Q-index (Prabhakar et al.): an R-tree is
+  built over the (stationary) query regions and every object probes it
+  each period; the paper's two criticisms are modelled faithfully — it
+  re-evaluates everything every period and supports stationary queries
+  only.
+* :class:`PerQueryEngine` — one-query-at-a-time evaluation over an
+  object R-tree, i.e. no shared execution; the scalability ablation
+  measures how its cost grows with the number of outstanding queries.
+* :class:`VCIEngine` — Velocity-Constrained Indexing (the other half of
+  the paper's citation [20]): a rarely-rebuilt object index probed with
+  velocity-expanded query regions and refined against fresh locations.
+"""
+
+from repro.baselines.snapshot import SnapshotEngine
+from repro.baselines.qindex import QIndexEngine
+from repro.baselines.perquery import PerQueryEngine
+from repro.baselines.vci import VCIEngine
+from repro.baselines.tpr import TprPredictiveEngine
+
+__all__ = [
+    "SnapshotEngine",
+    "QIndexEngine",
+    "PerQueryEngine",
+    "VCIEngine",
+    "TprPredictiveEngine",
+]

@@ -1,0 +1,84 @@
+"""Per-query evaluation baseline (no shared execution).
+
+Represents the pre-SINA literature's stance the paper pushes against:
+"Most of the existing spatio-temporal algorithms focus on evaluating
+only one spatio-temporal query ... Handling each query as an individual
+entity dramatically degrades the performance of the location-aware
+server."  Each query runs its own R-tree range search every period; the
+cost scales with the number of outstanding queries rather than with the
+amount of change.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point, Rect, Velocity
+from repro.net import FullAnswerMessage
+from repro.rtree import RTree
+
+
+class PerQueryEngine:
+    """Evaluates each query independently over an object R-tree."""
+
+    def __init__(
+        self, max_entries: int = 16, world: Rect = Rect(0.0, 0.0, 1.0, 1.0)
+    ):
+        self._tree = RTree(max_entries=max_entries)
+        self.world = world
+        self.locations: dict[int, Point] = {}
+        self.regions: dict[int, Rect] = {}
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def report_object(
+        self,
+        oid: int,
+        location: Point,
+        t: float,
+        velocity: Velocity = Velocity.ZERO,
+    ) -> None:
+        location = self.world.clamp_point(location)
+        point_rect = Rect(location.x, location.y, location.x, location.y)
+        if oid in self.locations:
+            self._tree.update(oid, point_rect)
+        else:
+            self._tree.insert(oid, point_rect)
+        self.locations[oid] = location
+
+    def remove_object(self, oid: int) -> None:
+        del self.locations[oid]
+        self._tree.delete(oid)
+
+    def register_range_query(self, qid: int, region: Rect, t: float = 0.0) -> None:
+        if qid in self.regions:
+            raise KeyError(f"query {qid} is already registered")
+        self.regions[qid] = self.world.clip_or_pin(region)
+
+    def move_range_query(self, qid: int, region: Rect, t: float) -> None:
+        if qid not in self.regions:
+            raise KeyError(f"cannot move unknown query {qid}")
+        self.regions[qid] = self.world.clip_or_pin(region)
+
+    def unregister_query(self, qid: int) -> None:
+        del self.regions[qid]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, now: float | None = None) -> dict[int, frozenset[int]]:
+        """One independent R-tree range search per outstanding query."""
+        if now is not None:
+            self.now = now
+        return {
+            qid: frozenset(hit.key for hit in self._tree.search(region))
+            for qid, region in self.regions.items()
+        }
+
+    def answer_bytes(self, answers: dict[int, frozenset[int]]) -> int:
+        return sum(
+            FullAnswerMessage(qid, members).size_bytes
+            for qid, members in answers.items()
+        )

@@ -1,0 +1,90 @@
+"""The Q-index baseline (Prabhakar et al., IEEE ToC 2002).
+
+"The main idea of the Q-index is to build an R-tree-like index structure
+on the queries instead of the objects.  Then, at each time interval T,
+moving objects probe the Q-index to find the queries they belong to.
+The Q-index is limited in two aspects: (1) It performs reevaluation of
+all the queries every T time units.  (2) It is applicable only for
+stationary queries."  Both limitations are preserved here deliberately.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point, Rect, Velocity
+from repro.net import FullAnswerMessage
+from repro.rtree import RTree, str_bulk_load
+
+
+class QIndexEngine:
+    """An R-tree over stationary query regions, probed by every object."""
+
+    def __init__(
+        self, max_entries: int = 16, world: Rect = Rect(0.0, 0.0, 1.0, 1.0)
+    ):
+        self._tree = RTree(max_entries=max_entries)
+        self._max_entries = max_entries
+        self.world = world
+        self.locations: dict[int, Point] = {}
+        self.regions: dict[int, Rect] = {}
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def report_object(
+        self,
+        oid: int,
+        location: Point,
+        t: float,
+        velocity: Velocity = Velocity.ZERO,
+    ) -> None:
+        self.locations[oid] = self.world.clamp_point(location)
+
+    def remove_object(self, oid: int) -> None:
+        del self.locations[oid]
+
+    def register_range_query(self, qid: int, region: Rect, t: float = 0.0) -> None:
+        region = self.world.clip_or_pin(region)
+        self.regions[qid] = region
+        self._tree.insert(qid, region)
+
+    def move_range_query(self, qid: int, region: Rect, t: float) -> None:
+        raise NotImplementedError(
+            "the Q-index supports stationary queries only"
+        )
+
+    def unregister_query(self, qid: int) -> None:
+        del self.regions[qid]
+        self._tree.delete(qid)
+
+    def bulk_register(self, queries: dict[int, Rect]) -> None:
+        """Build the index over a full query population with STR."""
+        overlap = set(queries) & set(self.regions)
+        if overlap:
+            raise KeyError(f"queries already registered: {sorted(overlap)[:5]}")
+        self.regions.update(
+            {qid: self.world.clip_or_pin(region) for qid, region in queries.items()}
+        )
+        combined = [(qid, region) for qid, region in self.regions.items()]
+        self._tree = str_bulk_load(combined, max_entries=self._max_entries)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, now: float | None = None) -> dict[int, frozenset[int]]:
+        """Every object probes the query index; all answers rebuilt."""
+        if now is not None:
+            self.now = now
+        answers: dict[int, set[int]] = {qid: set() for qid in self.regions}
+        for oid, location in self.locations.items():
+            for hit in self._tree.search_point(location):
+                answers[hit.key].add(oid)
+        return {qid: frozenset(members) for qid, members in answers.items()}
+
+    def answer_bytes(self, answers: dict[int, frozenset[int]]) -> int:
+        return sum(
+            FullAnswerMessage(qid, members).size_bytes
+            for qid, members in answers.items()
+        )

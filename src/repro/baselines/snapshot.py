@@ -1,0 +1,83 @@
+"""Snapshot re-evaluation baseline.
+
+"A naive way to process continuous spatio-temporal queries is to
+abstract the continuous queries into a series of snapshot queries ...
+The naive approach incurs redundant processing where there may be only a
+slight change in the query answer between any two consecutive
+evaluations."  This engine is that approach: correct, stateless between
+periods, and paying full evaluation plus full retransmission every time.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point, Rect, Velocity
+from repro.grid import Grid, GridIndex
+from repro.net import FullAnswerMessage
+
+
+class SnapshotEngine:
+    """Re-evaluates every registered range query every period."""
+
+    def __init__(self, world: Rect = Rect(0.0, 0.0, 1.0, 1.0), grid_size: int = 64):
+        self.grid = Grid(world, grid_size)
+        self.index = GridIndex(self.grid)
+        self.locations: dict[int, Point] = {}
+        self.regions: dict[int, Rect] = {}
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # Ingestion — same surface shape as the incremental engine
+    # ------------------------------------------------------------------
+
+    def report_object(
+        self,
+        oid: int,
+        location: Point,
+        t: float,
+        velocity: Velocity = Velocity.ZERO,
+    ) -> None:
+        location = self.grid.world.clamp_point(location)
+        self.locations[oid] = location
+        self.index.place_object_at(oid, location)
+
+    def remove_object(self, oid: int) -> None:
+        del self.locations[oid]
+        self.index.remove_object(oid)
+
+    def register_range_query(self, qid: int, region: Rect, t: float = 0.0) -> None:
+        if qid in self.regions:
+            raise KeyError(f"query {qid} is already registered")
+        self.regions[qid] = self.grid.world.clip_or_pin(region)
+
+    def move_range_query(self, qid: int, region: Rect, t: float) -> None:
+        if qid not in self.regions:
+            raise KeyError(f"cannot move unknown query {qid}")
+        self.regions[qid] = self.grid.world.clip_or_pin(region)
+
+    def unregister_query(self, qid: int) -> None:
+        del self.regions[qid]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, now: float | None = None) -> dict[int, frozenset[int]]:
+        """Recompute every answer from scratch (no reuse of prior results)."""
+        if now is not None:
+            self.now = now
+        answers: dict[int, frozenset[int]] = {}
+        for qid, region in self.regions.items():
+            members = frozenset(
+                oid
+                for oid in self.index.objects_overlapping(region)
+                if region.contains_point(self.locations[oid])
+            )
+            answers[qid] = members
+        return answers
+
+    def answer_bytes(self, answers: dict[int, frozenset[int]]) -> int:
+        """Bytes shipped: the complete answer of every query."""
+        return sum(
+            FullAnswerMessage(qid, members).size_bytes
+            for qid, members in answers.items()
+        )

@@ -1,0 +1,102 @@
+"""Predictive-query baseline over a TPR-tree.
+
+The paper's point about trajectory access methods: they answer snapshot
+predictive queries well, but offer "no special mechanisms to support the
+continuous spatio-temporal queries" — each cycle the full window query
+re-runs and the full answer is re-shipped.  This engine models exactly
+that: objects live in a :class:`~repro.tprtree.TprTree`, predictive
+range queries are re-evaluated from scratch every period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point, Rect, Velocity
+from repro.net import FullAnswerMessage
+from repro.tprtree import TprTree
+
+
+@dataclass(frozen=True, slots=True)
+class _PredictiveQuery:
+    qid: int
+    region: Rect
+    horizon: float
+
+
+class TprPredictiveEngine:
+    """Re-evaluates predictive range queries via TPR-tree window search."""
+
+    def __init__(
+        self,
+        horizon: float = 60.0,
+        max_entries: int = 16,
+        world: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+    ):
+        self._tree = TprTree(horizon=horizon, max_entries=max_entries)
+        self.horizon = horizon
+        self.world = world
+        self.queries: dict[int, _PredictiveQuery] = {}
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def report_object(
+        self,
+        oid: int,
+        location: Point,
+        t: float,
+        velocity: Velocity = Velocity.ZERO,
+    ) -> None:
+        if t < self.now:
+            raise ValueError(f"report time {t} precedes clock {self.now}")
+        self.now = max(self.now, t)
+        location = self.world.clamp_point(location)
+        if oid in self._tree:
+            self._tree.update(oid, location, velocity, t)
+        else:
+            self._tree.insert(oid, location, velocity, t)
+
+    def remove_object(self, oid: int) -> None:
+        self._tree.delete(oid)
+
+    def register_predictive_query(
+        self, qid: int, region: Rect, horizon: float
+    ) -> None:
+        if qid in self.queries:
+            raise KeyError(f"query {qid} is already registered")
+        if not 0 < horizon <= self.horizon:
+            raise ValueError(
+                f"query horizon {horizon} must be in (0, {self.horizon}]"
+            )
+        region = self.world.clip_or_pin(region)
+        self.queries[qid] = _PredictiveQuery(qid, region, horizon)
+
+    def unregister_query(self, qid: int) -> None:
+        del self.queries[qid]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, now: float | None = None) -> dict[int, frozenset[int]]:
+        """Full window query per predictive query, every cycle."""
+        if now is not None:
+            if now < self.now:
+                raise ValueError(f"time went backwards: {now} < {self.now}")
+            self.now = now
+        answers: dict[int, frozenset[int]] = {}
+        for qid, query in self.queries.items():
+            hits = self._tree.search_during(
+                query.region, self.now, self.now + query.horizon
+            )
+            answers[qid] = frozenset(entry.key for entry in hits)
+        return answers
+
+    def answer_bytes(self, answers: dict[int, frozenset[int]]) -> int:
+        return sum(
+            FullAnswerMessage(qid, members).size_bytes
+            for qid, members in answers.items()
+        )

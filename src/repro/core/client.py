@@ -1,0 +1,88 @@
+"""Client-side answer mirroring.
+
+A client is a passive device: it holds its queries' answer sets, applies
+the update stream the server pushes, and survives outages through the
+wakeup protocol.  On reconnection it first *rolls back* each answer to
+the last committed state before applying the recovery delta — the
+committed answer is the only state both sides agree the client holds
+(updates delivered after the last commit but before the outage are on
+the client yet unknown-committed to the server; rolling back makes the
+server's committed-vs-current diff land on the right base).
+"""
+
+from __future__ import annotations
+
+from repro.core.server import LocationAwareServer
+from repro.net.messages import Message, UpdateMessage
+
+
+class Client:
+    """A query-owning client mirroring its answers from update messages."""
+
+    def __init__(self, client_id: int, server: LocationAwareServer):
+        self.client_id = client_id
+        self.server = server
+        self.link = server.register_client(client_id)
+        self.answers: dict[int, set[int]] = {}
+        self._committed: dict[int, frozenset[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Query ownership
+    # ------------------------------------------------------------------
+
+    def track_query(self, qid: int) -> None:
+        """Start mirroring ``qid`` (call alongside server registration)."""
+        self.answers.setdefault(qid, set())
+        self._committed.setdefault(qid, frozenset())
+
+    def answer_of(self, qid: int) -> frozenset[int]:
+        return frozenset(self.answers[qid])
+
+    # ------------------------------------------------------------------
+    # Downstream processing
+    # ------------------------------------------------------------------
+
+    def pump(self) -> int:
+        """Apply everything waiting on the link; returns messages applied."""
+        received = self.link.drain()
+        for message in received:
+            self._apply(message)
+        return len(received)
+
+    def _apply(self, message: Message) -> None:
+        if isinstance(message, UpdateMessage):
+            answer = self.answers.setdefault(message.qid, set())
+            if message.sign == 1:
+                answer.add(message.oid)
+            else:
+                answer.discard(message.oid)
+
+    # ------------------------------------------------------------------
+    # Commit / outage protocol
+    # ------------------------------------------------------------------
+
+    def send_commit(self, qid: int) -> None:
+        """Acknowledge the current answer of a stationary query."""
+        self.pump()  # fold in anything already delivered
+        self.server.receive_commit(qid)
+        self._committed[qid] = frozenset(self.answers[qid])
+
+    def note_uplink_commit(self, qid: int) -> None:
+        """Record the implicit commit riding on a moving query's uplink."""
+        self._committed[qid] = frozenset(self.answers[qid])
+
+    def disconnect(self) -> None:
+        self.link.disconnect()
+
+    def reconnect(self) -> None:
+        """Wake up: roll back to committed state, then apply the delta."""
+        for qid, committed in self._committed.items():
+            self.answers[qid] = set(committed)
+        self.server.receive_wakeup(self.client_id)
+        self.pump()
+        for qid in self.answers:
+            self._committed[qid] = frozenset(self.answers[qid])
+
+    @property
+    def connected(self) -> bool:
+        return self.link.connected

@@ -1,0 +1,547 @@
+"""The shared, incremental continuous-query engine.
+
+This is the paper's contribution (Section 3): one uniform grid holds
+both objects and queries ("queries are indexed in the same way as data");
+location reports and query movements are *buffered* and evaluated in
+bulk; each evaluation emits only positive/negative updates relative to
+the previously reported answers.
+
+Incrementality per query kind:
+
+* **Range** — when a query's region moves from ``A_old`` to ``A_new``,
+  answer members outside ``A_new`` produce negative updates, and only
+  the difference area ``A_new - A_old`` is searched for positives ("the
+  area A_new ∩ A_old does not need to be reevaluated where the query
+  result of this area is already reported").  Object moves touch only
+  the queries sharing a grid cell with the object's old or new position.
+* **k-NN** — maintained as the smallest circle containing the k nearest
+  objects.  Object movement marks a k-NN query dirty only when the move
+  touches the circle's grid footprint (or the object was an answer
+  member); dirty queries are re-solved with an expanding ring search
+  around their center and the *answer difference* is emitted.
+* **Predictive range** — objects carrying velocity vectors are indexed
+  by the grid footprint of their predicted trajectory; a predictive
+  query's answer is the set of objects whose extrapolated motion enters
+  its region within the query's horizon.  Because the horizon window
+  slides with evaluation time, predictive answers are re-filtered every
+  cycle from the query's (small) candidate cell set.
+
+The engine is single-threaded and in-memory by design: persistence is
+layered on by :class:`repro.core.server.LocationAwareServer` through the
+storage package, and transport by :mod:`repro.net`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.knn import knn_search
+from repro.core.state import (
+    KnnQueryState,
+    ObjectState,
+    PredictiveQueryState,
+    QueryKind,
+    QueryState,
+    RangeQueryState,
+)
+from repro.core.updates import Update
+from repro.geometry import Point, Rect, Velocity
+from repro.grid import Grid, GridIndex
+
+DEFAULT_WORLD = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Cumulative work counters — the engine's observability surface.
+
+    These are *work* measures, not wall-clock: how many buffered inputs
+    each evaluation consumed and how much repair they triggered.  The
+    benchmarks use them to explain where time goes; operators would use
+    them to spot hot queries and mis-sized grids.
+    """
+
+    evaluations: int = 0
+    object_reports: int = 0
+    object_removals: int = 0
+    query_registrations: int = 0
+    query_moves: int = 0
+    query_unregistrations: int = 0
+    knn_repairs: int = 0
+    updates_emitted: int = 0
+
+
+class IncrementalEngine:
+    """Shared execution + incremental evaluation over one grid.
+
+    Parameters
+    ----------
+    world:
+        The rectangle all locations live in (paper: the unit square).
+    grid_size:
+        N for the N x N uniform grid.
+    prediction_horizon:
+        How far (seconds) object trajectories are extrapolated when
+        indexing predictive objects.  Every predictive query's horizon
+        must fit inside it.
+    """
+
+    def __init__(
+        self,
+        world: Rect = DEFAULT_WORLD,
+        grid_size: int = 64,
+        prediction_horizon: float = 60.0,
+    ):
+        if prediction_horizon < 0:
+            raise ValueError(
+                f"prediction_horizon must be >= 0, got {prediction_horizon}"
+            )
+        self.grid = Grid(world, grid_size)
+        self.index = GridIndex(self.grid)
+        self.prediction_horizon = prediction_horizon
+        self.now = 0.0
+        self.objects: dict[int, ObjectState] = {}
+        self.queries: dict[int, QueryState] = {}
+        # Buffered inputs, applied in bulk by evaluate().
+        self._pending_reports: dict[int, tuple[Point, Velocity, float]] = {}
+        self._pending_removals: set[int] = set()
+        self._pending_registrations: list[QueryState] = []
+        self._pending_moves: dict[int, tuple[object, float]] = {}
+        self._pending_unregistrations: set[int] = set()
+        # k-NN queries holding fewer than k objects must watch for any
+        # population growth, not just movement near their circle.
+        self._underfull_knn: set[int] = set()
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Ingestion (buffered)
+    # ------------------------------------------------------------------
+
+    def report_object(
+        self,
+        oid: int,
+        location: Point,
+        t: float,
+        velocity: Velocity = Velocity.ZERO,
+    ) -> None:
+        """Buffer a location report.  The last report per object wins
+        within a batch (the server evaluates every T seconds; a device
+        reporting twice within one period supersedes itself).
+
+        Locations are clamped into the service area (the grid's world):
+        the engine guarantees completeness only for in-world geometry,
+        so out-of-world drift is pulled back to the boundary.
+        """
+        self._pending_removals.discard(oid)
+        location = self.grid.world.clamp_point(location)
+        self._pending_reports[oid] = (location, velocity, t)
+
+    def remove_object(self, oid: int) -> None:
+        """Buffer an object's departure from the system."""
+        self._pending_reports.pop(oid, None)
+        self._pending_removals.add(oid)
+
+    def register_range_query(self, qid: int, region: Rect, t: float = 0.0) -> None:
+        """Register a continuous range query (stationary until moved).
+
+        Regions are clipped to the service area — queries are answered
+        over the world the server indexes, so the portion of a region
+        hanging off the map can never hold an answer object.
+        """
+        self._check_fresh_qid(qid)
+        region = self.grid.world.clip_or_pin(region)
+        self._pending_registrations.append(RangeQueryState(qid, region, t))
+
+    def register_knn_query(
+        self, qid: int, center: Point, k: int, t: float = 0.0
+    ) -> None:
+        """Register a continuous k-NN query anchored at ``center``."""
+        self._check_fresh_qid(qid)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self._pending_registrations.append(KnnQueryState(qid, center, k, t))
+
+    def register_predictive_query(
+        self, qid: int, region: Rect, horizon: float, t: float = 0.0
+    ) -> None:
+        """Register a predictive range query looking ``horizon`` s ahead."""
+        self._check_fresh_qid(qid)
+        if not 0 < horizon <= self.prediction_horizon:
+            raise ValueError(
+                f"query horizon {horizon} must be in "
+                f"(0, {self.prediction_horizon}]"
+            )
+        region = self.grid.world.clip_or_pin(region)
+        self._pending_registrations.append(
+            PredictiveQueryState(qid, region, horizon, t)
+        )
+
+    def move_range_query(self, qid: int, region: Rect, t: float) -> None:
+        """Buffer a moving range query's new region (service-area clipped)."""
+        self._pending_moves[qid] = (self.grid.world.clip_or_pin(region), t)
+
+    def move_knn_query(self, qid: int, center: Point, t: float) -> None:
+        """Buffer a moving k-NN query's new focal point."""
+        self._pending_moves[qid] = (center, t)
+
+    def move_predictive_query(self, qid: int, region: Rect, t: float) -> None:
+        """Buffer a moving predictive query's new region (clipped)."""
+        self._pending_moves[qid] = (self.grid.world.clip_or_pin(region), t)
+
+    def unregister_query(self, qid: int) -> None:
+        """Buffer a query's removal; no further updates will be emitted.
+
+        Unregistering a query that was registered earlier in the *same*
+        batch cancels the pending registration (arrival order wins).
+        """
+        self._pending_moves.pop(qid, None)
+        if any(q.qid == qid for q in self._pending_registrations):
+            self._pending_registrations = [
+                q for q in self._pending_registrations if q.qid != qid
+            ]
+            return
+        self._pending_unregistrations.add(qid)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def object_count(self) -> int:
+        return len(self.objects)
+
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)
+
+    def answer_of(self, qid: int) -> frozenset[int]:
+        """The current (last evaluated) answer set of ``qid``."""
+        return frozenset(self.queries[qid].answer)
+
+    def complete_answers(self) -> dict[int, frozenset[int]]:
+        """Every query's full answer — what a snapshot server retransmits."""
+        return {qid: frozenset(q.answer) for qid, q in self.queries.items()}
+
+    # ------------------------------------------------------------------
+    # Bulk evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, now: float | None = None) -> list[Update]:
+        """Apply all buffered input and return the incremental updates.
+
+        Phases: unregistrations, object removals, new-query first-time
+        answers, query moves, object moves, k-NN repair, predictive
+        window refresh.  Applying the returned updates in order to the
+        previously reported answers reproduces the current answers
+        exactly (tested property).
+        """
+        if now is None:
+            now = self.now
+        if now < self.now:
+            raise ValueError(f"time went backwards: {now} < {self.now}")
+        self.now = now
+
+        self.stats.evaluations += 1
+        self.stats.object_reports += len(self._pending_reports)
+        self.stats.object_removals += len(self._pending_removals)
+        self.stats.query_registrations += len(self._pending_registrations)
+        self.stats.query_moves += len(self._pending_moves)
+        self.stats.query_unregistrations += len(self._pending_unregistrations)
+
+        updates: list[Update] = []
+        knn_dirty: set[int] = set(self._underfull_knn)
+
+        self._apply_unregistrations(knn_dirty)
+        self._apply_removals(updates, knn_dirty)
+        self._apply_registrations(updates, knn_dirty)
+        self._apply_query_moves(updates, knn_dirty)
+        self._apply_object_reports(updates, knn_dirty)
+        self._repair_knn(knn_dirty, updates)
+        self._refresh_predictive(updates)
+        self.stats.updates_emitted += len(updates)
+        return updates
+
+    # ------------------------------------------------------------------
+    # Phase 1-2: departures
+    # ------------------------------------------------------------------
+
+    def _apply_unregistrations(self, knn_dirty: set[int]) -> None:
+        for qid in sorted(self._pending_unregistrations):
+            query = self.queries.pop(qid, None)
+            if query is None:
+                continue
+            self.index.remove_query(qid)
+            self._underfull_knn.discard(qid)
+            knn_dirty.discard(qid)
+            for oid in query.answer:
+                self.objects[oid].answered.discard(qid)
+        self._pending_unregistrations.clear()
+
+    def _apply_removals(self, updates: list[Update], knn_dirty: set[int]) -> None:
+        for oid in sorted(self._pending_removals):
+            state = self.objects.pop(oid, None)
+            if state is None:
+                continue
+            self.index.remove_object(oid)
+            for qid in sorted(state.answered):
+                query = self.queries[qid]
+                query.answer.discard(oid)
+                updates.append(Update.negative(qid, oid))
+                if query.kind is QueryKind.KNN:
+                    knn_dirty.add(qid)
+        self._pending_removals.clear()
+
+    # ------------------------------------------------------------------
+    # Phase 3: first-time answers for new queries
+    # ------------------------------------------------------------------
+
+    def _apply_registrations(
+        self, updates: list[Update], knn_dirty: set[int]
+    ) -> None:
+        for query in self._pending_registrations:
+            self.queries[query.qid] = query
+            if query.kind is QueryKind.RANGE:
+                self.index.place_query_region(query.qid, query.region)
+                self._fill_range_answer(query, updates)
+            elif query.kind is QueryKind.KNN:
+                # Placed at its center first; _repair_knn computes the
+                # first-time answer and widens the footprint to the circle.
+                self.index.place_query(
+                    query.qid,
+                    frozenset((self.grid.cell_of(query.center),)),
+                )
+                knn_dirty.add(query.qid)
+            else:
+                # Predictive: footprint now, answer in the refresh phase.
+                self.index.place_query_region(query.qid, query.region)
+        self._pending_registrations.clear()
+
+    def _fill_range_answer(
+        self, query: RangeQueryState, updates: list[Update]
+    ) -> None:
+        for oid in sorted(self.index.objects_overlapping(query.region)):
+            state = self.objects[oid]
+            if query.region.contains_point(state.location):
+                query.answer.add(oid)
+                state.answered.add(query.qid)
+                updates.append(Update.positive(query.qid, oid))
+
+    # ------------------------------------------------------------------
+    # Phase 4: query movement
+    # ------------------------------------------------------------------
+
+    def _apply_query_moves(
+        self, updates: list[Update], knn_dirty: set[int]
+    ) -> None:
+        for qid, (payload, t) in self._pending_moves.items():
+            query = self.queries.get(qid)
+            if query is None:
+                raise KeyError(f"cannot move unknown query {qid}")
+            query.t = t
+            if query.kind is QueryKind.RANGE:
+                self._move_range(query, payload, updates)  # type: ignore[arg-type]
+            elif query.kind is QueryKind.KNN:
+                query.center = payload  # type: ignore[assignment]
+                knn_dirty.add(qid)
+            else:
+                # Predictive regions re-filter in the refresh phase; only
+                # the footprint needs to move now.
+                query.region = payload  # type: ignore[assignment]
+                self.index.place_query_region(qid, payload)  # type: ignore[arg-type]
+        self._pending_moves.clear()
+
+    def _move_range(
+        self, query: RangeQueryState, new_region: Rect, updates: list[Update]
+    ) -> None:
+        old_region = query.region
+        query.region = new_region
+
+        # Negative updates: answer members in A_old - A_new.
+        for oid in sorted(query.answer):
+            if not new_region.contains_point(self.objects[oid].location):
+                query.answer.discard(oid)
+                self.objects[oid].answered.discard(query.qid)
+                updates.append(Update.negative(query.qid, oid))
+
+        # Positive updates: search only A_new - A_old.
+        for piece in new_region.difference(old_region):
+            for oid in sorted(self.index.objects_overlapping(piece)):
+                if oid in query.answer:
+                    continue
+                state = self.objects[oid]
+                if piece.contains_point(state.location):
+                    query.answer.add(oid)
+                    state.answered.add(query.qid)
+                    updates.append(Update.positive(query.qid, oid))
+
+        self.index.place_query_region(query.qid, new_region)
+
+    # ------------------------------------------------------------------
+    # Phase 5: object movement
+    # ------------------------------------------------------------------
+
+    def _apply_object_reports(
+        self, updates: list[Update], knn_dirty: set[int]
+    ) -> None:
+        for oid, (location, velocity, t) in self._pending_reports.items():
+            state = self.objects.get(oid)
+            if state is None:
+                state = ObjectState(oid, location, velocity, t)
+                self.objects[oid] = state
+                old_cells: frozenset[int] = frozenset()
+            else:
+                old_cells = self.index.object_cells(oid)
+                state.location = location
+                state.velocity = velocity
+                state.t = t
+            self.index.place_object(oid, self._object_footprint(state))
+
+            candidates = self.index.queries_colocated_with_object(oid)
+            for cell in old_cells:
+                candidates |= self.index.queries_in_cell(cell)
+            candidates |= state.answered
+
+            for qid in sorted(candidates):
+                query = self.queries[qid]
+                if query.kind is QueryKind.RANGE:
+                    self._update_range_membership(query, state, updates)
+                elif query.kind is QueryKind.KNN:
+                    knn_dirty.add(qid)
+                # Predictive membership is settled by the refresh phase.
+        self._pending_reports.clear()
+
+    def _update_range_membership(
+        self, query: RangeQueryState, state: ObjectState, updates: list[Update]
+    ) -> None:
+        inside = query.region.contains_point(state.location)
+        was_member = state.oid in query.answer
+        if inside and not was_member:
+            query.answer.add(state.oid)
+            state.answered.add(query.qid)
+            updates.append(Update.positive(query.qid, state.oid))
+        elif not inside and was_member:
+            query.answer.discard(state.oid)
+            state.answered.discard(query.qid)
+            updates.append(Update.negative(query.qid, state.oid))
+
+    def _object_footprint(self, state: ObjectState) -> frozenset[int]:
+        if state.is_predictive and self.prediction_horizon > 0:
+            rect = state.motion().bounding_rect_until(
+                state.t + self.prediction_horizon
+            )
+            cells = self.grid.cells_overlapping_set(rect)
+            if cells:
+                return cells
+            # The whole predicted trajectory lies outside the world
+            # (the object drifted off the map): clamp to the nearest
+            # cell so the object keeps a deterministic home.
+        return frozenset((self.grid.cell_of(state.location),))
+
+    # ------------------------------------------------------------------
+    # Phase 6: k-NN repair
+    # ------------------------------------------------------------------
+
+    def _repair_knn(self, knn_dirty: set[int], updates: list[Update]) -> None:
+        for qid in sorted(knn_dirty):
+            query = self.queries.get(qid)
+            if query is None or query.kind is not QueryKind.KNN:
+                continue
+            self.stats.knn_repairs += 1
+            self._solve_knn(query, updates)
+
+    def _solve_knn(self, query: KnnQueryState, updates: list[Update]) -> None:
+        """Re-solve a dirty k-NN query and emit the answer difference.
+
+        The ring search starts from the query's center and is bounded by
+        the k-th distance, so the work stays local to the circle — the
+        shared-grid analogue of the paper's "evict the furthest / admit
+        the entrant" circle maintenance, with the search doubling as the
+        replacement lookup when members depart.
+        """
+        ranked = knn_search(self.index, self.objects, query.center, query.k)
+        new_answer = {oid for __, oid in ranked}
+
+        for oid in sorted(query.answer - new_answer):
+            query.answer.discard(oid)
+            self.objects[oid].answered.discard(query.qid)
+            updates.append(Update.negative(query.qid, oid))
+        for oid in sorted(new_answer - query.answer):
+            query.answer.add(oid)
+            self.objects[oid].answered.add(query.qid)
+            updates.append(Update.positive(query.qid, oid))
+
+        query.radius = ranked[-1][0] if ranked else 0.0
+        footprint = self.grid.cells_overlapping_set(
+            query.circle().bounding_rect()
+        )
+        if not footprint:  # center outside the world: clamp to home cell
+            footprint = frozenset((self.grid.cell_of(query.center),))
+        self.index.place_query(query.qid, footprint)
+
+        if len(query.answer) < query.k:
+            self._underfull_knn.add(query.qid)
+        else:
+            self._underfull_knn.discard(query.qid)
+
+    # ------------------------------------------------------------------
+    # Phase 7: predictive window refresh
+    # ------------------------------------------------------------------
+
+    def _refresh_predictive(self, updates: list[Update]) -> None:
+        for qid, query in self.queries.items():
+            if query.kind is not QueryKind.PREDICTIVE_RANGE:
+                continue
+            candidates = set(query.answer)
+            for cell in self.index.query_cells(qid):
+                candidates |= self.index.objects_in_cell(cell)
+            for oid in sorted(candidates):
+                state = self.objects[oid]
+                inside = self._predicted_in_region(query, state)
+                was_member = oid in query.answer
+                if inside and not was_member:
+                    query.answer.add(oid)
+                    state.answered.add(qid)
+                    updates.append(Update.positive(qid, oid))
+                elif not inside and was_member:
+                    query.answer.discard(oid)
+                    state.answered.discard(qid)
+                    updates.append(Update.negative(qid, oid))
+
+    def _predicted_in_region(
+        self, query: PredictiveQueryState, state: ObjectState
+    ) -> bool:
+        """Will ``state`` be inside the query region within its horizon?
+
+        The window is ``[now, now + horizon]`` clamped to start no
+        earlier than the object's report time (we cannot extrapolate
+        backwards) and to end no later than the object's trusted
+        extrapolation span.
+        """
+        start = max(self.now, state.t)
+        end = min(self.now + query.horizon, state.t + self.prediction_horizon)
+        if end < start:
+            return False
+        return state.motion().time_in_rect(query.region, start, end) is not None
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _check_fresh_qid(self, qid: int) -> None:
+        already_pending = any(
+            q.qid == qid for q in self._pending_registrations
+        )
+        if qid in self.queries or already_pending:
+            raise KeyError(f"query {qid} is already registered")
+
+    def check_invariants(self) -> None:
+        """Verify the object/query membership bookkeeping (tests only)."""
+        for oid, state in self.objects.items():
+            for qid in state.answered:
+                assert oid in self.queries[qid].answer, (oid, qid)
+        for qid, query in self.queries.items():
+            for oid in query.answer:
+                assert qid in self.objects[oid].answered, (qid, oid)
+            assert self.index.contains_query(qid)
+        for oid in self.objects:
+            assert self.index.contains_object(oid)

@@ -1,0 +1,67 @@
+"""Grid-based k-nearest-neighbour search.
+
+The engine computes a k-NN query's first-time answer (and replacement
+neighbours after departures) with an expanding ring search over the
+shared grid: examine the query's home cell, then the rings of cells
+around it, stopping once the k-th best distance found so far is closer
+than anything an unexplored ring could contain.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Mapping
+
+from repro.core.state import ObjectState
+from repro.geometry import Point
+from repro.grid import GridIndex
+
+
+def knn_search(
+    index: GridIndex,
+    objects: Mapping[int, ObjectState],
+    center: Point,
+    k: int,
+    exclude: set[int] | None = None,
+) -> list[tuple[float, int]]:
+    """The (distance, oid) list of the k nearest objects to ``center``.
+
+    Sorted ascending by distance with ties broken by oid, which makes
+    the result deterministic and lets tests compare against a brute-force
+    oracle exactly.  Returns fewer than ``k`` entries when the population
+    is smaller.  ``exclude`` skips specific oids — the replacement-search
+    path excludes the surviving answer members when refilling a k-NN
+    answer after a departure.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    grid = index.grid
+    home = grid.cell_of(center)
+    max_radius = grid.max_ring_radius(home)
+    # Ring r is at least (r - 1) cell extents from the center (the
+    # center sits somewhere inside the home cell), so once the k-th best
+    # distance beats that bound no further ring can improve the answer.
+    cell_extent = min(grid.cell_width, grid.cell_height)
+
+    # Max-heap of the k best candidates, keyed by negated (distance, oid)
+    # so the lexicographically worst candidate sits at heap[0].
+    heap: list[tuple[float, int]] = []
+    seen: set[int] = set()
+    for radius in range(max_radius + 1):
+        if len(heap) == k and (radius - 1) * cell_extent > -heap[0][0]:
+            break
+        for cell in grid.ring_around(home, radius):
+            bucket = index.bucket(cell)
+            if bucket is None:
+                continue
+            for oid in bucket.objects:
+                if oid in seen or (exclude and oid in exclude):
+                    continue
+                seen.add(oid)
+                distance = objects[oid].location.distance_to(center)
+                candidate = (-distance, -oid)
+                if len(heap) < k:
+                    heapq.heappush(heap, candidate)
+                elif candidate > heap[0]:
+                    heapq.heapreplace(heap, candidate)
+    return sorted((-d, -negated_oid) for d, negated_oid in heap)

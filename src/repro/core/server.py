@@ -1,0 +1,320 @@
+"""The location-aware server.
+
+Binds the pieces together the way the paper's PLACE server does:
+
+* the :class:`~repro.core.engine.IncrementalEngine` does shared,
+  incremental evaluation over the grid;
+* :mod:`repro.net` links carry positive/negative update messages to the
+  owning clients, with byte accounting (Figure 5's KB axis);
+* a :class:`~repro.core.commit.CommittedAnswerStore` plus wakeup
+  handling implement out-of-sync recovery (Section 3.3);
+* superseded object locations are appended to the storage package's
+  :class:`~repro.storage.HistoryRepository` ("the old information
+  becomes persistent and is stored in a repository server").
+
+The server never observes link state when sending — updates to a
+disconnected client are simply lost, which is exactly why the commit
+protocol exists.  Commits happen only on uplink evidence: any message
+from a moving query, an explicit commit message from a stationary one,
+or the completion of a wakeup resynchronisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.commit import CommittedAnswerStore
+from repro.core.engine import DEFAULT_WORLD, IncrementalEngine
+from repro.core.updates import Update
+from repro.geometry import Point, Rect, Velocity
+from repro.net import (
+    ClientLink,
+    CommitMessage,
+    FullAnswerMessage,
+    NetworkStats,
+    ObjectReportMessage,
+    QueryRegionMessage,
+    ThrottledLink,
+    UpdateMessage,
+    WakeupMessage,
+)
+from repro.storage import HistoryRepository, LocationRecord
+
+
+@dataclass(slots=True)
+class CycleResult:
+    """What one evaluation cycle produced and shipped."""
+
+    now: float
+    updates: list[Update]
+    incremental_bytes: int
+    complete_bytes: int
+    delivered_updates: int = 0
+    dropped_updates: int = 0
+    answer_objects: int = 0
+
+    @property
+    def savings_ratio(self) -> float:
+        """Incremental bytes as a fraction of complete-answer bytes."""
+        if self.complete_bytes == 0:
+            return 0.0
+        return self.incremental_bytes / self.complete_bytes
+
+
+@dataclass(slots=True)
+class _QueryBinding:
+    """Server-side metadata for one registered query."""
+
+    qid: int
+    client_id: int
+    moving: bool = False
+
+
+class LocationAwareServer:
+    """Continuous-query service over one incremental engine."""
+
+    def __init__(
+        self,
+        world: Rect = DEFAULT_WORLD,
+        grid_size: int = 64,
+        prediction_horizon: float = 60.0,
+        history: HistoryRepository | None = None,
+        engine: IncrementalEngine | None = None,
+    ):
+        """``engine`` lets a restarted server adopt a checkpoint-restored
+        engine instead of starting empty; bind its queries to clients
+        with :meth:`adopt_query`."""
+        self.engine = (
+            engine
+            if engine is not None
+            else IncrementalEngine(world, grid_size, prediction_horizon)
+        )
+        self.commits = CommittedAnswerStore()
+        self.stats = NetworkStats()
+        self.history = history
+        self._links: dict[int, ClientLink] = {}
+        self._bindings: dict[int, _QueryBinding] = {}
+        self._queries_of_client: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Client management
+    # ------------------------------------------------------------------
+
+    def register_client(
+        self, client_id: int, downlink_budget: int | None = None
+    ) -> ClientLink:
+        """Register a client; ``downlink_budget`` (bytes per evaluation
+        cycle) models a congested downstream channel — updates beyond
+        the budget are lost in that cycle."""
+        if client_id in self._links:
+            raise KeyError(f"client {client_id} already registered")
+        if downlink_budget is None:
+            link: ClientLink = ClientLink(client_id, self.stats)
+        else:
+            link = ThrottledLink(client_id, downlink_budget, self.stats)
+        self._links[client_id] = link
+        self._queries_of_client[client_id] = set()
+        return link
+
+    def link_of(self, client_id: int) -> ClientLink:
+        return self._links[client_id]
+
+    def queries_of(self, client_id: int) -> frozenset[int]:
+        return frozenset(self._queries_of_client[client_id])
+
+    # ------------------------------------------------------------------
+    # Uplink: object reports
+    # ------------------------------------------------------------------
+
+    def receive_object_report(
+        self,
+        oid: int,
+        location: Point,
+        t: float,
+        velocity: Velocity = Velocity.ZERO,
+    ) -> None:
+        """Ingest a location report, persisting the superseded location."""
+        self.stats.record_uplink(
+            ObjectReportMessage(oid, location, velocity, t)
+        )
+        if self.history is not None:
+            previous = self.engine.objects.get(oid)
+            if previous is not None:
+                self.history.append(
+                    LocationRecord(
+                        oid, previous.location, previous.velocity, previous.t
+                    )
+                )
+        self.engine.report_object(oid, location, t, velocity)
+
+    def remove_object(self, oid: int) -> None:
+        self.engine.remove_object(oid)
+
+    # ------------------------------------------------------------------
+    # Uplink: query registration and movement
+    # ------------------------------------------------------------------
+
+    def register_range_query(
+        self, client_id: int, qid: int, region: Rect, t: float = 0.0
+    ) -> None:
+        self.engine.register_range_query(qid, region, t)
+        self._bind(qid, client_id)
+
+    def register_knn_query(
+        self, client_id: int, qid: int, center: Point, k: int, t: float = 0.0
+    ) -> None:
+        self.engine.register_knn_query(qid, center, k, t)
+        self._bind(qid, client_id)
+
+    def register_predictive_query(
+        self, client_id: int, qid: int, region: Rect, horizon: float, t: float = 0.0
+    ) -> None:
+        self.engine.register_predictive_query(qid, region, horizon, t)
+        self._bind(qid, client_id)
+
+    def receive_range_query_move(self, qid: int, region: Rect, t: float) -> None:
+        """A moving range query reports its new region.
+
+        Receiving anything from a moving query commits its latest answer
+        — the uplink proves the client is connected and has received
+        everything sent so far (clients always wake up before resuming
+        uplink after an outage).
+        """
+        self.stats.record_uplink(QueryRegionMessage(qid, region, t))
+        self.engine.move_range_query(qid, region, t)
+        self._commit_on_uplink(qid)
+
+    def receive_knn_query_move(self, qid: int, center: Point, t: float) -> None:
+        self.stats.record_uplink(
+            QueryRegionMessage(qid, Rect(center.x, center.y, center.x, center.y), t)
+        )
+        self.engine.move_knn_query(qid, center, t)
+        self._commit_on_uplink(qid)
+
+    def receive_predictive_query_move(
+        self, qid: int, region: Rect, t: float
+    ) -> None:
+        self.stats.record_uplink(QueryRegionMessage(qid, region, t))
+        self.engine.move_predictive_query(qid, region, t)
+        self._commit_on_uplink(qid)
+
+    def receive_commit(self, qid: int) -> None:
+        """Explicit commit from a stationary query's client."""
+        self.stats.record_uplink(CommitMessage(qid))
+        self._require_binding(qid)
+        self.commits.commit(qid, self.engine.answer_of(qid))
+
+    def adopt_query(self, qid: int, client_id: int) -> None:
+        """Bind an engine query that already exists (restored from a
+        checkpoint) to its owning client."""
+        if qid not in self.engine.queries:
+            raise KeyError(f"engine has no query {qid}")
+        self._bind(qid, client_id)
+
+    def unregister_query(self, qid: int) -> None:
+        binding = self._bindings.pop(qid, None)
+        if binding is None:
+            raise KeyError(f"unknown query {qid}")
+        self._queries_of_client[binding.client_id].discard(qid)
+        self.commits.forget(qid)
+        self.engine.unregister_query(qid)
+
+    # ------------------------------------------------------------------
+    # Uplink: wakeup / recovery
+    # ------------------------------------------------------------------
+
+    def receive_wakeup(self, client_id: int) -> list[Update]:
+        """Resynchronise a reconnecting client (Section 3.3).
+
+        For every query the client owns, diff the current answer against
+        the committed one and ship only that delta; the post-recovery
+        answer is then committed (the client just proved it is
+        listening).  Returns the updates sent, for observability.
+        """
+        self.stats.record_uplink(WakeupMessage(client_id))
+        link = self._links[client_id]
+        link.reconnect()
+        if isinstance(link, ThrottledLink):
+            # The recovery response gets a fresh cycle's worth of budget.
+            link.new_cycle()
+        sent: list[Update] = []
+        for qid in sorted(self._queries_of_client[client_id]):
+            current = self.engine.answer_of(qid)
+            for update in self.commits.recovery_updates(qid, current):
+                link.deliver(UpdateMessage(update.qid, update.oid, update.sign))
+                sent.append(update)
+            self.commits.commit(qid, current)
+        return sent
+
+    def recover_naive(self, client_id: int) -> int:
+        """The naive wakeup alternative: retransmit every full answer.
+
+        Returns the bytes sent; used by the recovery ablation benchmark.
+        """
+        link = self._links[client_id]
+        link.reconnect()
+        total = 0
+        for qid in sorted(self._queries_of_client[client_id]):
+            answer = self.engine.answer_of(qid)
+            message = FullAnswerMessage(qid, answer)
+            link.deliver(message)
+            total += message.size_bytes
+            self.commits.commit(qid, answer)
+        return total
+
+    # ------------------------------------------------------------------
+    # Evaluation cycles
+    # ------------------------------------------------------------------
+
+    def evaluate_cycle(self, now: float) -> CycleResult:
+        """Run one bulk evaluation and ship updates to owners."""
+        for link in self._links.values():
+            if isinstance(link, ThrottledLink):
+                link.new_cycle()
+        updates = self.engine.evaluate(now)
+        result = CycleResult(
+            now=now,
+            updates=updates,
+            incremental_bytes=0,
+            complete_bytes=self.complete_answer_bytes(),
+            answer_objects=sum(
+                len(q.answer) for q in self.engine.queries.values()
+            ),
+        )
+        for update in updates:
+            binding = self._bindings.get(update.qid)
+            if binding is None:
+                continue  # query was unregistered in this same batch
+            message = UpdateMessage(update.qid, update.oid, update.sign)
+            result.incremental_bytes += message.size_bytes
+            if self._links[binding.client_id].deliver(message):
+                result.delivered_updates += 1
+            else:
+                result.dropped_updates += 1
+        return result
+
+    def complete_answer_bytes(self) -> int:
+        """Bytes a snapshot server would ship: every full answer, every cycle."""
+        return sum(
+            FullAnswerMessage(qid, frozenset(query.answer)).size_bytes
+            for qid, query in self.engine.queries.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _bind(self, qid: int, client_id: int) -> None:
+        if client_id not in self._links:
+            raise KeyError(f"unknown client {client_id}")
+        self._bindings[qid] = _QueryBinding(qid, client_id)
+        self._queries_of_client[client_id].add(qid)
+
+    def _commit_on_uplink(self, qid: int) -> None:
+        self._require_binding(qid)
+        self._bindings[qid].moving = True
+        self.commits.commit(qid, self.engine.answer_of(qid))
+
+    def _require_binding(self, qid: int) -> None:
+        if qid not in self._bindings:
+            raise KeyError(f"unknown query {qid}")

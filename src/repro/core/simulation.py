@@ -1,0 +1,156 @@
+"""End-to-end simulation harness.
+
+Recreates the paper's experimental setup: a road network, network-
+constrained moving objects, a population of square range queries (a
+configurable share of which move with carrier objects), the location-
+aware server buffering updates, and a bulk evaluation "every 5 seconds".
+Each cycle records incremental answer bytes versus complete answer bytes
+— the two curves of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.client import Client
+from repro.core.server import CycleResult, LocationAwareServer
+from repro.generator import (
+    MovingObjectSimulator,
+    WorkloadConfig,
+    WorkloadGenerator,
+    manhattan_city,
+)
+from repro.generator.roadnet import RoadNetwork
+
+
+@dataclass(slots=True)
+class SimulationConfig:
+    """Everything needed to reproduce one experimental run."""
+
+    object_count: int = 1000
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    grid_size: int = 64
+    eval_period: float = 5.0  # the paper's T
+    object_report_fraction: float = 1.0  # Figure 5(a)'s x-axis
+    blocks: int = 16
+    seed: int = 0
+    route_mode: str = "walk"
+    prediction_horizon: float = 60.0
+
+
+class Simulation:
+    """A driving loop: generator -> server -> clients, with accounting."""
+
+    def __init__(
+        self, config: SimulationConfig, network: RoadNetwork | None = None
+    ):
+        self.config = config
+        self.network = network if network is not None else manhattan_city(config.blocks)
+        self.sim = MovingObjectSimulator(
+            self.network,
+            config.object_count,
+            seed=config.seed,
+            route_mode=config.route_mode,
+        )
+        self.server = LocationAwareServer(
+            grid_size=config.grid_size,
+            prediction_horizon=config.prediction_horizon,
+        )
+        self.client = Client(client_id=0, server=self.server)
+        self.workload = WorkloadGenerator(
+            config.workload, self.sim, first_qid=config.object_count
+        )
+        self.results: list[CycleResult] = []
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        """Initial object reports, query registrations, first evaluation."""
+        for report in self.sim.initial_reports():
+            self.server.receive_object_report(
+                report.oid, report.location, report.t, report.velocity
+            )
+        for spec in self.workload.specs.values():
+            self._register(spec)
+        initial = self.server.evaluate_cycle(self.sim.now)
+        self.client.pump()
+        self.results.append(initial)
+
+    def _register(self, spec) -> None:
+        if spec.kind == "range":
+            self.server.register_range_query(
+                self.client.client_id, spec.qid, spec.region(), self.sim.now
+            )
+        elif spec.kind == "knn":
+            self.server.register_knn_query(
+                self.client.client_id, spec.qid, spec.center, spec.k, self.sim.now
+            )
+        else:
+            self.server.register_predictive_query(
+                self.client.client_id,
+                spec.qid,
+                spec.region(),
+                spec.horizon,
+                self.sim.now,
+            )
+        self.client.track_query(spec.qid)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def step(self) -> CycleResult:
+        """One evaluation period: move, report, evaluate, deliver."""
+        reports = self.sim.tick(
+            self.config.eval_period, self.config.object_report_fraction
+        )
+        for oid in self.sim.departed:
+            self.server.remove_object(oid)
+        for report in reports:
+            self.server.receive_object_report(
+                report.oid, report.location, report.t, report.velocity
+            )
+        moved_oids = [report.oid for report in reports]
+        for spec in self.workload.updates_for_moved_objects(moved_oids):
+            if spec.kind == "range":
+                self.server.receive_range_query_move(
+                    spec.qid, spec.region(), self.sim.now
+                )
+            elif spec.kind == "knn":
+                self.server.receive_knn_query_move(
+                    spec.qid, spec.center, self.sim.now
+                )
+            else:
+                self.server.receive_predictive_query_move(
+                    spec.qid, spec.region(), self.sim.now
+                )
+            self.client.note_uplink_commit(spec.qid)
+        result = self.server.evaluate_cycle(self.sim.now)
+        self.client.pump()
+        self.results.append(result)
+        return result
+
+    def run(self, cycles: int) -> list[CycleResult]:
+        """Run ``cycles`` evaluation periods; returns their results."""
+        return [self.step() for __ in range(cycles)]
+
+    # ------------------------------------------------------------------
+    # Reporting helpers (used by the Figure 5 benchmarks)
+    # ------------------------------------------------------------------
+
+    def mean_incremental_kb(self, skip_first: bool = True) -> float:
+        """Mean per-cycle incremental answer size in KB.
+
+        The bootstrap cycle ships every first-time answer and is not an
+        *incremental* cycle, so it is skipped by default.
+        """
+        window = self.results[1:] if skip_first else self.results
+        if not window:
+            return 0.0
+        return sum(r.incremental_bytes for r in window) / len(window) / 1024.0
+
+    def mean_complete_kb(self, skip_first: bool = True) -> float:
+        """Mean per-cycle complete answer size in KB."""
+        window = self.results[1:] if skip_first else self.results
+        if not window:
+            return 0.0
+        return sum(r.complete_bytes for r in window) / len(window) / 1024.0

@@ -1,0 +1,73 @@
+"""Positive and negative updates — the engine's only output language.
+
+"A positive update of the form (Q, +A) indicates that object A needs to
+be added to the answer set of query Q.  Similarly, a negative update of
+the form (Q, -A) indicates that object A is no longer part of the answer
+set of query Q."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Update:
+    """One incremental answer change for query ``qid``.
+
+    ``sign`` is ``+1`` (object entered the answer) or ``-1`` (object
+    left it).  A client that applies a batch of updates *in order* to its
+    stored answer set ends with the server's answer set.
+    """
+
+    qid: int
+    oid: int
+    sign: int
+
+    def __post_init__(self) -> None:
+        if self.sign not in (1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+
+    @property
+    def is_positive(self) -> bool:
+        return self.sign == 1
+
+    @classmethod
+    def positive(cls, qid: int, oid: int) -> "Update":
+        return cls(qid, oid, 1)
+
+    @classmethod
+    def negative(cls, qid: int, oid: int) -> "Update":
+        return cls(qid, oid, -1)
+
+    def __str__(self) -> str:  # matches the paper's (Q, +A) notation
+        sign = "+" if self.sign == 1 else "-"
+        return f"(Q{self.qid}, {sign}p{self.oid})"
+
+
+def diff_answers(
+    qid: int, old: set[int], new: set[int]
+) -> list[Update]:
+    """The update stream turning answer ``old`` into answer ``new``.
+
+    Negative updates come first (deterministically sorted), then
+    positives — the order the out-of-sync recovery path sends them in.
+    """
+    negatives = [Update.negative(qid, oid) for oid in sorted(old - new)]
+    positives = [Update.positive(qid, oid) for oid in sorted(new - old)]
+    return negatives + positives
+
+
+def apply_updates(answer: set[int], updates: list[Update]) -> set[int]:
+    """Apply a batch of updates (any queries mixed) to one answer set.
+
+    The caller filters to a single query's updates; this helper is the
+    client-side application rule and the test oracle for consistency.
+    """
+    result = set(answer)
+    for update in updates:
+        if update.is_positive:
+            result.add(update.oid)
+        else:
+            result.discard(update.oid)
+    return result

@@ -1,0 +1,40 @@
+"""Network-based moving-object and workload generator.
+
+The paper's experiment uses "the Network-based Generator of Moving
+Objects [Brinkhoff, GeoInformatica 2002] to generate a set of 100K moving
+objects and 100K moving queries.  The output of the generator is a set of
+moving objects that move on the road network of a given city."
+
+We do not have Brinkhoff's city maps, so this package builds the closest
+synthetic equivalent (documented in DESIGN.md): synthetic road networks
+(a Manhattan-style grid city with road classes, or a random connected
+network), Dijkstra routing over them, and a per-tick simulation that
+moves objects along shortest paths at road-class speeds, re-routing when
+they reach their destinations.  The observable output — a stream of
+``(oid, location, velocity, t)`` reports — has the same structure the
+location-aware server consumes, which is all the paper's experiment
+relies on.
+"""
+
+from repro.generator.roadnet import RoadClass, RoadNetwork, manhattan_city, random_network
+from repro.generator.paths import shortest_path, path_length
+from repro.generator.mobility import MovingObjectSimulator, ObjectReport
+from repro.generator.workload import (
+    QuerySpec,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+
+__all__ = [
+    "RoadClass",
+    "RoadNetwork",
+    "manhattan_city",
+    "random_network",
+    "shortest_path",
+    "path_length",
+    "MovingObjectSimulator",
+    "ObjectReport",
+    "QuerySpec",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+]

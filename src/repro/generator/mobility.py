@@ -1,0 +1,316 @@
+"""Per-tick simulation of objects moving on a road network.
+
+Each simulated object follows a route of network nodes at the speed of
+the road it is currently on (with a per-object jitter factor, standing in
+for Brinkhoff's object classes).  On reaching its destination it picks a
+new one and re-routes.  Every :meth:`MovingObjectSimulator.tick` advances
+simulated time and returns the location reports the server receives —
+optionally from only a *fraction* of the moved objects, which is exactly
+the "update rate for objects (%)" axis of the paper's Figure 5(a).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.geometry import Point, Velocity
+from repro.generator.paths import shortest_path
+from repro.generator.roadnet import RoadEdge, RoadNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectReport:
+    """One location update as received by the location-aware server."""
+
+    oid: int
+    location: Point
+    velocity: Velocity
+    t: float
+
+
+@dataclass(slots=True)
+class _ObjectState:
+    """Private per-object simulation state."""
+
+    route: list[int]  # remaining node ids, route[0] = edge start
+    edge: RoadEdge  # edge currently being traversed (route[0] -> route[1])
+    progress: float  # distance covered along the current edge
+    speed_factor: float  # per-object multiplier on road-class speed
+    location: Point
+    velocity: Velocity
+    moved: bool = False  # did the object move since its last report?
+    routes_completed: int = 0  # full routes finished (lifecycle)
+
+
+class MovingObjectSimulator:
+    """Moves ``object_count`` objects over ``net`` and streams reports.
+
+    ``route_mode`` selects how new destinations are reached:
+
+    * ``"shortest"`` — Dijkstra shortest-time path to a random node
+      (Brinkhoff's behaviour); routes are memoised per (source, target).
+    * ``"walk"`` — a non-backtracking random walk; O(1) per re-route and
+      statistically similar traffic for throughput-oriented benchmarks.
+    """
+
+    def __init__(
+        self,
+        net: RoadNetwork,
+        object_count: int,
+        seed: int = 0,
+        speed_jitter: float = 0.3,
+        route_mode: str = "shortest",
+        walk_length: int = 24,
+        routes_per_life: int | None = None,
+        arrivals_per_tick: int = 0,
+        congestion_alpha: float = 0.0,
+        edge_capacity: int = 10,
+    ):
+        """Beyond the basics, three Brinkhoff-generator behaviours:
+
+        * ``routes_per_life`` — an object retires after completing that
+          many routes (Brinkhoff's external objects leaving the map);
+          retired ids land in :attr:`departed` for the tick.
+        * ``arrivals_per_tick`` — new objects enter the map each tick
+          with fresh ids.
+        * ``congestion_alpha`` / ``edge_capacity`` — effective speed on
+          an edge is ``base / (1 + alpha * occupancy / capacity)``, the
+          generator's load-dependent speed reduction.
+        """
+        if object_count <= 0:
+            raise ValueError(f"object_count must be positive, got {object_count}")
+        if not 0.0 <= speed_jitter < 1.0:
+            raise ValueError(f"speed_jitter must be in [0, 1), got {speed_jitter}")
+        if route_mode not in ("shortest", "walk"):
+            raise ValueError(f"unknown route_mode {route_mode!r}")
+        if routes_per_life is not None and routes_per_life <= 0:
+            raise ValueError(
+                f"routes_per_life must be positive, got {routes_per_life}"
+            )
+        if arrivals_per_tick < 0:
+            raise ValueError(
+                f"arrivals_per_tick must be >= 0, got {arrivals_per_tick}"
+            )
+        if congestion_alpha < 0:
+            raise ValueError(
+                f"congestion_alpha must be >= 0, got {congestion_alpha}"
+            )
+        if edge_capacity <= 0:
+            raise ValueError(f"edge_capacity must be positive, got {edge_capacity}")
+        if not net.is_connected():
+            raise ValueError("road network must be connected for routing")
+        self.net = net
+        self.route_mode = route_mode
+        self.walk_length = walk_length
+        self.routes_per_life = routes_per_life
+        self.arrivals_per_tick = arrivals_per_tick
+        self.congestion_alpha = congestion_alpha
+        self.edge_capacity = edge_capacity
+        self.now = 0.0
+        self.departed: list[int] = []
+        self._speed_jitter = speed_jitter
+        self._rng = random.Random(seed)
+        self._node_ids = list(net.nodes)
+        self._route_cache: dict[tuple[int, int], list[int]] = {}
+        self._objects: dict[int, _ObjectState] = {}
+        self._edge_load: dict[RoadEdge, int] = {}
+        self._next_oid = 0
+        for __ in range(object_count):
+            self._admit()
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+
+    @property
+    def object_ids(self) -> list[int]:
+        return list(self._objects)
+
+    def position_of(self, oid: int) -> Point:
+        return self._objects[oid].location
+
+    def velocity_of(self, oid: int) -> Velocity:
+        return self._objects[oid].velocity
+
+    def positions(self) -> dict[int, Point]:
+        """A snapshot of every object's current location."""
+        return {oid: state.location for oid, state in self._objects.items()}
+
+    def initial_reports(self) -> list[ObjectReport]:
+        """Reports announcing every object's starting location at t=now."""
+        return [
+            ObjectReport(oid, state.location, state.velocity, self.now)
+            for oid, state in self._objects.items()
+        ]
+
+    def tick(
+        self, dt: float, report_fraction: float = 1.0
+    ) -> list[ObjectReport]:
+        """Advance all objects by ``dt`` seconds and collect reports.
+
+        ``report_fraction`` limits reporting to a random subset of the
+        objects that moved (cheap GPS devices do not all phone home every
+        period).  An object that skips a report stays *moved* and remains
+        eligible next tick, so no movement is silently lost.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        if not 0.0 <= report_fraction <= 1.0:
+            raise ValueError(
+                f"report_fraction must be in [0, 1], got {report_fraction}"
+            )
+        self.now += dt
+        self.departed = []
+        for oid, state in list(self._objects.items()):
+            if self._advance(state, dt):
+                del self._objects[oid]
+                self.departed.append(oid)
+        for __ in range(self.arrivals_per_tick):
+            self._admit()
+
+        reports: list[ObjectReport] = []
+        for oid, state in self._objects.items():
+            if not state.moved:
+                continue
+            if report_fraction < 1.0 and self._rng.random() > report_fraction:
+                continue
+            state.moved = False
+            reports.append(
+                ObjectReport(oid, state.location, state.velocity, self.now)
+            )
+        return reports
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _admit(self) -> int:
+        """Introduce a new object with a fresh id; reports on next tick."""
+        oid = self._next_oid
+        self._next_oid += 1
+        self._objects[oid] = self._spawn()
+        return oid
+
+    def _spawn(self) -> _ObjectState:
+        start = self._rng.choice(self._node_ids)
+        route = self._fresh_route(start)
+        edge = self._edge_on_route(route)
+        jitter = self._speed_jitter
+        factor = 1.0 + self._rng.uniform(-jitter, jitter)
+        state = _ObjectState(
+            route=route,
+            edge=edge,
+            progress=self._rng.random() * edge.length,
+            speed_factor=factor,
+            location=Point(0.0, 0.0),
+            velocity=Velocity.ZERO,
+            moved=True,  # a newborn announces itself on its first tick
+        )
+        self._enter_edge(edge)
+        self._refresh_pose(state)
+        return state
+
+    # -- congestion bookkeeping ----------------------------------------
+
+    def _enter_edge(self, edge: RoadEdge) -> None:
+        self._edge_load[edge] = self._edge_load.get(edge, 0) + 1
+
+    def _leave_edge(self, edge: RoadEdge) -> None:
+        remaining = self._edge_load.get(edge, 0) - 1
+        if remaining <= 0:
+            self._edge_load.pop(edge, None)
+        else:
+            self._edge_load[edge] = remaining
+
+    def edge_occupancy(self, edge: RoadEdge) -> int:
+        """How many objects currently travel ``edge`` (either direction)."""
+        return self._edge_load.get(edge, 0)
+
+    def _effective_speed(self, state: _ObjectState) -> float:
+        """Road-class speed, jittered, slowed by edge congestion."""
+        speed = state.edge.road_class.speed * state.speed_factor
+        if self.congestion_alpha > 0:
+            load = self._edge_load.get(state.edge, 0)
+            speed /= 1.0 + self.congestion_alpha * load / self.edge_capacity
+        return speed
+
+    def _fresh_route(self, start: int) -> list[int]:
+        """A new route of at least two nodes beginning at ``start``."""
+        if self.route_mode == "walk":
+            return self._random_walk(start)
+        while True:
+            target = self._rng.choice(self._node_ids)
+            if target == start:
+                continue
+            key = (start, target)
+            route = self._route_cache.get(key)
+            if route is None:
+                route = shortest_path(self.net, start, target)
+                assert route is not None  # network is connected
+                self._route_cache[key] = route
+            return list(route)
+
+    def _random_walk(self, start: int) -> list[int]:
+        route = [start]
+        previous = None
+        for __ in range(self.walk_length):
+            edges = self.net.edges_from(route[-1])
+            choices = [e for e in edges if e.other_end(route[-1]) != previous]
+            edge = self._rng.choice(choices or edges)
+            previous = route[-1]
+            route.append(edge.other_end(previous))
+        return route
+
+    def _edge_on_route(self, route: list[int]) -> RoadEdge:
+        for edge in self.net.edges_from(route[0]):
+            if edge.other_end(route[0]) == route[1]:
+                return edge
+        raise ValueError(f"route hop {route[0]}->{route[1]} has no edge")
+
+    def _advance(self, state: _ObjectState, dt: float) -> bool:
+        """Move one object for ``dt`` seconds; True means it retired."""
+        remaining = dt
+        while remaining > 0:
+            speed = self._effective_speed(state)
+            to_edge_end = state.edge.length - state.progress
+            time_to_end = to_edge_end / speed
+            if time_to_end > remaining:
+                state.progress += speed * remaining
+                remaining = 0.0
+            else:
+                remaining -= time_to_end
+                state.route.pop(0)
+                self._leave_edge(state.edge)
+                if len(state.route) < 2:
+                    state.routes_completed += 1
+                    if (
+                        self.routes_per_life is not None
+                        and state.routes_completed >= self.routes_per_life
+                    ):
+                        return True
+                    state.route = self._fresh_route(state.route[0])
+                state.edge = self._edge_on_route(state.route)
+                state.progress = 0.0
+                self._enter_edge(state.edge)
+        self._refresh_pose(state)
+        state.moved = True
+        return False
+
+    def _refresh_pose(self, state: _ObjectState) -> None:
+        """Recompute location and velocity from route-relative progress."""
+        start = self.net.nodes[state.route[0]]
+        end = self.net.nodes[state.route[1]]
+        fraction = (
+            state.progress / state.edge.length if state.edge.length > 0 else 0.0
+        )
+        state.location = Point(
+            start.x + (end.x - start.x) * fraction,
+            start.y + (end.y - start.y) * fraction,
+        )
+        heading = math.atan2(end.y - start.y, end.x - start.x)
+        speed = self._effective_speed(state)
+        state.velocity = Velocity(
+            speed * math.cos(heading), speed * math.sin(heading)
+        )

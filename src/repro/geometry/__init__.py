@@ -1,0 +1,28 @@
+"""Geometry kernel for the spatio-temporal query processor.
+
+Every other subsystem (grid index, R-tree, spatial joins, the incremental
+engine itself) is written against this small kernel: immutable points,
+axis-aligned rectangles, circles, line segments, velocity vectors, and
+time-parameterised linear motion.
+
+The kernel is deliberately dependency-free and numerically conservative:
+all predicates treat boundaries as *inclusive* (an object sitting exactly
+on the edge of a range query satisfies it), matching the semantics used in
+the paper's worked examples.
+"""
+
+from repro.geometry.point import Point, Velocity
+from repro.geometry.rect import Rect
+from repro.geometry.circle import Circle
+from repro.geometry.segment import Segment
+from repro.geometry.motion import LinearMotion, time_interval_in_rect
+
+__all__ = [
+    "Point",
+    "Velocity",
+    "Rect",
+    "Circle",
+    "Segment",
+    "LinearMotion",
+    "time_interval_in_rect",
+]

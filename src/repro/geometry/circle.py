@@ -1,0 +1,69 @@
+"""Circles.
+
+The paper stores a continuous k-NN query in the shared grid "by
+considering the query region as the smallest circular region that
+contains the k nearest objects" — so circles are a first-class region
+type alongside rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A closed disc with the given ``center`` and ``radius``."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"negative radius: {self.radius}")
+
+    def contains_point(self, p: Point) -> bool:
+        """Whether ``p`` lies inside or on the circle boundary."""
+        return self.center.squared_distance_to(p) <= self.radius * self.radius
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Whether the disc and the rectangle share at least one point."""
+        return rect.min_distance_to_point(self.center) <= self.radius
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """Whether the rectangle lies entirely inside the disc."""
+        return rect.max_distance_to_point(self.center) <= self.radius
+
+    def intersects_circle(self, other: "Circle") -> bool:
+        """Whether the two discs overlap (boundary contact counts)."""
+        limit = self.radius + other.radius
+        return self.center.squared_distance_to(other.center) <= limit * limit
+
+    def bounding_rect(self) -> Rect:
+        """The minimum bounding rectangle of the disc.
+
+        Used to clip a k-NN query's circular region onto grid cells, the
+        same way rectangular query regions are clipped.
+        """
+        return Rect(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+    def with_radius(self, radius: float) -> "Circle":
+        """A circle with the same center and a new radius.
+
+        k-NN maintenance grows and shrinks the circular region as the
+        k-th nearest neighbour changes; the center only moves when the
+        querying client itself moves.
+        """
+        return Circle(self.center, radius)
+
+    def with_center(self, center: Point) -> "Circle":
+        """A circle with the same radius and a new center."""
+        return Circle(center, self.radius)

@@ -1,0 +1,79 @@
+"""Time-parameterised linear motion.
+
+A predictive object reports a location ``origin`` at time ``t0`` and a
+velocity vector; its predicted position at time ``t >= t0`` is
+``origin + velocity * (t - t0)``.  Predictive range queries ask whether
+that trajectory enters a rectangle within some future window — the core
+geometric primitive behind the paper's Example III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point, Velocity
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+
+@dataclass(frozen=True, slots=True)
+class LinearMotion:
+    """A point moving with constant velocity from ``origin`` at ``t0``."""
+
+    origin: Point
+    velocity: Velocity
+    t0: float = 0.0
+
+    def position_at(self, t: float) -> Point:
+        """The (extrapolated) position at absolute time ``t``."""
+        return self.velocity.displace(self.origin, t - self.t0)
+
+    def segment_until(self, t_end: float) -> Segment:
+        """The swept segment from ``t0`` to ``t_end``.
+
+        This is the "line representation" the paper joins against
+        predictive query rectangles.
+        """
+        if t_end < self.t0:
+            raise ValueError(f"t_end {t_end} precedes t0 {self.t0}")
+        return Segment(self.origin, self.position_at(t_end))
+
+    def bounding_rect_until(self, t_end: float) -> Rect:
+        """MBR of the trajectory over ``[t0, t_end]`` (for grid clipping)."""
+        return self.segment_until(t_end).bounding_rect()
+
+    def time_in_rect(
+        self, rect: Rect, t_start: float, t_end: float
+    ) -> tuple[float, float] | None:
+        """The absolute time interval the moving point spends inside ``rect``
+        within the window ``[t_start, t_end]``, or ``None`` if it never
+        enters.  ``t_start`` may not precede the report time ``t0``.
+        """
+        return time_interval_in_rect(self, rect, t_start, t_end)
+
+
+def time_interval_in_rect(
+    motion: LinearMotion, rect: Rect, t_start: float, t_end: float
+) -> tuple[float, float] | None:
+    """When does ``motion`` pass through ``rect`` during ``[t_start, t_end]``?
+
+    Returns the (clamped) absolute time interval, or ``None``.  A
+    stationary motion is inside the rectangle either for the whole window
+    or never.
+    """
+    if t_start > t_end:
+        raise ValueError(f"empty window [{t_start}, {t_end}]")
+    if t_start < motion.t0:
+        raise ValueError(
+            f"window starts at {t_start}, before report time {motion.t0}"
+        )
+    if motion.velocity.is_zero():
+        if rect.contains_point(motion.origin):
+            return (t_start, t_end)
+        return None
+    segment = Segment(motion.position_at(t_start), motion.position_at(t_end))
+    params = segment.clip_parameters(rect)
+    if params is None:
+        return None
+    span = t_end - t_start
+    return (t_start + params[0] * span, t_start + params[1] * span)

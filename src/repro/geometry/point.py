@@ -1,0 +1,76 @@
+"""Points and velocity vectors in the 2-D plane."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the plane.
+
+    Points are the unit of location information: every object location
+    report, every query anchor and every grid-cell computation starts from
+    a ``Point``.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt in hot loops)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point offset by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The midpoint between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The point as an ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True, slots=True)
+class Velocity:
+    """A velocity vector in space units per time unit.
+
+    Predictive objects and predictive queries report a ``Velocity``
+    alongside their current location; the engine extrapolates their future
+    positions linearly from it.
+    """
+
+    vx: float
+    vy: float
+
+    @property
+    def speed(self) -> float:
+        """Scalar speed (magnitude of the vector)."""
+        return math.hypot(self.vx, self.vy)
+
+    def is_zero(self) -> bool:
+        """Whether this velocity represents a stationary object."""
+        return self.vx == 0.0 and self.vy == 0.0
+
+    def scaled(self, factor: float) -> "Velocity":
+        """A new velocity scaled by ``factor``."""
+        return Velocity(self.vx * factor, self.vy * factor)
+
+    def displace(self, origin: Point, dt: float) -> Point:
+        """Where a point starting at ``origin`` lands after ``dt`` time."""
+        return Point(origin.x + self.vx * dt, origin.y + self.vy * dt)
+
+
+# A shared zero-velocity constant: stationary objects carry this rather
+# than ``None`` so motion code never needs a null check.
+Velocity.ZERO = Velocity(0.0, 0.0)

@@ -1,0 +1,101 @@
+"""Line segments.
+
+Predictive objects are represented in the grid by "the lines
+representation of the moving objects" (paper, Example III): the segment a
+predictive object sweeps over the prediction horizon.  Segments also back
+the road-network edges in the workload generator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A directed line segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        return self.start.distance_to(self.end)
+
+    def point_at(self, fraction: float) -> Point:
+        """The point a given ``fraction`` (0..1) of the way along."""
+        return Point(
+            self.start.x + (self.end.x - self.start.x) * fraction,
+            self.start.y + (self.end.y - self.start.y) * fraction,
+        )
+
+    def bounding_rect(self) -> Rect:
+        """The minimum bounding rectangle of the segment."""
+        return Rect.from_points(self.start, self.end)
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Whether any point of the segment lies inside ``rect``.
+
+        Uses Liang–Barsky parametric clipping: the segment is
+        ``start + t * d`` for ``t`` in [0, 1]; each rectangle edge clips
+        the feasible ``t`` interval and the segment intersects iff the
+        interval stays non-empty.
+        """
+        return self.clip_parameters(rect) is not None
+
+    def clip_parameters(self, rect: Rect) -> tuple[float, float] | None:
+        """The parameter interval ``[t0, t1]`` of the segment inside ``rect``.
+
+        Returns ``None`` if the segment misses the rectangle entirely.
+        ``t`` is the fraction along the segment, so this doubles as a
+        *time interval* for a point moving linearly along the segment —
+        exactly what predictive range evaluation needs.
+        """
+        dx = self.end.x - self.start.x
+        dy = self.end.y - self.start.y
+        t0, t1 = 0.0, 1.0
+        for p, q in (
+            (-dx, self.start.x - rect.min_x),
+            (dx, rect.max_x - self.start.x),
+            (-dy, self.start.y - rect.min_y),
+            (dy, rect.max_y - self.start.y),
+        ):
+            if p == 0.0:
+                # Segment parallel to this pair of edges: reject if it
+                # lies outside the slab, otherwise this edge pair does
+                # not constrain t.
+                if q < 0.0:
+                    return None
+                continue
+            r = q / p
+            if p < 0.0:
+                if r > t1:
+                    return None
+                if r > t0:
+                    t0 = r
+            else:
+                if r < t0:
+                    return None
+                if r < t1:
+                    t1 = r
+        return (t0, t1)
+
+    def distance_to_point(self, p: Point) -> float:
+        """Minimum distance from ``p`` to any point of the segment."""
+        dx = self.end.x - self.start.x
+        dy = self.end.y - self.start.y
+        len_sq = dx * dx + dy * dy
+        if len_sq == 0.0:
+            return self.start.distance_to(p)
+        t = ((p.x - self.start.x) * dx + (p.y - self.start.y) * dy) / len_sq
+        t = max(0.0, min(1.0, t))
+        nearest = Point(self.start.x + t * dx, self.start.y + t * dy)
+        return nearest.distance_to(p)
+
+    def heading(self) -> float:
+        """The direction of travel in radians (atan2 convention)."""
+        return math.atan2(self.end.y - self.start.y, self.end.x - self.start.x)

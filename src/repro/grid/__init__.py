@@ -1,0 +1,20 @@
+"""Uniform grid index holding both objects and queries.
+
+The paper's framework hinges on one data structure: a simple grid that
+divides space evenly into ``N x N`` equal cells and stores *objects and
+queries side by side*.  Point objects map to exactly one cell; query
+regions (and predictive trajectories) are clipped to every cell they
+overlap.  Shared query evaluation is then a per-cell join between the two
+populations.
+
+``Grid`` captures the pure geometry of the partitioning; ``GridIndex``
+adds the mutable cell buckets plus the auxiliary identifier indexes the
+paper requires for looking up old locations ("the object index and the
+query index ... are used to provide the ability for searching the old
+locations of moving objects and queries given their identifiers").
+"""
+
+from repro.grid.partition import Grid
+from repro.grid.index import CellBucket, GridIndex
+
+__all__ = ["Grid", "GridIndex", "CellBucket"]

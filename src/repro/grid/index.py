@@ -1,0 +1,198 @@
+"""Mutable grid index over objects and queries.
+
+One :class:`GridIndex` instance is the heart of the location-aware
+server: it holds, per cell, the identifiers of the objects located in the
+cell and of the queries whose region overlaps the cell.  Auxiliary hash
+indexes map each identifier back to its current cell set, which is what
+lets an update locate (and clear) the *old* position without a spatial
+search — the role the paper assigns to its "object index" and "query
+index" (compare the LUR-tree's linked list and the FUR-tree's hash
+table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Rect
+from repro.grid.partition import Grid
+
+
+@dataclass(slots=True)
+class CellBucket:
+    """The contents of one grid cell: resident objects and overlapping queries."""
+
+    objects: set[int] = field(default_factory=set)
+    queries: set[int] = field(default_factory=set)
+
+    def is_empty(self) -> bool:
+        return not self.objects and not self.queries
+
+
+class GridIndex:
+    """Cell buckets plus identifier->cells auxiliary indexes.
+
+    The index is intentionally ignorant of object/query *state* (answer
+    lists, regions, timestamps live in the engine); it deals purely in
+    identifiers and cell memberships, which keeps re-indexing on updates
+    cheap and keeps a single source of truth for each piece of state.
+    """
+
+    def __init__(self, grid: Grid):
+        self.grid = grid
+        self._cells: dict[int, CellBucket] = {}
+        self._object_cells: dict[int, frozenset[int]] = {}
+        self._query_cells: dict[int, frozenset[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def object_count(self) -> int:
+        return len(self._object_cells)
+
+    @property
+    def query_count(self) -> int:
+        return len(self._query_cells)
+
+    @property
+    def populated_cell_count(self) -> int:
+        return len(self._cells)
+
+    def contains_object(self, oid: int) -> bool:
+        return oid in self._object_cells
+
+    def contains_query(self, qid: int) -> bool:
+        return qid in self._query_cells
+
+    def object_cells(self, oid: int) -> frozenset[int]:
+        """The cells currently holding object ``oid``."""
+        return self._object_cells[oid]
+
+    def query_cells(self, qid: int) -> frozenset[int]:
+        """The cells currently overlapped by query ``qid``."""
+        return self._query_cells[qid]
+
+    def bucket(self, cell: int) -> CellBucket | None:
+        """The bucket for ``cell``, or ``None`` when the cell is empty."""
+        return self._cells.get(cell)
+
+    # ------------------------------------------------------------------
+    # Object side
+    # ------------------------------------------------------------------
+
+    def place_object(self, oid: int, cells: frozenset[int]) -> None:
+        """Insert or move object ``oid`` so it occupies exactly ``cells``.
+
+        A plain moving object occupies one cell (its location's home
+        cell); a predictive object occupies every cell its trajectory MBR
+        overlaps.
+        """
+        if not cells:
+            raise ValueError(f"object {oid} must occupy at least one cell")
+        old = self._object_cells.get(oid, frozenset())
+        for cell in old - cells:
+            self._remove_member(cell, oid, is_query=False)
+        for cell in cells - old:
+            self._cells.setdefault(cell, CellBucket()).objects.add(oid)
+        self._object_cells[oid] = cells
+
+    def place_object_at(self, oid: int, location: Point) -> None:
+        """Convenience: place a point object at ``location``."""
+        self.place_object(oid, frozenset((self.grid.cell_of(location),)))
+
+    def remove_object(self, oid: int) -> None:
+        """Remove object ``oid`` entirely (no-op details raise KeyError)."""
+        for cell in self._object_cells.pop(oid):
+            self._remove_member(cell, oid, is_query=False)
+
+    # ------------------------------------------------------------------
+    # Query side
+    # ------------------------------------------------------------------
+
+    def place_query(self, qid: int, cells: frozenset[int]) -> None:
+        """Insert or move query ``qid`` so it overlaps exactly ``cells``."""
+        if not cells:
+            raise ValueError(f"query {qid} must overlap at least one cell")
+        old = self._query_cells.get(qid, frozenset())
+        for cell in old - cells:
+            self._remove_member(cell, qid, is_query=True)
+        for cell in cells - old:
+            self._cells.setdefault(cell, CellBucket()).queries.add(qid)
+        self._query_cells[qid] = cells
+
+    def place_query_region(self, qid: int, region: Rect) -> None:
+        """Convenience: clip a rectangular query region onto the grid.
+
+        A region that has drifted entirely outside the world still needs
+        a home (moving queries follow their clients off the map edge);
+        it is clamped to the cell nearest its center.
+        """
+        cells = self.grid.cells_overlapping_set(region)
+        if not cells:
+            cells = frozenset((self.grid.cell_of(region.center),))
+        self.place_query(qid, cells)
+
+    def remove_query(self, qid: int) -> None:
+        """Remove query ``qid`` entirely."""
+        for cell in self._query_cells.pop(qid):
+            self._remove_member(cell, qid, is_query=True)
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def objects_in_cell(self, cell: int) -> frozenset[int]:
+        bucket = self._cells.get(cell)
+        return frozenset(bucket.objects) if bucket else frozenset()
+
+    def queries_in_cell(self, cell: int) -> frozenset[int]:
+        bucket = self._cells.get(cell)
+        return frozenset(bucket.queries) if bucket else frozenset()
+
+    def objects_overlapping(self, rect: Rect) -> set[int]:
+        """Candidate objects: all objects registered in cells touching ``rect``.
+
+        Candidates still need an exact geometric check by the caller —
+        a cell may extend well beyond ``rect``.
+        """
+        found: set[int] = set()
+        for cell in self.grid.cells_overlapping(rect):
+            bucket = self._cells.get(cell)
+            if bucket:
+                found.update(bucket.objects)
+        return found
+
+    def queries_overlapping(self, rect: Rect) -> set[int]:
+        """Candidate queries whose clipped cells touch ``rect``."""
+        found: set[int] = set()
+        for cell in self.grid.cells_overlapping(rect):
+            bucket = self._cells.get(cell)
+            if bucket:
+                found.update(bucket.queries)
+        return found
+
+    def queries_colocated_with_object(self, oid: int) -> set[int]:
+        """Queries sharing at least one cell with object ``oid``.
+
+        These are exactly the paper's "candidate queries that can
+        intersect with the new location of O".
+        """
+        found: set[int] = set()
+        for cell in self._object_cells[oid]:
+            bucket = self._cells.get(cell)
+            if bucket:
+                found.update(bucket.queries)
+        return found
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _remove_member(self, cell: int, ident: int, is_query: bool) -> None:
+        bucket = self._cells[cell]
+        (bucket.queries if is_query else bucket.objects).discard(ident)
+        if bucket.is_empty():
+            # Reclaim empty buckets so a sparse world stays sparse.
+            del self._cells[cell]

@@ -1,0 +1,35 @@
+"""Historical ("past") query processing.
+
+The paper's scope statement: "a range query may ask about the past,
+present, or the future."  Present and future queries live in
+:mod:`repro.core`; this package serves the *past*, over the locations
+the PLACE repository server persisted ("once a moving object or query
+sends new information, the old information becomes persistent and is
+stored in a repository server").
+
+Components:
+
+* :class:`TemporalGridIndex` — a (time-bucket x grid-cell) index over
+  archived location records, kept in memory beside the durable heap
+  file, the same way the repository's per-object index is.
+* :class:`HistoryStore` — a :class:`~repro.storage.HistoryRepository`
+  wired to the temporal index; the server can use it as a drop-in
+  history sink.
+* :class:`HistoricalQueryEngine` — past range queries ("who was in this
+  area between t0 and t1"), trajectory reconstruction, position
+  interpolation at an arbitrary past instant, and past k-NN queries.
+"""
+
+from repro.history.temporal_index import TemporalGridIndex
+from repro.history.store import HistoryStore
+from repro.history.queries import HistoricalQueryEngine, PastVisit
+from repro.history.compression import douglas_peucker, simplify_trajectory
+
+__all__ = [
+    "TemporalGridIndex",
+    "HistoryStore",
+    "HistoricalQueryEngine",
+    "PastVisit",
+    "douglas_peucker",
+    "simplify_trajectory",
+]

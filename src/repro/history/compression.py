@@ -1,0 +1,65 @@
+"""Trajectory compression for the location archive.
+
+A repository that persists every superseded report grows linearly with
+update traffic, but most samples of a road-bound trajectory are
+redundant — the vehicle was simply driving straight.  The classic
+Douglas-Peucker algorithm keeps exactly the samples needed to stay
+within a spatial error bound, which is how archived trajectories are
+compacted before long-term storage.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point, Segment
+from repro.storage.records import LocationRecord
+
+
+def douglas_peucker(
+    points: list[Point], tolerance: float
+) -> list[int]:
+    """Indices of the points kept by Douglas-Peucker simplification.
+
+    The first and last points are always kept; between them, the point
+    farthest from the current chord is kept (and recursed on) whenever
+    its distance exceeds ``tolerance``.  Returned indices are ascending.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    if len(points) <= 2:
+        return list(range(len(points)))
+    keep = {0, len(points) - 1}
+    stack = [(0, len(points) - 1)]
+    while stack:
+        start, end = stack.pop()
+        if end - start < 2:
+            continue
+        chord = Segment(points[start], points[end])
+        worst_index, worst_distance = start, -1.0
+        for i in range(start + 1, end):
+            distance = chord.distance_to_point(points[i])
+            if distance > worst_distance:
+                worst_index, worst_distance = i, distance
+        if worst_distance > tolerance:
+            keep.add(worst_index)
+            stack.append((start, worst_index))
+            stack.append((worst_index, end))
+    return sorted(keep)
+
+
+def simplify_trajectory(
+    records: list[LocationRecord], tolerance: float
+) -> list[LocationRecord]:
+    """A subsequence of ``records`` within ``tolerance`` of the original.
+
+    Every dropped sample lies within ``tolerance`` (Euclidean, in world
+    units) of the chord between its surviving neighbours, so replaying
+    the simplified trajectory reproduces the original path to within
+    the bound.  Timestamps are untouched: the survivors keep theirs.
+    """
+    kept = douglas_peucker([rec.location for rec in records], tolerance)
+    return [records[i] for i in kept]
+
+
+def compression_ratio(original: int, simplified: int) -> float:
+    """Kept fraction (1.0 = nothing removed); 0/0 counts as 1.0."""
+    return simplified / original if original else 1.0

@@ -1,0 +1,128 @@
+"""Past (historical) queries over the archived location stream.
+
+These are snapshot queries, not continuous ones: "who was inside this
+region between 10:00 and 10:05", "where was object 7 at 10:02", "which
+three objects were nearest the incident site at 10:02".  They read only
+the repository — the live engine's current answer sets are out of
+scope by definition (a location is archived when it is *superseded*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point, Rect
+from repro.history.store import HistoryStore
+from repro.storage.records import LocationRecord
+
+
+@dataclass(frozen=True, slots=True)
+class PastVisit:
+    """One archived sighting matching a past range query."""
+
+    oid: int
+    location: Point
+    t: float
+
+
+class HistoricalQueryEngine:
+    """Past range / trajectory / position / k-NN queries over a store."""
+
+    def __init__(self, store: HistoryStore):
+        self.store = store
+
+    # ------------------------------------------------------------------
+    # Range
+    # ------------------------------------------------------------------
+
+    def past_range(
+        self, region: Rect, t_start: float, t_end: float
+    ) -> list[PastVisit]:
+        """All archived sightings inside ``region`` during the interval.
+
+        Sorted by (t, oid) — the order an investigator replays them in.
+        """
+        visits = []
+        for rid in self.store.temporal.candidates(region, t_start, t_end):
+            record = self.store.read_record(rid)
+            if t_start <= record.t <= t_end and region.contains_point(
+                record.location
+            ):
+                visits.append(PastVisit(record.oid, record.location, record.t))
+        visits.sort(key=lambda v: (v.t, v.oid))
+        return visits
+
+    def objects_seen_in(
+        self, region: Rect, t_start: float, t_end: float
+    ) -> set[int]:
+        """The distinct objects sighted in ``region`` during the interval."""
+        return {visit.oid for visit in self.past_range(region, t_start, t_end)}
+
+    # ------------------------------------------------------------------
+    # Trajectories
+    # ------------------------------------------------------------------
+
+    def trajectory_between(
+        self, oid: int, t_start: float, t_end: float
+    ) -> list[LocationRecord]:
+        """The archived samples of ``oid`` within the interval, in order."""
+        if t_start > t_end:
+            raise ValueError(f"empty time interval [{t_start}, {t_end}]")
+        return [
+            record
+            for record in self.store.history_of(oid)
+            if t_start <= record.t <= t_end
+        ]
+
+    def position_at(self, oid: int, t: float) -> Point | None:
+        """The interpolated position of ``oid`` at past instant ``t``.
+
+        Linear interpolation between the two archived samples bracketing
+        ``t``; ``None`` when ``t`` falls outside the archived span (the
+        archive cannot speak for the present or the pre-history).
+        """
+        samples = self.store.history_of(oid)
+        if not samples:
+            return None
+        if t < samples[0].t or t > samples[-1].t:
+            return None
+        previous = samples[0]
+        for sample in samples[1:]:
+            if sample.t >= t:
+                span = sample.t - previous.t
+                if span == 0:
+                    return sample.location
+                fraction = (t - previous.t) / span
+                return Point(
+                    previous.location.x
+                    + (sample.location.x - previous.location.x) * fraction,
+                    previous.location.y
+                    + (sample.location.y - previous.location.y) * fraction,
+                )
+            previous = sample
+        return samples[-1].location
+
+    # ------------------------------------------------------------------
+    # k-NN
+    # ------------------------------------------------------------------
+
+    def knn_at(
+        self, center: Point, k: int, t: float
+    ) -> list[tuple[float, int]]:
+        """The k objects nearest ``center`` at past instant ``t``.
+
+        Every tracked object whose archived samples bracket ``t``
+        contributes its interpolated position; objects whose archive
+        does not cover ``t`` are excluded (we refuse to guess).  Sorted
+        ascending by (distance, oid); fewer than ``k`` entries when
+        history is thin.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        ranked = []
+        for oid in self.store.tracked_objects():
+            position = self.position_at(oid, t)
+            if position is not None:
+                ranked.append((position.distance_to(center), oid))
+        ranked.sort()
+        return ranked[:k]

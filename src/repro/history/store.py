@@ -1,0 +1,45 @@
+"""The repository wired to a temporal index."""
+
+from __future__ import annotations
+
+from repro.grid import Grid
+from repro.storage.bufferpool import BufferPool
+from repro.storage.heapfile import RecordId
+from repro.storage.records import LocationRecord
+from repro.storage.repository import HistoryRepository
+
+
+class HistoryStore(HistoryRepository):
+    """A :class:`HistoryRepository` that also maintains a
+    :class:`~repro.history.temporal_index.TemporalGridIndex`.
+
+    Drop-in replacement for the plain repository wherever the server
+    takes a ``history=`` argument; past queries then run against the
+    same store the server archives into.
+    """
+
+    def __init__(
+        self, pool: BufferPool, grid: Grid, bucket_seconds: float = 60.0
+    ):
+        super().__init__(pool)
+        # Imported here to keep the storage package free of history deps.
+        from repro.history.temporal_index import TemporalGridIndex
+
+        self.temporal = TemporalGridIndex(grid, bucket_seconds)
+
+    def append(self, record: LocationRecord) -> RecordId:
+        rid = super().append(record)
+        self.temporal.add(rid, record.location, record.t)
+        return rid
+
+    def rebuild_index(self) -> None:
+        """Rebuild both volatile indexes from the durable heap file."""
+        super().rebuild_index()
+        self.temporal.clear()
+        for rid, payload in self._file.scan():
+            record = LocationRecord.unpack(payload)
+            self.temporal.add(rid, record.location, record.t)
+
+    def read_record(self, rid: RecordId) -> LocationRecord:
+        """Decode one archived record by id (used by past queries)."""
+        return LocationRecord.unpack(self._file.read(rid))

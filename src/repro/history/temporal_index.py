@@ -1,0 +1,106 @@
+"""A (time bucket x grid cell) index over archived location records."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterator
+
+from repro.geometry import Point, Rect
+from repro.grid import Grid
+from repro.storage.heapfile import RecordId
+
+
+class TemporalGridIndex:
+    """Maps ``(time_bucket, cell) -> record ids`` for past-query pruning.
+
+    Time is partitioned into fixed-width buckets; space reuses the same
+    uniform grid the live engine uses.  A past range query touches only
+    the buckets overlapping its time interval and the cells overlapping
+    its region — everything else is never read from the heap file.
+    """
+
+    def __init__(self, grid: Grid, bucket_seconds: float = 60.0):
+        if bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket_seconds must be positive, got {bucket_seconds}"
+            )
+        self.grid = grid
+        self.bucket_seconds = bucket_seconds
+        self._buckets: dict[tuple[int, int], list[RecordId]] = defaultdict(list)
+        self._time_range: tuple[float, float] | None = None
+        self._entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def bucket_of(self, t: float) -> int:
+        return int(t // self.bucket_seconds)
+
+    def add(self, rid: RecordId, location: Point, t: float) -> None:
+        """Index one archived record."""
+        key = (self.bucket_of(t), self.grid.cell_of(location))
+        self._buckets[key].append(rid)
+        self._entry_count += 1
+        if self._time_range is None:
+            self._time_range = (t, t)
+        else:
+            lo, hi = self._time_range
+            self._time_range = (min(lo, t), max(hi, t))
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._time_range = None
+        self._entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return self._entry_count
+
+    @property
+    def time_range(self) -> tuple[float, float] | None:
+        """(earliest, latest) archived timestamp, or None when empty."""
+        return self._time_range
+
+    @property
+    def populated_bucket_count(self) -> int:
+        return len(self._buckets)
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def candidates(
+        self, region: Rect, t_start: float, t_end: float
+    ) -> Iterator[RecordId]:
+        """Record ids possibly matching (region, [t_start, t_end]).
+
+        Candidates over-approximate: callers re-check the decoded record
+        against the exact predicate (a bucket spans more time and a cell
+        more space than the query asked for).
+        """
+        if t_start > t_end:
+            raise ValueError(f"empty time interval [{t_start}, {t_end}]")
+        cells = self.grid.cells_overlapping_set(region)
+        if not cells:
+            return
+        for bucket in range(self.bucket_of(t_start), self.bucket_of(t_end) + 1):
+            for cell in cells:
+                for rid in self._buckets.get((bucket, cell), ()):
+                    yield rid
+
+    def candidates_in_interval(
+        self, t_start: float, t_end: float
+    ) -> Iterator[RecordId]:
+        """All record ids in the time interval, any location."""
+        if t_start > t_end:
+            raise ValueError(f"empty time interval [{t_start}, {t_end}]")
+        lo = self.bucket_of(t_start)
+        hi = self.bucket_of(t_end)
+        for (bucket, __), rids in self._buckets.items():
+            if lo <= bucket <= hi:
+                yield from rids

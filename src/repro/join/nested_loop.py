@@ -1,0 +1,22 @@
+"""Reference nested-loop spatial join."""
+
+from __future__ import annotations
+
+from repro.geometry import Point, Rect
+
+
+def nested_loop_join(
+    objects: dict[int, Point], queries: dict[int, Rect]
+) -> set[tuple[int, int]]:
+    """All ``(oid, qid)`` pairs where the object lies inside the query.
+
+    Quadratic and allocation-free per pair; exists as the correctness
+    oracle for the smarter joins and as the honest baseline in the join
+    benchmark.
+    """
+    matches: set[tuple[int, int]] = set()
+    for qid, region in queries.items():
+        for oid, location in objects.items():
+            if region.contains_point(location):
+                matches.add((oid, qid))
+    return matches

@@ -1,0 +1,59 @@
+"""A small declarative front end for registering continuous queries.
+
+The paper plans to "realize our spatio-temporal query processor inside
+the Predator database management system" — i.e. behind a declarative
+interface.  This package provides that face for the reproduction: a
+line-oriented command language, e.g. ::
+
+    REGISTER RANGE QUERY downtown REGION (0.40, 0.40, 0.45, 0.45)
+    REGISTER KNN QUERY cabs K 3 AT (0.5, 0.5)
+    REGISTER PREDICTIVE QUERY airspace REGION (0.1, 0.1, 0.2, 0.2) WITHIN 30
+    MOVE QUERY downtown REGION (0.41, 0.40, 0.46, 0.45)
+    UNREGISTER QUERY cabs
+
+parsed into command objects and bound to a running engine with
+human-readable query names mapped onto integer ids.
+"""
+
+from repro.lang.lexer import Token, TokenKind, tokenize, LexError
+from repro.lang.ast import (
+    Command,
+    Evaluate,
+    MoveQuery,
+    RegisterKnn,
+    RegisterPredictive,
+    RegisterRange,
+    RemoveObject,
+    ReportObject,
+    ShowAnswer,
+    ShowObjects,
+    ShowQueries,
+    Unregister,
+)
+from repro.lang.parser import ParseError, parse, parse_program
+from repro.lang.binder import Binder
+from repro.lang.console import Console
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "LexError",
+    "Command",
+    "RegisterRange",
+    "RegisterKnn",
+    "RegisterPredictive",
+    "MoveQuery",
+    "Unregister",
+    "ReportObject",
+    "RemoveObject",
+    "Evaluate",
+    "ShowAnswer",
+    "ShowQueries",
+    "ShowObjects",
+    "ParseError",
+    "parse",
+    "parse_program",
+    "Binder",
+    "Console",
+]

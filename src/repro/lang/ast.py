@@ -1,0 +1,81 @@
+"""Command objects the parser produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point, Rect
+
+
+class Command:
+    """Base class for parsed commands."""
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterRange(Command):
+    name: str
+    region: Rect
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterKnn(Command):
+    name: str
+    k: int
+    center: Point
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterPredictive(Command):
+    name: str
+    region: Rect
+    horizon: float
+
+
+@dataclass(frozen=True, slots=True)
+class MoveQuery(Command):
+    """Move a registered query: a new REGION or a new AT focal point."""
+
+    name: str
+    region: Rect | None = None
+    center: Point | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Unregister(Command):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ReportObject(Command):
+    """Feed one object location (and optional velocity) to the engine."""
+
+    oid: int
+    location: Point
+    velocity: Point | None = None  # parsed as a coordinate pair
+
+
+@dataclass(frozen=True, slots=True)
+class RemoveObject(Command):
+    oid: int
+
+
+@dataclass(frozen=True, slots=True)
+class Evaluate(Command):
+    """Run one bulk evaluation, optionally advancing the clock."""
+
+    at: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ShowAnswer(Command):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ShowQueries(Command):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class ShowObjects(Command):
+    pass

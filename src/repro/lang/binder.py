@@ -1,0 +1,116 @@
+"""Executes parsed commands against an engine.
+
+The binder owns the mapping from human-readable query names to the
+integer ids the engine uses, and dispatches moves to the right engine
+entry point based on the registered query's kind.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import IncrementalEngine
+from repro.core.state import QueryKind
+from repro.lang.ast import (
+    Command,
+    MoveQuery,
+    RegisterKnn,
+    RegisterPredictive,
+    RegisterRange,
+    Unregister,
+)
+
+
+class BindError(ValueError):
+    """Raised for semantically invalid commands (unknown names, etc.)."""
+
+
+class Binder:
+    """Name resolution + execution of commands on one engine."""
+
+    def __init__(self, engine: IncrementalEngine, first_qid: int = 1_000_000):
+        self.engine = engine
+        self._next_qid = first_qid
+        self._qid_of_name: dict[str, int] = {}
+        self._kind_of_name: dict[str, QueryKind] = {}
+
+    def qid_of(self, name: str) -> int:
+        try:
+            return self._qid_of_name[name]
+        except KeyError:
+            raise BindError(f"unknown query name {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._qid_of_name)
+
+    def execute(self, command: Command, t: float | None = None) -> int | None:
+        """Run one command; returns the affected qid (None never happens
+        for current commands, but future statements may be pure).
+        Registration and movement are *buffered* like every other input:
+        call ``engine.evaluate`` to make them take effect.
+        """
+        when = t if t is not None else self.engine.now
+        if isinstance(command, RegisterRange):
+            qid = self._allocate(command.name, QueryKind.RANGE)
+            self.engine.register_range_query(qid, command.region, when)
+            return qid
+        if isinstance(command, RegisterKnn):
+            qid = self._allocate(command.name, QueryKind.KNN)
+            self.engine.register_knn_query(qid, command.center, command.k, when)
+            return qid
+        if isinstance(command, RegisterPredictive):
+            qid = self._allocate(command.name, QueryKind.PREDICTIVE_RANGE)
+            self.engine.register_predictive_query(
+                qid, command.region, command.horizon, when
+            )
+            return qid
+        if isinstance(command, MoveQuery):
+            return self._move(command, when)
+        if isinstance(command, Unregister):
+            qid = self.qid_of(command.name)
+            self.engine.unregister_query(qid)
+            del self._qid_of_name[command.name]
+            del self._kind_of_name[command.name]
+            return qid
+        raise BindError(f"unsupported command {command!r}")
+
+    def run_program(self, source: str, t: float | None = None) -> list[int]:
+        """Parse and execute a multi-line program; returns affected qids."""
+        from repro.lang.parser import parse_program
+
+        return [
+            qid
+            for command in parse_program(source)
+            if (qid := self.execute(command, t)) is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _allocate(self, name: str, kind: QueryKind) -> int:
+        if name in self._qid_of_name:
+            raise BindError(f"query name {name!r} is already registered")
+        qid = self._next_qid
+        self._next_qid += 1
+        self._qid_of_name[name] = qid
+        self._kind_of_name[name] = kind
+        return qid
+
+    def _move(self, command: MoveQuery, when: float) -> int:
+        qid = self.qid_of(command.name)
+        kind = self._kind_of_name[command.name]
+        if kind is QueryKind.KNN:
+            if command.center is None:
+                raise BindError(
+                    f"{command.name!r} is a KNN query; move it with AT (x, y)"
+                )
+            self.engine.move_knn_query(qid, command.center, when)
+        else:
+            if command.region is None:
+                raise BindError(
+                    f"{command.name!r} is a region query; move it with REGION"
+                )
+            if kind is QueryKind.RANGE:
+                self.engine.move_range_query(qid, command.region, when)
+            else:
+                self.engine.move_predictive_query(qid, command.region, when)
+        return qid

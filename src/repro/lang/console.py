@@ -1,0 +1,83 @@
+"""An interactive console over the full command language.
+
+The :class:`~repro.lang.binder.Binder` handles query-management
+commands; the console adds the object stream, evaluation control and
+inspection statements, turning the language into a self-contained way
+to drive (and script) an engine — see ``examples/query_console.py`` and
+the scenario files in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import IncrementalEngine
+from repro.geometry import Velocity
+from repro.lang.ast import (
+    Command,
+    Evaluate,
+    RemoveObject,
+    ReportObject,
+    ShowAnswer,
+    ShowObjects,
+    ShowQueries,
+)
+from repro.lang.binder import Binder
+from repro.lang.parser import parse
+
+
+class Console:
+    """Executes command lines against one engine; returns output text."""
+
+    def __init__(self, engine: IncrementalEngine | None = None):
+        self.engine = engine if engine is not None else IncrementalEngine()
+        self.binder = Binder(self.engine)
+
+    def run(self, line: str) -> str:
+        """Parse and execute one line; returns the printable result."""
+        return self.execute(parse(line))
+
+    def run_script(self, source: str) -> list[str]:
+        """Run a multi-line script; returns one output string per command
+        (blank lines and ``--`` comments are skipped)."""
+        outputs = []
+        for raw in source.splitlines():
+            stripped = raw.split("--", 1)[0].strip()
+            if stripped:
+                outputs.append(self.run(stripped))
+        return outputs
+
+    def execute(self, command: Command) -> str:
+        if isinstance(command, ReportObject):
+            velocity = (
+                Velocity(command.velocity.x, command.velocity.y)
+                if command.velocity is not None
+                else Velocity.ZERO
+            )
+            self.engine.report_object(
+                command.oid, command.location, self.engine.now, velocity
+            )
+            return f"object {command.oid} buffered"
+        if isinstance(command, RemoveObject):
+            self.engine.remove_object(command.oid)
+            return f"object {command.oid} removal buffered"
+        if isinstance(command, Evaluate):
+            updates = self.engine.evaluate(command.at)
+            if not updates:
+                return "no updates"
+            return "\n".join(str(update) for update in updates)
+        if isinstance(command, ShowAnswer):
+            qid = self.binder.qid_of(command.name)
+            members = sorted(self.engine.answer_of(qid))
+            return f"{command.name}: {members}"
+        if isinstance(command, ShowQueries):
+            if not self.binder.names():
+                return "no queries registered"
+            return "\n".join(
+                f"{name} (qid {self.binder.qid_of(name)})"
+                for name in self.binder.names()
+            )
+        if isinstance(command, ShowObjects):
+            count = self.engine.object_count
+            return f"{count} objects tracked"
+        # Query-management commands go through the binder.
+        qid = self.binder.execute(command)
+        return f"ok (qid {qid})"

@@ -1,0 +1,88 @@
+"""Tokeniser for the continuous-query command language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LexError(ValueError):
+    """Raised on characters the language does not know."""
+
+
+class TokenKind(enum.Enum):
+    WORD = "word"  # keywords and identifiers
+    NUMBER = "number"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    END = "end"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    @property
+    def number(self) -> float:
+        if self.kind is not TokenKind.NUMBER:
+            raise ValueError(f"token {self.text!r} is not a number")
+        return float(self.text)
+
+
+_PUNCTUATION = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokens of one command line, ending with an END sentinel."""
+    tokens: list[Token] = []
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[ch], ch, i))
+            i += 1
+            continue
+        if ch.isdigit() or ch in "+-." and _starts_number(source, i):
+            start = i
+            i += 1
+            while i < length and (source[i].isdigit() or source[i] in ".eE+-"):
+                # Only allow +/- immediately after an exponent marker.
+                if source[i] in "+-" and source[i - 1] not in "eE":
+                    break
+                i += 1
+            text = source[start:i]
+            try:
+                float(text)
+            except ValueError:
+                raise LexError(f"malformed number {text!r} at {start}") from None
+            tokens.append(Token(TokenKind.NUMBER, text, start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (source[i].isalnum() or source[i] in "_-"):
+                i += 1
+            tokens.append(Token(TokenKind.WORD, source[start:i], start))
+            continue
+        raise LexError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens
+
+
+def _starts_number(source: str, i: int) -> bool:
+    ch = source[i]
+    if ch.isdigit():
+        return True
+    return ch in "+-." and i + 1 < len(source) and (
+        source[i + 1].isdigit() or source[i + 1] == "."
+    )

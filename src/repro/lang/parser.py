@@ -1,0 +1,214 @@
+"""Recursive-descent parser for the command language.
+
+Grammar (keywords are case-insensitive)::
+
+    command    := register | move | unregister | report | remove
+                | evaluate | show
+    register   := REGISTER RANGE QUERY name region_clause
+                | REGISTER KNN QUERY name K int AT point
+                | REGISTER PREDICTIVE QUERY name region_clause
+                  WITHIN number [SECONDS]
+    move       := MOVE QUERY name ( region_clause | AT point )
+    unregister := UNREGISTER QUERY name
+    report     := REPORT OBJECT int AT point [VELOCITY point]
+    remove     := REMOVE OBJECT int
+    evaluate   := EVALUATE [AT number]
+    show       := SHOW ANSWER name | SHOW QUERIES | SHOW OBJECTS
+    region_clause := REGION ( num , num , num , num )
+    point         := ( num , num )
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point, Rect
+from repro.lang.ast import (
+    Command,
+    Evaluate,
+    MoveQuery,
+    RegisterKnn,
+    RegisterPredictive,
+    RegisterRange,
+    RemoveObject,
+    ReportObject,
+    ShowAnswer,
+    ShowObjects,
+    ShowQueries,
+    Unregister,
+)
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid commands."""
+
+
+def parse(source: str) -> Command:
+    """Parse one command line."""
+    return _Parser(tokenize(source), source).command()
+
+
+def parse_program(source: str) -> list[Command]:
+    """Parse a multi-line program, skipping blanks and ``--`` comments."""
+    commands: list[Command] = []
+    for line in source.splitlines():
+        stripped = line.split("--", 1)[0].strip()
+        if stripped:
+            commands.append(parse(stripped))
+    return commands
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str):
+        self._tokens = tokens
+        self._source = source
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._next()
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value} but found {token.text!r} "
+                f"at {token.position} in {self._source!r}"
+            )
+        return token
+
+    def _keyword(self, *options: str) -> str:
+        token = self._expect(TokenKind.WORD)
+        word = token.text.upper()
+        if word not in options:
+            raise ParseError(
+                f"expected one of {options} but found {token.text!r} "
+                f"at {token.position} in {self._source!r}"
+            )
+        return word
+
+    def _name(self) -> str:
+        return self._expect(TokenKind.WORD).text
+
+    def _number(self) -> float:
+        return self._expect(TokenKind.NUMBER).number
+
+    def _int(self) -> int:
+        value = self._number()
+        if value != int(value):
+            raise ParseError(f"expected an integer, found {value}")
+        return int(value)
+
+    # -- grammar -------------------------------------------------------
+
+    def command(self) -> Command:
+        verb = self._keyword(
+            "REGISTER", "MOVE", "UNREGISTER", "REPORT", "REMOVE",
+            "EVALUATE", "SHOW",
+        )
+        if verb == "REGISTER":
+            result = self._register()
+        elif verb == "MOVE":
+            result = self._move()
+        elif verb == "UNREGISTER":
+            self._keyword("QUERY")
+            result = Unregister(self._name())
+        elif verb == "REPORT":
+            result = self._report()
+        elif verb == "REMOVE":
+            self._keyword("OBJECT")
+            result = RemoveObject(self._int())
+        elif verb == "EVALUATE":
+            result = self._evaluate()
+        else:
+            result = self._show()
+        self._expect(TokenKind.END)
+        return result
+
+    def _report(self) -> Command:
+        self._keyword("OBJECT")
+        oid = self._int()
+        self._keyword("AT")
+        location = self._point()
+        velocity = None
+        if self._peek().kind is TokenKind.WORD:
+            self._keyword("VELOCITY")
+            velocity = self._point()
+        return ReportObject(oid, location, velocity)
+
+    def _evaluate(self) -> Command:
+        if self._peek().kind is TokenKind.WORD:
+            self._keyword("AT")
+            return Evaluate(at=self._number())
+        return Evaluate()
+
+    def _show(self) -> Command:
+        what = self._keyword("ANSWER", "QUERIES", "OBJECTS")
+        if what == "ANSWER":
+            return ShowAnswer(self._name())
+        if what == "QUERIES":
+            return ShowQueries()
+        return ShowObjects()
+
+    def _register(self) -> Command:
+        kind = self._keyword("RANGE", "KNN", "PREDICTIVE")
+        self._keyword("QUERY")
+        name = self._name()
+        if kind == "RANGE":
+            return RegisterRange(name, self._region_clause())
+        if kind == "KNN":
+            self._keyword("K")
+            k = self._int()
+            if k <= 0:
+                raise ParseError(f"K must be positive, got {k}")
+            self._keyword("AT")
+            return RegisterKnn(name, k, self._point())
+        region = self._region_clause()
+        self._keyword("WITHIN")
+        horizon = self._number()
+        if horizon <= 0:
+            raise ParseError(f"WITHIN horizon must be positive, got {horizon}")
+        if self._peek().kind is TokenKind.WORD:
+            self._keyword("SECONDS")
+        return RegisterPredictive(name, region, horizon)
+
+    def _move(self) -> Command:
+        self._keyword("QUERY")
+        name = self._name()
+        word = self._keyword("REGION", "AT")
+        if word == "REGION":
+            return MoveQuery(name, region=self._region_body())
+        return MoveQuery(name, center=self._point())
+
+    def _region_clause(self) -> Rect:
+        self._keyword("REGION")
+        return self._region_body()
+
+    def _region_body(self) -> Rect:
+        self._expect(TokenKind.LPAREN)
+        min_x = self._number()
+        self._expect(TokenKind.COMMA)
+        min_y = self._number()
+        self._expect(TokenKind.COMMA)
+        max_x = self._number()
+        self._expect(TokenKind.COMMA)
+        max_y = self._number()
+        self._expect(TokenKind.RPAREN)
+        if min_x > max_x or min_y > max_y:
+            raise ParseError(
+                f"degenerate region ({min_x}, {min_y}, {max_x}, {max_y})"
+            )
+        return Rect(min_x, min_y, max_x, max_y)
+
+    def _point(self) -> Point:
+        self._expect(TokenKind.LPAREN)
+        x = self._number()
+        self._expect(TokenKind.COMMA)
+        y = self._number()
+        self._expect(TokenKind.RPAREN)
+        return Point(x, y)

@@ -1,0 +1,35 @@
+"""Simulated network between the location-aware server and its clients.
+
+The paper's headline measurement (Figure 5) is the *size of the answer*
+shipped downstream: incremental positive/negative updates versus the
+complete answer a snapshot server re-sends every period.  This package
+pins down a concrete wire encoding for every message type, models
+per-client links that can disconnect and reconnect (the out-of-sync
+scenario of Section 3.3), and aggregates byte counters for the
+benchmarks.
+"""
+
+from repro.net.messages import (
+    CommitMessage,
+    FullAnswerMessage,
+    Message,
+    ObjectReportMessage,
+    QueryRegionMessage,
+    UpdateMessage,
+    WakeupMessage,
+)
+from repro.net.link import ClientLink, NetworkStats
+from repro.net.throttle import ThrottledLink
+
+__all__ = [
+    "Message",
+    "UpdateMessage",
+    "FullAnswerMessage",
+    "ObjectReportMessage",
+    "QueryRegionMessage",
+    "WakeupMessage",
+    "CommitMessage",
+    "ClientLink",
+    "NetworkStats",
+    "ThrottledLink",
+]

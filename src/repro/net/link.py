@@ -1,0 +1,74 @@
+"""Per-client links and aggregate traffic statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.net.messages import Message
+
+
+@dataclass(slots=True)
+class NetworkStats:
+    """Aggregate traffic counters (downstream delivery plus uplink)."""
+
+    delivered_bytes: int = 0
+    dropped_bytes: int = 0
+    delivered_messages: int = 0
+    dropped_messages: int = 0
+    uplink_bytes: int = 0
+    uplink_messages: int = 0
+    by_type: Counter = field(default_factory=Counter)
+
+    def record(self, message: Message, delivered: bool) -> None:
+        kind = type(message).__name__
+        if delivered:
+            self.delivered_bytes += message.size_bytes
+            self.delivered_messages += 1
+            self.by_type[kind] += 1
+        else:
+            self.dropped_bytes += message.size_bytes
+            self.dropped_messages += 1
+            self.by_type[f"dropped:{kind}"] += 1
+
+    def record_uplink(self, message: Message) -> None:
+        """Account one client-to-server message (reports, moves, commits)."""
+        self.uplink_bytes += message.size_bytes
+        self.uplink_messages += 1
+        self.by_type[f"uplink:{type(message).__name__}"] += 1
+
+
+class ClientLink:
+    """The downstream channel to one client.
+
+    While disconnected, messages are *lost*, not queued — the paper's
+    out-of-sync problem exists precisely because a cheap passive device
+    misses whatever the server sent during the outage.  The link records
+    what was lost only for accounting.
+    """
+
+    def __init__(self, client_id: int, stats: NetworkStats | None = None):
+        self.client_id = client_id
+        self.connected = True
+        self.stats = stats if stats is not None else NetworkStats()
+        self._inbox: list[Message] = []
+
+    def disconnect(self) -> None:
+        self.connected = False
+
+    def reconnect(self) -> None:
+        self.connected = True
+
+    def deliver(self, message: Message) -> bool:
+        """Send ``message``; returns whether the client received it."""
+        self.stats.record(message, delivered=self.connected)
+        if self.connected:
+            self._inbox.append(message)
+            return True
+        return False
+
+    def drain(self) -> list[Message]:
+        """Messages received since the last drain (the client's mailbox)."""
+        received = self._inbox
+        self._inbox = []
+        return received

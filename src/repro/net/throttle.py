@@ -1,0 +1,57 @@
+"""Bandwidth-limited delivery.
+
+The paper's fourth challenge: "Sending the whole answer each time
+consumes the network bandwidth and results in network congestion at the
+server side, thus degrading the ability of the server to process more
+queries."  A :class:`ThrottledLink` models the constrained downlink: a
+per-cycle byte budget, messages beyond it dropped (the satellite slot is
+gone — there is no queueing for stale location data).  The congestion
+benchmark measures how much of each server's output actually fits.
+"""
+
+from __future__ import annotations
+
+from repro.net.link import ClientLink, NetworkStats
+from repro.net.messages import Message
+
+
+class ThrottledLink(ClientLink):
+    """A client link with a per-cycle downstream byte budget."""
+
+    def __init__(
+        self,
+        client_id: int,
+        budget_bytes_per_cycle: int,
+        stats: NetworkStats | None = None,
+    ):
+        if budget_bytes_per_cycle <= 0:
+            raise ValueError(
+                f"budget must be positive, got {budget_bytes_per_cycle}"
+            )
+        super().__init__(client_id, stats)
+        self.budget_bytes_per_cycle = budget_bytes_per_cycle
+        self._spent_this_cycle = 0
+        self.throttled_messages = 0
+        self.throttled_bytes = 0
+
+    @property
+    def remaining_budget(self) -> int:
+        return max(0, self.budget_bytes_per_cycle - self._spent_this_cycle)
+
+    def new_cycle(self) -> None:
+        """Start a fresh evaluation period: the budget resets."""
+        self._spent_this_cycle = 0
+
+    def deliver(self, message: Message) -> bool:
+        """Deliver within budget; over-budget messages are lost.
+
+        Throttled messages are recorded separately from disconnection
+        drops so the congestion benchmark can tell the two apart.
+        """
+        if message.size_bytes > self.remaining_budget:
+            self.throttled_messages += 1
+            self.throttled_bytes += message.size_bytes
+            self.stats.record(message, delivered=False)
+            return False
+        self._spent_this_cycle += message.size_bytes
+        return super().deliver(message)

@@ -1,0 +1,17 @@
+"""An in-memory R-tree (Guttman, SIGMOD 1984).
+
+The paper's main baseline for shared continuous-query processing, the
+Q-index, "build[s] an R-tree-like index structure on the queries instead
+of the objects"; moving objects then probe the index each evaluation
+cycle.  This package provides that substrate: a classic R-tree with
+quadratic node splitting, deletion with tree condensation, rectangle
+range search, best-first k-nearest-neighbour search, and Sort-Tile-
+Recursive (STR) bulk loading for building an index over a large static
+query population in one pass.
+"""
+
+from repro.rtree.tree import RTree, RTreeEntry
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.rum import RumTree
+
+__all__ = ["RTree", "RTreeEntry", "str_bulk_load", "RumTree"]

@@ -1,0 +1,134 @@
+"""R-tree node structures and the quadratic split heuristic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.geometry import Rect
+
+
+@dataclass(slots=True)
+class LeafEntry:
+    """A data entry: a bounding rectangle plus an opaque payload key."""
+
+    rect: Rect
+    key: int
+
+
+@dataclass(slots=True)
+class Node:
+    """An R-tree node.
+
+    Leaf nodes hold :class:`LeafEntry` items in ``entries``; internal
+    nodes hold child :class:`Node` items in ``children``.  ``rect`` is
+    the minimum bounding rectangle of the node's contents and is kept up
+    to date by the tree operations.
+    """
+
+    is_leaf: bool
+    rect: Optional[Rect] = None
+    entries: list[LeafEntry] = field(default_factory=list)
+    children: list["Node"] = field(default_factory=list)
+    parent: Optional["Node"] = None
+
+    def item_count(self) -> int:
+        return len(self.entries) if self.is_leaf else len(self.children)
+
+    def recompute_rect(self) -> None:
+        """Recompute the MBR from the node's current contents."""
+        rects = (
+            [e.rect for e in self.entries]
+            if self.is_leaf
+            else [c.rect for c in self.children if c.rect is not None]
+        )
+        if not rects:
+            self.rect = None
+            return
+        mbr = rects[0]
+        for r in rects[1:]:
+            mbr = mbr.union(r)
+        self.rect = mbr
+
+    def add_child(self, child: "Node") -> None:
+        self.children.append(child)
+        child.parent = self
+
+
+def _enlargement(mbr: Rect, rect: Rect) -> float:
+    """Area growth of ``mbr`` needed to also cover ``rect``."""
+    return mbr.union(rect).area - mbr.area
+
+
+def choose_subtree(node: Node, rect: Rect) -> Node:
+    """Guttman's ChooseLeaf step: least enlargement, ties by least area."""
+    best = None
+    best_key = None
+    for child in node.children:
+        assert child.rect is not None
+        key = (_enlargement(child.rect, rect), child.rect.area)
+        if best_key is None or key < best_key:
+            best, best_key = child, key
+    assert best is not None
+    return best
+
+
+def quadratic_split(
+    rects: list[Rect], min_fill: int
+) -> tuple[list[int], list[int]]:
+    """Guttman's quadratic split over a list of rectangles.
+
+    Returns two disjoint index lists partitioning ``range(len(rects))``,
+    each with at least ``min_fill`` members.  The seeds are the pair
+    whose combined MBR wastes the most area; remaining items are assigned
+    one at a time to the group whose MBR they enlarge least, with the
+    classic forced-assignment rule when a group must absorb all leftovers
+    to reach minimum fill.
+    """
+    count = len(rects)
+    if count < 2 * min_fill:
+        raise ValueError(
+            f"cannot split {count} items with minimum fill {min_fill}"
+        )
+
+    # PickSeeds: the most wasteful pair.
+    seed_a, seed_b, worst_waste = 0, 1, float("-inf")
+    for i in range(count):
+        for j in range(i + 1, count):
+            waste = rects[i].union(rects[j]).area - rects[i].area - rects[j].area
+            if waste > worst_waste:
+                seed_a, seed_b, worst_waste = i, j, waste
+
+    group_a, group_b = [seed_a], [seed_b]
+    mbr_a, mbr_b = rects[seed_a], rects[seed_b]
+    remaining = [i for i in range(count) if i != seed_a and i != seed_b]
+
+    while remaining:
+        # Forced assignment when one group must take everything left.
+        if len(group_a) + len(remaining) == min_fill:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_fill:
+            group_b.extend(remaining)
+            break
+
+        # PickNext: the item with the greatest preference between groups.
+        best_idx, best_diff = 0, float("-inf")
+        for pos, idx in enumerate(remaining):
+            d_a = _enlargement(mbr_a, rects[idx])
+            d_b = _enlargement(mbr_b, rects[idx])
+            diff = abs(d_a - d_b)
+            if diff > best_diff:
+                best_idx, best_diff = pos, diff
+        idx = remaining.pop(best_idx)
+
+        d_a = _enlargement(mbr_a, rects[idx])
+        d_b = _enlargement(mbr_b, rects[idx])
+        if d_a < d_b or (d_a == d_b and mbr_a.area <= mbr_b.area):
+            group_a.append(idx)
+            mbr_a = mbr_a.union(rects[idx])
+        else:
+            group_b.append(idx)
+            mbr_b = mbr_b.union(rects[idx])
+
+    return group_a, group_b

@@ -1,0 +1,169 @@
+"""An update-memo R-tree for frequent location updates (RUM-tree style).
+
+The paper's setting is update-dominated: "a typical location-aware
+server receives a massive amount of updates from moving objects", and
+its related work leans on frequent-update R-tree variants (the LUR-tree
+with its linked list, the bottom-up FUR-tree with its hash table; the
+same group's later RUM-tree generalises both).  The classic R-tree pays
+a top-down delete *and* a top-down insert per update; the memo approach
+pays only the insert:
+
+* every update inserts a fresh *versioned* entry bottom-right into the
+  tree and bumps the object's latest version in the **update memo**;
+* stale versions are left in place and filtered out of query results by
+  a memo lookup;
+* a garbage-collection pass (here: triggered when the stale ratio
+  crosses a threshold) physically removes obsolete entries.
+
+Queries therefore stay exact while updates cost one insert, at the
+price of temporarily larger trees — the trade the benchmark measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.geometry import Point, Rect
+from repro.rtree.tree import RTree
+
+
+class RumTree:
+    """An R-tree over moving points with memo-based updates."""
+
+    def __init__(self, max_entries: int = 16, gc_stale_ratio: float = 0.5):
+        if not 0.0 < gc_stale_ratio <= 1.0:
+            raise ValueError(
+                f"gc_stale_ratio must be in (0, 1], got {gc_stale_ratio}"
+            )
+        self._tree = RTree(max_entries=max_entries)
+        self.gc_stale_ratio = gc_stale_ratio
+        # The update memo: object id -> latest version number.
+        self._latest_version: dict[int, int] = {}
+        self._locations: dict[int, Point] = {}
+        self._next_version = 0
+        self._stale_entries = 0
+        self.gc_runs = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of *live* objects (stale versions excluded)."""
+        return len(self._latest_version)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._latest_version
+
+    @property
+    def physical_entry_count(self) -> int:
+        """Entries physically in the tree, including stale versions."""
+        return len(self._tree)
+
+    @property
+    def stale_ratio(self) -> float:
+        total = self.physical_entry_count
+        return self._stale_entries / total if total else 0.0
+
+    def location_of(self, oid: int) -> Point:
+        return self._locations[oid]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def upsert(self, oid: int, location: Point) -> None:
+        """Insert or update ``oid`` at ``location`` — one tree insert.
+
+        The previous version (if any) becomes stale and is filtered by
+        the memo until garbage collection removes it.
+        """
+        if oid in self._latest_version:
+            self._stale_entries += 1
+        version = self._next_version
+        self._next_version += 1
+        key = self._encode(oid, version)
+        self._tree.insert(key, Rect(location.x, location.y, location.x, location.y))
+        self._latest_version[oid] = version
+        self._locations[oid] = location
+        if self.stale_ratio >= self.gc_stale_ratio:
+            self.garbage_collect()
+
+    def delete(self, oid: int) -> None:
+        """Logically remove ``oid``; its entry becomes stale."""
+        if oid not in self._latest_version:
+            raise KeyError(f"object {oid} is not indexed")
+        del self._latest_version[oid]
+        del self._locations[oid]
+        self._stale_entries += 1
+        if self.stale_ratio >= self.gc_stale_ratio:
+            self.garbage_collect()
+
+    # ------------------------------------------------------------------
+    # Queries (memo-filtered)
+    # ------------------------------------------------------------------
+
+    def search(self, region: Rect) -> Iterator[int]:
+        """Live object ids whose current location is inside ``region``."""
+        for entry in self._tree.search(region):
+            oid, version = self._decode(entry.key)
+            if self._latest_version.get(oid) == version:
+                yield oid
+
+    def nearest(self, center: Point, k: int) -> list[int]:
+        """The k live objects nearest ``center``.
+
+        Over-fetches from the underlying tree to compensate for stale
+        hits, doubling the fetch until k live results are in hand (or
+        the tree is exhausted).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        fetch = max(k * 2, 8)
+        while True:
+            live: list[int] = []
+            hits = self._tree.nearest(center, fetch)
+            for entry in hits:
+                oid, version = self._decode(entry.key)
+                if self._latest_version.get(oid) == version:
+                    live.append(oid)
+                    if len(live) == k:
+                        return live
+            if len(hits) < fetch:  # tree exhausted
+                return live
+            fetch *= 2
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def garbage_collect(self) -> int:
+        """Physically drop stale versions; returns how many were removed.
+
+        The RUM-tree proper piggybacks GC on node visits ("vacuum
+        cleaner" tokens); a full sweep keeps the semantics while staying
+        simple — it is off the per-update critical path either way.
+        """
+        stale_keys = [
+            entry.key
+            for entry in self._tree.items()
+            if self._latest_version.get(self._decode(entry.key)[0])
+            != self._decode(entry.key)[1]
+        ]
+        for key in stale_keys:
+            self._tree.delete(key)
+        self._stale_entries = 0
+        self.gc_runs += 1
+        return len(stale_keys)
+
+    # ------------------------------------------------------------------
+    # Key encoding: (oid, version) packed into one int key
+    # ------------------------------------------------------------------
+
+    _VERSION_BITS = 40
+
+    def _encode(self, oid: int, version: int) -> int:
+        return (oid << self._VERSION_BITS) | version
+
+    def _decode(self, key: int) -> tuple[int, int]:
+        return key >> self._VERSION_BITS, key & ((1 << self._VERSION_BITS) - 1)

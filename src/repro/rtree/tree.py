@@ -1,0 +1,299 @@
+"""The R-tree proper: insert, delete, range search, best-first k-NN."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.geometry import Point, Rect
+from repro.rtree.node import LeafEntry, Node, choose_subtree, quadratic_split
+
+
+@dataclass(frozen=True, slots=True)
+class RTreeEntry:
+    """A search hit: the indexed rectangle and its payload key."""
+
+    rect: Rect
+    key: int
+
+
+class RTree:
+    """A Guttman R-tree over ``(Rect, key)`` pairs.
+
+    ``max_entries`` is the node capacity M; ``min_entries`` defaults to
+    ``M // 2`` (Guttman's m).  Keys must be unique; re-inserting an
+    existing key raises so silent duplicates never corrupt a Q-index.
+    """
+
+    def __init__(self, max_entries: int = 16, min_entries: int | None = None):
+        if max_entries < 4:
+            raise ValueError(f"max_entries must be >= 4, got {max_entries}")
+        self.max_entries = max_entries
+        self.min_entries = (
+            min_entries if min_entries is not None else max_entries // 2
+        )
+        if not 1 <= self.min_entries <= self.max_entries // 2:
+            raise ValueError(
+                f"min_entries {self.min_entries} must be in "
+                f"[1, {self.max_entries // 2}]"
+            )
+        self._root: Node = Node(is_leaf=True)
+        self._leaf_of_key: dict[int, Node] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._leaf_of_key)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._leaf_of_key
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a lone leaf root has height 1)."""
+        levels = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    def rect_of(self, key: int) -> Rect:
+        """The rectangle currently indexed under ``key``."""
+        leaf = self._leaf_of_key[key]
+        for entry in leaf.entries:
+            if entry.key == key:
+                return entry.rect
+        raise KeyError(key)  # pragma: no cover - leaf map is authoritative
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, rect: Rect) -> None:
+        """Index ``rect`` under ``key``."""
+        if key in self._leaf_of_key:
+            raise KeyError(f"key {key} already indexed")
+        leaf = self._choose_leaf(rect)
+        leaf.entries.append(LeafEntry(rect, key))
+        self._leaf_of_key[key] = leaf
+        self._grow_path(leaf, rect)
+        if leaf.item_count() > self.max_entries:
+            self._split_node(leaf)
+
+    def update(self, key: int, rect: Rect) -> None:
+        """Re-index an existing ``key`` at a new rectangle."""
+        self.delete(key)
+        self.insert(key, rect)
+
+    def _choose_leaf(self, rect: Rect) -> Node:
+        node = self._root
+        while not node.is_leaf:
+            node = choose_subtree(node, rect)
+        return node
+
+    def _grow_path(self, node: Node, rect: Rect) -> None:
+        """Widen MBRs from ``node`` to the root to also cover ``rect``."""
+        current: Node | None = node
+        while current is not None:
+            current.rect = rect if current.rect is None else current.rect.union(rect)
+            current = current.parent
+
+    def _split_node(self, node: Node) -> None:
+        rects = (
+            [e.rect for e in node.entries]
+            if node.is_leaf
+            else [c.rect for c in node.children]  # type: ignore[misc]
+        )
+        group_a, group_b = quadratic_split(rects, self.min_entries)
+
+        sibling = Node(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            entries = node.entries
+            node.entries = [entries[i] for i in group_a]
+            sibling.entries = [entries[i] for i in group_b]
+            for entry in sibling.entries:
+                self._leaf_of_key[entry.key] = sibling
+        else:
+            children = node.children
+            node.children = []
+            for i in group_a:
+                node.add_child(children[i])
+            for i in group_b:
+                sibling.add_child(children[i])
+        node.recompute_rect()
+        sibling.recompute_rect()
+
+        parent = node.parent
+        if parent is None:
+            # Root split: the tree grows a level.
+            new_root = Node(is_leaf=False)
+            new_root.add_child(node)
+            new_root.add_child(sibling)
+            new_root.recompute_rect()
+            self._root = new_root
+            return
+        parent.add_child(sibling)
+        parent.recompute_rect()
+        if parent.item_count() > self.max_entries:
+            self._split_node(parent)
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def delete(self, key: int) -> None:
+        """Remove ``key`` from the index, condensing the tree as needed."""
+        leaf = self._leaf_of_key.pop(key)
+        leaf.entries = [e for e in leaf.entries if e.key != key]
+        self._condense(leaf)
+
+    def _condense(self, node: Node) -> None:
+        """Guttman's CondenseTree: drop underfull nodes, re-insert orphans."""
+        orphans: list[LeafEntry] = []
+        current = node
+        while current.parent is not None:
+            parent = current.parent
+            if current.item_count() < self.min_entries:
+                parent.children.remove(current)
+                orphans.extend(self._collect_entries(current))
+            else:
+                current.recompute_rect()
+            current = parent
+        current.recompute_rect()
+
+        # Shrink a root that lost all but one child.
+        while not self._root.is_leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._root.parent = None
+        if not self._root.is_leaf and not self._root.children:
+            self._root = Node(is_leaf=True)
+
+        for entry in orphans:
+            # Orphans re-enter through the normal insert path.
+            del self._leaf_of_key[entry.key]
+            self.insert(entry.key, entry.rect)
+
+    def _collect_entries(self, node: Node) -> list[LeafEntry]:
+        if node.is_leaf:
+            return list(node.entries)
+        collected: list[LeafEntry] = []
+        for child in node.children:
+            collected.extend(self._collect_entries(child))
+        return collected
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(self, rect: Rect) -> Iterator[RTreeEntry]:
+        """All entries whose rectangle intersects ``rect``."""
+        if self._root.rect is None or not self._root.rect.intersects(rect):
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    if entry.rect.intersects(rect):
+                        yield RTreeEntry(entry.rect, entry.key)
+            else:
+                for child in node.children:
+                    if child.rect is not None and child.rect.intersects(rect):
+                        stack.append(child)
+
+    def search_point(self, p: Point) -> Iterator[RTreeEntry]:
+        """All entries whose rectangle contains point ``p``.
+
+        This is the Q-index probe: a moving object asks which query
+        rectangles it currently satisfies.
+        """
+        point_rect = Rect(p.x, p.y, p.x, p.y)
+        yield from self.search(point_rect)
+
+    def nearest(self, p: Point, k: int = 1) -> list[RTreeEntry]:
+        """The ``k`` entries nearest to ``p`` by rectangle MINDIST.
+
+        Classic best-first search (Hjaltason & Samet): a priority queue
+        mixes nodes and entries keyed by their minimum distance to ``p``;
+        entries pop in true distance order.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        results: list[RTreeEntry] = []
+        if self._root.rect is None:
+            return results
+        counter = itertools.count()  # tie-break so heapq never compares nodes
+        heap: list[tuple[float, int, object]] = [
+            (self._root.rect.min_distance_to_point(p), next(counter), self._root)
+        ]
+        while heap and len(results) < k:
+            __, __, item = heapq.heappop(heap)
+            if isinstance(item, RTreeEntry):
+                results.append(item)
+            elif isinstance(item, Node):
+                if item.is_leaf:
+                    for entry in item.entries:
+                        heapq.heappush(
+                            heap,
+                            (
+                                entry.rect.min_distance_to_point(p),
+                                next(counter),
+                                RTreeEntry(entry.rect, entry.key),
+                            ),
+                        )
+                else:
+                    for child in item.children:
+                        if child.rect is not None:
+                            heapq.heappush(
+                                heap,
+                                (
+                                    child.rect.min_distance_to_point(p),
+                                    next(counter),
+                                    child,
+                                ),
+                            )
+        return results
+
+    def items(self) -> Iterator[RTreeEntry]:
+        """All indexed entries, in arbitrary order."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield RTreeEntry(entry.rect, entry.key)
+            else:
+                stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if structural invariants are violated."""
+        self._check_node(self._root, is_root=True)
+        seen = {entry.key for entry in self.items()}
+        assert seen == set(self._leaf_of_key), "leaf map out of sync"
+
+    def _check_node(self, node: Node, is_root: bool = False) -> int:
+        if not is_root:
+            assert node.item_count() >= self.min_entries, "underfull node"
+        assert node.item_count() <= self.max_entries, "overfull node"
+        if node.is_leaf:
+            for entry in node.entries:
+                assert node.rect is not None
+                assert node.rect.contains_rect(entry.rect), "leaf MBR too small"
+            return 1
+        depths = set()
+        for child in node.children:
+            assert child.parent is node, "broken parent pointer"
+            assert node.rect is not None and child.rect is not None
+            assert node.rect.contains_rect(child.rect), "inner MBR too small"
+            depths.add(self._check_node(child))
+        assert len(depths) == 1, "unbalanced tree"
+        return depths.pop() + 1

@@ -1,0 +1,100 @@
+"""Small measurement helpers: wall-clock timing, series, table printing.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output consistent across benchmarks.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+
+class StopWatch:
+    """Accumulating wall-clock timer.
+
+    >>> watch = StopWatch()
+    >>> with watch:
+    ...     pass
+    >>> watch.total >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.laps: list[float] = []
+        self._started: float | None = None
+
+    def __enter__(self) -> "StopWatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started is not None
+        lap = time.perf_counter() - self._started
+        self._started = None
+        self.laps.append(lap)
+        self.total += lap
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.laps) if self.laps else 0.0
+
+
+@dataclass(slots=True)
+class Series:
+    """A named sequence of numeric observations."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.values) if self.values else 0.0
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: mean={self.mean:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f} "
+            f"n={len(self.values)}"
+        )
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """A plain-text table with right-aligned numeric-looking columns."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,36 @@
+"""A small Shore-like storage manager.
+
+The paper plans to "use a storage manager that is based on Shore to
+store information and access structures for moving objects and moving
+queries", and its PLACE environment persists superseded locations in a
+*repository server*.  This package is that substrate, scaled to the
+reproduction: fixed-size slotted pages, a disk (or in-memory) page
+manager, an LRU buffer pool with pin/unpin semantics, heap files with
+record identifiers, binary record codecs for object/query state, and an
+append-only :class:`HistoryRepository` of past locations.
+
+The engine runs entirely in memory; persistence is *write-behind* — the
+server checkpoints its tables and appends history through this layer, so
+the same update stream exercises a realistic storage path without
+putting disk I/O on the query-evaluation critical path.
+"""
+
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.disk import DiskManager, InMemoryDiskManager
+from repro.storage.bufferpool import BufferPool
+from repro.storage.heapfile import HeapFile, RecordId
+from repro.storage.records import LocationRecord, QueryRecord
+from repro.storage.repository import HistoryRepository
+
+__all__ = [
+    "PAGE_SIZE",
+    "Page",
+    "DiskManager",
+    "InMemoryDiskManager",
+    "BufferPool",
+    "HeapFile",
+    "RecordId",
+    "LocationRecord",
+    "QueryRecord",
+    "HistoryRepository",
+]

@@ -1,0 +1,127 @@
+"""An LRU buffer pool with pin/unpin semantics."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.storage.page import Page
+
+
+@dataclass(slots=True)
+class BufferPoolStats:
+    """Counters for cache behaviour (exported to the benchmarks)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferPoolFullError(Exception):
+    """Raised when every frame is pinned and a new page must come in."""
+
+
+class BufferPool:
+    """Caches up to ``capacity`` pages over a disk manager.
+
+    Pages are pinned while in use and unpinned after; only unpinned pages
+    are eviction candidates, evicted in least-recently-used order with
+    dirty pages written back first.
+    """
+
+    def __init__(self, disk, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        self.stats = BufferPoolStats()
+        self._frames: OrderedDict[int, Page] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Page lifecycle
+    # ------------------------------------------------------------------
+
+    def new_page(self) -> Page:
+        """Allocate a fresh page on disk and return it pinned."""
+        page_id = self.disk.allocate()
+        self._make_room()
+        page = Page(page_id)
+        page.pin_count = 1
+        page.dirty = True
+        self._frames[page_id] = page
+        return page
+
+    def fetch(self, page_id: int) -> Page:
+        """Return the page pinned, reading from disk on a miss."""
+        page = self._frames.get(page_id)
+        if page is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+        else:
+            self.stats.misses += 1
+            self._make_room()
+            page = Page(page_id, self.disk.read_page(page_id))
+            self._frames[page_id] = page
+        page.pin_count += 1
+        return page
+
+    def unpin(self, page: Page) -> None:
+        if page.pin_count <= 0:
+            raise ValueError(f"page {page.page_id} is not pinned")
+        page.pin_count -= 1
+
+    @contextmanager
+    def pinned(self, page_id: int) -> Iterator[Page]:
+        """``with pool.pinned(pid) as page:`` fetch/unpin pairing."""
+        page = self.fetch(page_id)
+        try:
+            yield page
+        finally:
+            self.unpin(page)
+
+    # ------------------------------------------------------------------
+    # Write-back
+    # ------------------------------------------------------------------
+
+    def flush(self, page_id: int) -> None:
+        page = self._frames.get(page_id)
+        if page is not None and page.dirty:
+            self.disk.write_page(page.page_id, bytes(page.data))
+            page.dirty = False
+            self.stats.flushes += 1
+
+    def flush_all(self) -> None:
+        for page_id in list(self._frames):
+            self.flush(page_id)
+        self.disk.sync()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @property
+    def resident_page_ids(self) -> list[int]:
+        return list(self._frames)
+
+    def _make_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        for page_id, page in self._frames.items():
+            if page.pin_count == 0:
+                if page.dirty:
+                    self.disk.write_page(page.page_id, bytes(page.data))
+                    self.stats.flushes += 1
+                del self._frames[page_id]
+                self.stats.evictions += 1
+                return
+        raise BufferPoolFullError(
+            f"all {self.capacity} frames are pinned; cannot bring in a page"
+        )

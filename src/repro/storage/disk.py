@@ -1,0 +1,100 @@
+"""Page-granular storage backends."""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.page import PAGE_SIZE
+
+
+class DiskManager:
+    """Reads and writes fixed-size pages of a single file.
+
+    Page ids are dense: :meth:`allocate` returns the next id and extends
+    the file.  The file handle stays open for the manager's lifetime;
+    call :meth:`close` (or use as a context manager) when done.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        flags = os.O_RDWR | os.O_CREAT
+        self._fd = os.open(path, flags, 0o644)
+        size = os.fstat(self._fd).st_size
+        if size % PAGE_SIZE != 0:
+            raise ValueError(
+                f"{path} is {size} bytes, not a multiple of the page size"
+            )
+        self._page_count = size // PAGE_SIZE
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    def allocate(self) -> int:
+        """Extend the file by one zeroed page and return its id."""
+        page_id = self._page_count
+        os.pwrite(self._fd, bytes(PAGE_SIZE), page_id * PAGE_SIZE)
+        self._page_count += 1
+        return page_id
+
+    def read_page(self, page_id: int) -> bytes:
+        self._check(page_id)
+        data = os.pread(self._fd, PAGE_SIZE, page_id * PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise IOError(f"short read on page {page_id}")
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        self._check(page_id)
+        if len(data) != PAGE_SIZE:
+            raise ValueError(f"page data must be {PAGE_SIZE} bytes")
+        os.pwrite(self._fd, data, page_id * PAGE_SIZE)
+
+    def sync(self) -> None:
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+    def __enter__(self) -> "DiskManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < self._page_count:
+            raise IndexError(
+                f"page {page_id} out of range 0..{self._page_count - 1}"
+            )
+
+
+class InMemoryDiskManager:
+    """A RAM-backed stand-in with the same interface (tests, benchmarks)."""
+
+    def __init__(self) -> None:
+        self._pages: list[bytes] = []
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def allocate(self) -> int:
+        self._pages.append(bytes(PAGE_SIZE))
+        return len(self._pages) - 1
+
+    def read_page(self, page_id: int) -> bytes:
+        return self._pages[page_id]
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise ValueError(f"page data must be {PAGE_SIZE} bytes")
+        self._pages[page_id] = bytes(data)
+
+    def sync(self) -> None:  # no-op: RAM is "durable" for tests
+        return None
+
+    def close(self) -> None:
+        return None

@@ -1,0 +1,98 @@
+"""Heap files: unordered record storage with stable record ids."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.page import PageFullError
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class RecordId:
+    """A stable record address: (page id, slot number)."""
+
+    page_id: int
+    slot: int
+
+
+class HeapFile:
+    """An unordered collection of variable-length records.
+
+    The file owns a set of page ids inside the shared buffer pool's disk
+    space and keeps an in-memory free-space hint per page (rebuilt on
+    open by scanning, the way Shore rebuilds its free-space map).
+    """
+
+    def __init__(self, pool: BufferPool, page_ids: list[int] | None = None):
+        self.pool = pool
+        self._page_ids: list[int] = list(page_ids) if page_ids else []
+        self._free_hints: dict[int, int] = {}
+        for page_id in self._page_ids:
+            with self.pool.pinned(page_id) as page:
+                self._free_hints[page_id] = page.free_space
+
+    @property
+    def page_ids(self) -> list[int]:
+        """The pages owned by this file (persist these to reopen it)."""
+        return list(self._page_ids)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def insert(self, record: bytes) -> RecordId:
+        """Store ``record`` in the first page with room; grow if needed."""
+        for page_id, free in self._free_hints.items():
+            if free >= len(record) + 8:  # slot entry + slack
+                with self.pool.pinned(page_id) as page:
+                    try:
+                        slot = page.insert(record)
+                    except PageFullError:
+                        self._free_hints[page_id] = page.free_space
+                        continue
+                    self._free_hints[page_id] = page.free_space
+                    return RecordId(page_id, slot)
+        page = self.pool.new_page()
+        try:
+            slot = page.insert(record)
+        finally:
+            self.pool.unpin(page)
+        self._page_ids.append(page.page_id)
+        self._free_hints[page.page_id] = page.free_space
+        return RecordId(page.page_id, slot)
+
+    def delete(self, rid: RecordId) -> None:
+        self._check_owned(rid)
+        with self.pool.pinned(rid.page_id) as page:
+            page.delete(rid.slot)
+            page.compact()
+            self._free_hints[rid.page_id] = page.free_space
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read(self, rid: RecordId) -> bytes:
+        self._check_owned(rid)
+        with self.pool.pinned(rid.page_id) as page:
+            return page.read(rid.slot)
+
+    def scan(self) -> Iterator[tuple[RecordId, bytes]]:
+        """All live records, page by page."""
+        for page_id in self._page_ids:
+            with self.pool.pinned(page_id) as page:
+                for slot in page.live_slots():
+                    yield RecordId(page_id, slot), page.read(slot)
+
+    def record_count(self) -> int:
+        total = 0
+        for page_id in self._page_ids:
+            with self.pool.pinned(page_id) as page:
+                total += len(page.live_slots())
+        return total
+
+    def _check_owned(self, rid: RecordId) -> None:
+        if rid.page_id not in self._free_hints:
+            raise KeyError(f"page {rid.page_id} does not belong to this file")

@@ -1,0 +1,149 @@
+"""Slotted pages.
+
+Layout of a 4 KiB page::
+
+    +-----------------------+--------------------------->   <---------+
+    | slot_count | free_end |  slot directory (grows ->) ... records  |
+    +-----------------------+------------------------------------------+
+
+* a 4-byte header: ``slot_count`` (uint16) and ``free_end`` (uint16, the
+  offset one past the lowest byte used by record data, records grow
+  *down* from the page end);
+* a slot directory growing up from the header, 4 bytes per slot:
+  ``offset`` (uint16) and ``length`` (uint16).  A deleted slot keeps its
+  directory entry with ``offset == 0`` as a tombstone so record ids of
+  live records never change.
+"""
+
+from __future__ import annotations
+
+import struct
+
+PAGE_SIZE = 4096
+
+_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+_HEADER_SIZE = _HEADER.size
+_SLOT_SIZE = _SLOT.size
+
+
+class PageFullError(Exception):
+    """Raised when a record does not fit in the page's free space."""
+
+
+class Page:
+    """One fixed-size slotted page."""
+
+    __slots__ = ("page_id", "data", "dirty", "pin_count")
+
+    def __init__(self, page_id: int, data: bytes | None = None):
+        self.page_id = page_id
+        if data is None:
+            self.data = bytearray(PAGE_SIZE)
+            self._write_header(0, PAGE_SIZE)
+        else:
+            if len(data) != PAGE_SIZE:
+                raise ValueError(
+                    f"page data must be {PAGE_SIZE} bytes, got {len(data)}"
+                )
+            self.data = bytearray(data)
+        self.dirty = False
+        self.pin_count = 0
+
+    # ------------------------------------------------------------------
+    # Header / slot directory access
+    # ------------------------------------------------------------------
+
+    def _read_header(self) -> tuple[int, int]:
+        return _HEADER.unpack_from(self.data, 0)
+
+    def _write_header(self, slot_count: int, free_end: int) -> None:
+        _HEADER.pack_into(self.data, 0, slot_count, free_end)
+
+    def _read_slot(self, slot: int) -> tuple[int, int]:
+        return _SLOT.unpack_from(self.data, _HEADER_SIZE + slot * _SLOT_SIZE)
+
+    def _write_slot(self, slot: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(
+            self.data, _HEADER_SIZE + slot * _SLOT_SIZE, offset, length
+        )
+
+    @property
+    def slot_count(self) -> int:
+        return self._read_header()[0]
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for one more record *including* its new slot."""
+        slot_count, free_end = self._read_header()
+        directory_end = _HEADER_SIZE + slot_count * _SLOT_SIZE
+        return max(0, free_end - directory_end - _SLOT_SIZE)
+
+    # ------------------------------------------------------------------
+    # Record operations
+    # ------------------------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Store ``record`` and return its slot number."""
+        if not record:
+            raise ValueError("empty records are not storable")
+        if len(record) > self.free_space:
+            raise PageFullError(
+                f"record of {len(record)} bytes exceeds free space "
+                f"{self.free_space}"
+            )
+        slot_count, free_end = self._read_header()
+        offset = free_end - len(record)
+        self.data[offset:free_end] = record
+        self._write_slot(slot_count, offset, len(record))
+        self._write_header(slot_count + 1, offset)
+        self.dirty = True
+        return slot_count
+
+    def read(self, slot: int) -> bytes:
+        """The record stored in ``slot``; raises KeyError on tombstones."""
+        self._check_slot(slot)
+        offset, length = self._read_slot(slot)
+        if offset == 0:
+            raise KeyError(f"slot {slot} is deleted")
+        return bytes(self.data[offset : offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Tombstone ``slot``.  Space is reclaimed by :meth:`compact`."""
+        self._check_slot(slot)
+        offset, __ = self._read_slot(slot)
+        if offset == 0:
+            raise KeyError(f"slot {slot} already deleted")
+        self._write_slot(slot, 0, 0)
+        self.dirty = True
+
+    def is_live(self, slot: int) -> bool:
+        self._check_slot(slot)
+        return self._read_slot(slot)[0] != 0
+
+    def live_slots(self) -> list[int]:
+        return [s for s in range(self.slot_count) if self._read_slot(s)[0] != 0]
+
+    def compact(self) -> None:
+        """Slide live records to the page end, reclaiming tombstone space.
+
+        Slot numbers are preserved (only offsets change), so record ids
+        remain valid across compaction.
+        """
+        slot_count, __ = self._read_header()
+        records: list[tuple[int, bytes]] = []
+        for slot in range(slot_count):
+            offset, length = self._read_slot(slot)
+            if offset != 0:
+                records.append((slot, bytes(self.data[offset : offset + length])))
+        free_end = PAGE_SIZE
+        for slot, payload in records:
+            free_end -= len(payload)
+            self.data[free_end : free_end + len(payload)] = payload
+            self._write_slot(slot, free_end, len(payload))
+        self._write_header(slot_count, free_end)
+        self.dirty = True
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.slot_count:
+            raise IndexError(f"slot {slot} out of range 0..{self.slot_count - 1}")

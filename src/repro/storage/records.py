@@ -1,0 +1,96 @@
+"""Binary codecs for the records the server persists.
+
+The encoding is deliberately explicit (fixed-width little-endian struct
+formats) because Figure 5 of the paper reports *answer sizes in
+kilobytes*: a concrete wire/record encoding is required before any byte
+count is meaningful.  The same sizes are used by ``repro.net`` for
+message accounting, keeping stored and transmitted representations
+consistent.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.geometry import Point, Rect, Velocity
+
+_LOCATION = struct.Struct("<qdddd d")  # oid, x, y, vx, vy, t
+# qid, kind, minx, miny, maxx, maxy, t, k, horizon — k and horizon are
+# zero for kinds that do not use them.
+_QUERY = struct.Struct("<qBdddd d q d")
+
+_QUERY_KINDS = ("range", "knn", "predictive")
+
+
+@dataclass(frozen=True, slots=True)
+class LocationRecord:
+    """A persisted object location report."""
+
+    oid: int
+    location: Point
+    velocity: Velocity
+    t: float
+
+    SIZE = _LOCATION.size
+
+    def pack(self) -> bytes:
+        return _LOCATION.pack(
+            self.oid,
+            self.location.x,
+            self.location.y,
+            self.velocity.vx,
+            self.velocity.vy,
+            self.t,
+        )
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "LocationRecord":
+        oid, x, y, vx, vy, t = _LOCATION.unpack(payload)
+        return cls(oid, Point(x, y), Velocity(vx, vy), t)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRecord:
+    """A persisted continuous-query registration or region update.
+
+    ``region`` doubles as the anchor for k-NN queries (a degenerate
+    rectangle at the focal point); ``k`` and ``horizon`` are meaningful
+    only for the ``knn`` and ``predictive`` kinds respectively.
+    """
+
+    qid: int
+    kind: str
+    region: Rect
+    t: float
+    k: int = 0
+    horizon: float = 0.0
+
+    SIZE = _QUERY.size
+
+    def pack(self) -> bytes:
+        return _QUERY.pack(
+            self.qid,
+            _QUERY_KINDS.index(self.kind),
+            self.region.min_x,
+            self.region.min_y,
+            self.region.max_x,
+            self.region.max_y,
+            self.t,
+            self.k,
+            self.horizon,
+        )
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "QueryRecord":
+        qid, kind_code, min_x, min_y, max_x, max_y, t, k, horizon = (
+            _QUERY.unpack(payload)
+        )
+        return cls(
+            qid,
+            _QUERY_KINDS[kind_code],
+            Rect(min_x, min_y, max_x, max_y),
+            t,
+            k,
+            horizon,
+        )

@@ -1,0 +1,69 @@
+"""The repository server: persistent history of superseded locations.
+
+"Once a moving object or query sends new information, the old
+information becomes persistent and is stored in a repository server"
+(paper, Section 1.3).  :class:`HistoryRepository` implements that role:
+an append-only heap file of :class:`LocationRecord` entries with an
+in-memory per-object index for trajectory retrieval.
+"""
+
+from __future__ import annotations
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.heapfile import HeapFile, RecordId
+from repro.storage.records import LocationRecord
+
+
+class HistoryRepository:
+    """Append-only location history with per-object retrieval."""
+
+    def __init__(self, pool: BufferPool):
+        self._file = HeapFile(pool)
+        self._by_object: dict[int, list[RecordId]] = {}
+        self._appended = 0
+
+    @property
+    def appended_count(self) -> int:
+        """Total records ever appended (monotone counter)."""
+        return self._appended
+
+    def append(self, record: LocationRecord) -> RecordId:
+        """Persist a superseded location report."""
+        rid = self._file.insert(record.pack())
+        self._by_object.setdefault(record.oid, []).append(rid)
+        self._appended += 1
+        return rid
+
+    def history_of(self, oid: int) -> list[LocationRecord]:
+        """All persisted reports for ``oid`` in append order."""
+        return [
+            LocationRecord.unpack(self._file.read(rid))
+            for rid in self._by_object.get(oid, ())
+        ]
+
+    def trajectory_of(self, oid: int) -> list[tuple[float, float, float]]:
+        """``(t, x, y)`` samples for ``oid`` — the stored trajectory."""
+        return [
+            (rec.t, rec.location.x, rec.location.y)
+            for rec in self.history_of(oid)
+        ]
+
+    def tracked_objects(self) -> set[int]:
+        return set(self._by_object)
+
+    def record_count(self) -> int:
+        return self._file.record_count()
+
+    def rebuild_index(self) -> None:
+        """Rebuild the per-object index by scanning the heap file.
+
+        This is the crash-recovery path: the index is volatile, the heap
+        file is the durable truth.
+        """
+        self._by_object.clear()
+        count = 0
+        for rid, payload in self._file.scan():
+            record = LocationRecord.unpack(payload)
+            self._by_object.setdefault(record.oid, []).append(rid)
+            count += 1
+        self._appended = count

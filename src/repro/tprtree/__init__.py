@@ -1,0 +1,18 @@
+"""A Time-Parameterized R-tree (TPR-tree, Saltenis et al., SIGMOD 2000).
+
+The paper's related work positions the TPR-tree as *the* access method
+for objects with future trajectories — and criticises it: "there are no
+special mechanisms to support the continuous spatio-temporal queries in
+any of these access methods."  This package provides the substrate so
+that criticism can be measured: a TPR-tree indexes moving points whose
+bounding rectangles *expand over time* according to per-node velocity
+bounds, answering timeslice and window queries about predicted
+positions; the :class:`repro.baselines.TprPredictiveEngine` baseline
+then re-evaluates predictive queries against it every cycle, in contrast
+to the core engine's incremental predictive maintenance.
+"""
+
+from repro.tprtree.tpbr import TimeParameterizedRect
+from repro.tprtree.tree import TprEntry, TprTree
+
+__all__ = ["TimeParameterizedRect", "TprTree", "TprEntry"]

@@ -1,0 +1,349 @@
+"""The TPR-tree proper.
+
+Structure follows the classic R-tree; the difference is that every
+bounding rectangle is a :class:`TimeParameterizedRect` and all geometry
+decisions (subtree choice, splits) are evaluated at a *decision time*
+``t_ref + horizon / 2`` — the midpoint of the window the tree is tuned
+to answer, the standard simplification of the TPR-tree's integrated-area
+objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.geometry import Point, Rect, Velocity
+from repro.rtree.node import quadratic_split
+from repro.tprtree.tpbr import TimeParameterizedRect
+
+
+@dataclass(frozen=True, slots=True)
+class TprEntry:
+    """A search hit: the indexed moving point's key and TPBR."""
+
+    key: int
+    tpbr: TimeParameterizedRect
+
+
+@dataclass(slots=True, eq=False)
+class _Node:
+    is_leaf: bool
+    tpbr: Optional[TimeParameterizedRect] = None
+    entries: list[TprEntry] = field(default_factory=list)
+    children: list["_Node"] = field(default_factory=list)
+    parent: Optional["_Node"] = None
+
+    def item_count(self) -> int:
+        return len(self.entries) if self.is_leaf else len(self.children)
+
+    def recompute_tpbr(self) -> None:
+        tpbrs = (
+            [e.tpbr for e in self.entries]
+            if self.is_leaf
+            else [c.tpbr for c in self.children if c.tpbr is not None]
+        )
+        if not tpbrs:
+            self.tpbr = None
+            return
+        combined = tpbrs[0]
+        for tpbr in tpbrs[1:]:
+            combined = combined.union(tpbr)
+        self.tpbr = combined
+
+    def add_child(self, child: "_Node") -> None:
+        self.children.append(child)
+        child.parent = self
+
+
+class TprTree:
+    """A TPR-tree over moving points keyed by object id."""
+
+    def __init__(self, horizon: float = 60.0, max_entries: int = 16):
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if max_entries < 4:
+            raise ValueError(f"max_entries must be >= 4, got {max_entries}")
+        self.horizon = horizon
+        self.max_entries = max_entries
+        self.min_entries = max_entries // 2
+        self.now = 0.0
+        self._root = _Node(is_leaf=True)
+        self._leaf_of_key: dict[int, _Node] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._leaf_of_key)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._leaf_of_key
+
+    @property
+    def _decision_time(self) -> float:
+        return self.now + self.horizon / 2.0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, key: int, location: Point, velocity: Velocity, t: float
+    ) -> None:
+        """Index a moving point observed at ``(location, t)``."""
+        if key in self._leaf_of_key:
+            raise KeyError(f"key {key} already indexed")
+        if t < self.now:
+            raise ValueError(f"report time {t} precedes tree clock {self.now}")
+        self.now = max(self.now, t)
+        tpbr = TimeParameterizedRect.for_point(location, velocity, t)
+        leaf = self._choose_leaf(tpbr)
+        leaf.entries.append(TprEntry(key, tpbr))
+        self._leaf_of_key[key] = leaf
+        self._grow_path(leaf, tpbr)
+        if leaf.item_count() > self.max_entries:
+            self._split(leaf)
+
+    def delete(self, key: int) -> None:
+        leaf = self._leaf_of_key.pop(key)
+        leaf.entries = [e for e in leaf.entries if e.key != key]
+        self._condense(leaf)
+
+    def update(
+        self, key: int, location: Point, velocity: Velocity, t: float
+    ) -> None:
+        """Re-index a moving point after a fresh report (delete+insert —
+        the TPR-tree's standard update path)."""
+        self.delete(key)
+        self.insert(key, location, velocity, t)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search_at(self, region: Rect, t: float) -> Iterator[TprEntry]:
+        """Timeslice query: entries predicted to overlap ``region`` at ``t``."""
+        if t < self.now:
+            raise ValueError(f"cannot query the past: {t} < {self.now}")
+        root = self._root
+        if root.tpbr is None or not root.tpbr.intersects_at(region, t):
+            return
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    if entry.tpbr.intersects_at(region, t):
+                        yield entry
+            else:
+                for child in node.children:
+                    if child.tpbr is not None and child.tpbr.intersects_at(
+                        region, t
+                    ):
+                        stack.append(child)
+
+    def search_during(
+        self, region: Rect, t_start: float, t_end: float
+    ) -> Iterator[TprEntry]:
+        """Window query: entries whose predicted motion may overlap
+        ``region`` at some time in ``[t_start, t_end]``.
+
+        Leaf entries are *exact* (a point's TPBR is its true trajectory);
+        inner nodes prune conservatively.
+        """
+        if t_start < self.now:
+            raise ValueError(f"cannot query the past: {t_start} < {self.now}")
+        root = self._root
+        if root.tpbr is None or not root.tpbr.intersects_during(
+            region, t_start, t_end
+        ):
+            return
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    if self._point_enters(entry.tpbr, region, t_start, t_end):
+                        yield entry
+            else:
+                for child in node.children:
+                    if child.tpbr is not None and child.tpbr.intersects_during(
+                        region, t_start, t_end
+                    ):
+                        stack.append(child)
+
+    @staticmethod
+    def _point_enters(
+        tpbr: TimeParameterizedRect, region: Rect, t_start: float, t_end: float
+    ) -> bool:
+        """Exact test for a degenerate (point) TPBR via motion clipping."""
+        from repro.geometry import LinearMotion
+
+        motion = LinearMotion(
+            Point(tpbr.rect.min_x, tpbr.rect.min_y),
+            Velocity(tpbr.min_vx, tpbr.min_vy),
+            tpbr.t_ref,
+        )
+        start = max(t_start, tpbr.t_ref)
+        if t_end < start:
+            return False
+        return motion.time_in_rect(region, start, t_end) is not None
+
+    # ------------------------------------------------------------------
+    # Internals (R-tree machinery at the decision time)
+    # ------------------------------------------------------------------
+
+    def _choose_leaf(self, tpbr: TimeParameterizedRect) -> _Node:
+        t = self._decision_time
+        rect = tpbr.rect_at(t)
+        node = self._root
+        while not node.is_leaf:
+            best, best_key = None, None
+            for child in node.children:
+                assert child.tpbr is not None
+                child_rect = child.tpbr.rect_at(t)
+                enlargement = child_rect.union(rect).area - child_rect.area
+                key = (enlargement, child_rect.area)
+                if best_key is None or key < best_key:
+                    best, best_key = child, key
+            assert best is not None
+            node = best
+        return node
+
+    def _grow_path(self, node: _Node, tpbr: TimeParameterizedRect) -> None:
+        """Widen TPBRs from ``node`` to the root after adding ``tpbr``.
+
+        Unlike the static R-tree, each ancestor must be unioned with its
+        *child's updated TPBR*, not with the new entry: a TPBR union of
+        operands anchored at different times is a conservative cover, so
+        ``parent ∪ entry`` need not contain ``child ∪ entry``.
+        """
+        node.tpbr = tpbr if node.tpbr is None else node.tpbr.union(tpbr)
+        current = node
+        while current.parent is not None:
+            parent = current.parent
+            assert current.tpbr is not None
+            parent.tpbr = (
+                current.tpbr
+                if parent.tpbr is None
+                else parent.tpbr.union(current.tpbr)
+            )
+            current = parent
+
+    def _split(self, node: _Node) -> None:
+        t = self._decision_time
+        rects = (
+            [e.tpbr.rect_at(t) for e in node.entries]
+            if node.is_leaf
+            else [c.tpbr.rect_at(t) for c in node.children]  # type: ignore[union-attr]
+        )
+        group_a, group_b = quadratic_split(rects, self.min_entries)
+        sibling = _Node(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            entries = node.entries
+            node.entries = [entries[i] for i in group_a]
+            sibling.entries = [entries[i] for i in group_b]
+            for entry in sibling.entries:
+                self._leaf_of_key[entry.key] = sibling
+        else:
+            children = node.children
+            node.children = []
+            for i in group_a:
+                node.add_child(children[i])
+            for i in group_b:
+                sibling.add_child(children[i])
+        node.recompute_tpbr()
+        sibling.recompute_tpbr()
+
+        parent = node.parent
+        if parent is None:
+            new_root = _Node(is_leaf=False)
+            new_root.add_child(node)
+            new_root.add_child(sibling)
+            new_root.recompute_tpbr()
+            self._root = new_root
+            return
+        parent.add_child(sibling)
+        parent.recompute_tpbr()
+        if parent.item_count() > self.max_entries:
+            self._split(parent)
+
+    def _condense(self, node: _Node) -> None:
+        orphans: list[TprEntry] = []
+        current = node
+        while current.parent is not None:
+            parent = current.parent
+            if current.item_count() < self.min_entries:
+                parent.children.remove(current)
+                orphans.extend(self._collect(current))
+            else:
+                current.recompute_tpbr()
+            current = parent
+        current.recompute_tpbr()
+
+        while not self._root.is_leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._root.parent = None
+        if not self._root.is_leaf and not self._root.children:
+            self._root = _Node(is_leaf=True)
+
+        for entry in orphans:
+            del self._leaf_of_key[entry.key]
+            # Re-insert preserving the original observation.
+            leaf = self._choose_leaf(entry.tpbr)
+            leaf.entries.append(entry)
+            self._leaf_of_key[entry.key] = leaf
+            self._grow_path(leaf, entry.tpbr)
+            if leaf.item_count() > self.max_entries:
+                self._split(leaf)
+
+    def _collect(self, node: _Node) -> list[TprEntry]:
+        if node.is_leaf:
+            return list(node.entries)
+        collected: list[TprEntry] = []
+        for child in node.children:
+            collected.extend(self._collect(child))
+        return collected
+
+    # ------------------------------------------------------------------
+    # Invariants (tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Containment at sampled future times + structural soundness."""
+        sample_times = (
+            self.now,
+            self.now + self.horizon / 2,
+            self.now + self.horizon,
+        )
+        self._check_node(self._root, sample_times, is_root=True)
+        seen = {
+            entry.key
+            for leaf in set(self._leaf_of_key.values())
+            for entry in leaf.entries
+        }
+        assert seen == set(self._leaf_of_key), "leaf map out of sync"
+
+    def _check_node(self, node: _Node, times, is_root: bool = False) -> int:
+        if not is_root:
+            assert node.item_count() >= self.min_entries, "underfull node"
+        assert node.item_count() <= self.max_entries, "overfull node"
+        if node.is_leaf:
+            for entry in node.entries:
+                assert node.tpbr is not None
+                for t in times:
+                    if t >= max(node.tpbr.t_ref, entry.tpbr.t_ref):
+                        assert node.tpbr.contains_tpbr_at(entry.tpbr, t)
+            return 1
+        depths = set()
+        for child in node.children:
+            assert child.parent is node, "broken parent pointer"
+            assert node.tpbr is not None and child.tpbr is not None
+            for t in times:
+                if t >= max(node.tpbr.t_ref, child.tpbr.t_ref):
+                    assert node.tpbr.contains_tpbr_at(child.tpbr, t)
+            depths.add(self._check_node(child, times))
+        assert len(depths) == 1, "unbalanced tree"
+        return depths.pop() + 1

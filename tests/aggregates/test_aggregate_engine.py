@@ -1,0 +1,158 @@
+"""Continuous counts and density monitors."""
+
+import random
+
+import pytest
+
+from repro.aggregates import AggregateEngine, CellUpdate, CountUpdate
+from repro.geometry import Point, Rect
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture
+def engine() -> AggregateEngine:
+    return AggregateEngine(grid_size=8)
+
+
+class TestObjectStream:
+    def test_report_and_move(self, engine):
+        engine.report_object(1, Point(0.1, 0.1))
+        cell_a = engine.grid.cell_of(Point(0.1, 0.1))
+        assert engine.cell_count(cell_a) == 1
+        engine.report_object(1, Point(0.9, 0.9))
+        assert engine.cell_count(cell_a) == 0
+        assert engine.cell_count(engine.grid.cell_of(Point(0.9, 0.9))) == 1
+
+    def test_remove(self, engine):
+        engine.report_object(1, Point(0.1, 0.1))
+        engine.remove_object(1)
+        assert engine.object_count == 0
+        assert engine.cell_count(engine.grid.cell_of(Point(0.1, 0.1))) == 0
+        engine.remove_object(1)  # tolerated
+
+    def test_move_within_cell(self, engine):
+        engine.report_object(1, Point(0.11, 0.11))
+        engine.report_object(1, Point(0.12, 0.12))
+        assert engine.cell_count(engine.grid.cell_of(Point(0.11, 0.11))) == 1
+
+
+class TestCountQueries:
+    def test_initial_count_reported(self, engine):
+        engine.report_object(1, Point(0.5, 0.5))
+        engine.register_count_query(100, Rect(0.4, 0.4, 0.6, 0.6))
+        assert engine.evaluate() == [CountUpdate(100, 1)]
+
+    def test_zero_count_is_still_reported_once(self, engine):
+        engine.register_count_query(100, Rect(0.4, 0.4, 0.6, 0.6))
+        assert engine.evaluate() == [CountUpdate(100, 0)]
+        assert engine.evaluate() == []
+
+    def test_silent_when_count_unchanged(self, engine):
+        engine.report_object(1, Point(0.5, 0.5))
+        engine.report_object(2, Point(0.9, 0.9))
+        engine.register_count_query(100, Rect(0.4, 0.4, 0.6, 0.6))
+        engine.evaluate()
+        # One object leaves, another enters: net count unchanged.
+        engine.report_object(1, Point(0.95, 0.95))
+        engine.report_object(2, Point(0.45, 0.45))
+        assert engine.evaluate() == []
+
+    def test_count_changes_are_reported(self, engine):
+        engine.report_object(1, Point(0.5, 0.5))
+        engine.register_count_query(100, Rect(0.4, 0.4, 0.6, 0.6))
+        engine.evaluate()
+        engine.report_object(2, Point(0.55, 0.55))
+        assert engine.evaluate() == [CountUpdate(100, 2)]
+
+    def test_matches_brute_force_under_churn(self, engine):
+        rng = random.Random(7)
+        locations = {oid: Point(rng.random(), rng.random()) for oid in range(150)}
+        for oid, location in locations.items():
+            engine.report_object(oid, location)
+        regions = {
+            100 + i: Rect.square(Point(rng.random(), rng.random()), 0.3)
+            for i in range(10)
+        }
+        for qid, region in regions.items():
+            engine.register_count_query(qid, region)
+        engine.evaluate()
+        for __ in range(5):
+            for oid in rng.sample(sorted(locations), 50):
+                locations[oid] = Point(rng.random(), rng.random())
+                engine.report_object(oid, locations[oid])
+            engine.evaluate()
+            for qid, region in regions.items():
+                want = sum(
+                    1 for p in locations.values() if region.contains_point(p)
+                )
+                assert engine.count_of(qid) == want
+
+    def test_boundary_objects_counted_exactly(self, engine):
+        # Object exactly on the region border counts (closed semantics).
+        engine.report_object(1, Point(0.4, 0.4))
+        engine.register_count_query(100, Rect(0.4, 0.4, 0.6, 0.6))
+        assert engine.evaluate() == [CountUpdate(100, 1)]
+
+    def test_duplicate_qid_rejected(self, engine):
+        engine.register_count_query(100, UNIT)
+        with pytest.raises(KeyError):
+            engine.register_count_query(100, UNIT)
+        with pytest.raises(KeyError):
+            engine.register_density_monitor(100, 5)
+
+
+class TestDensityMonitors:
+    def test_threshold_must_be_positive(self, engine):
+        with pytest.raises(ValueError):
+            engine.register_density_monitor(100, 0)
+
+    def test_cell_becomes_dense(self, engine):
+        engine.register_density_monitor(100, threshold=3)
+        assert engine.evaluate() == []
+        for oid in range(3):
+            engine.report_object(oid, Point(0.51 + oid * 0.001, 0.51))
+        cell = engine.grid.cell_of(Point(0.51, 0.51))
+        assert engine.evaluate() == [CellUpdate(100, cell, 1)]
+        assert engine.dense_cells_of(100) == frozenset({cell})
+
+    def test_cell_stops_being_dense(self, engine):
+        engine.register_density_monitor(100, threshold=2)
+        engine.report_object(1, Point(0.51, 0.51))
+        engine.report_object(2, Point(0.52, 0.52))
+        engine.evaluate()
+        engine.report_object(2, Point(0.9, 0.9))
+        cell = engine.grid.cell_of(Point(0.51, 0.51))
+        assert engine.evaluate() == [CellUpdate(100, cell, -1)]
+        assert engine.dense_cells_of(100) == frozenset()
+
+    def test_stable_density_is_silent(self, engine):
+        engine.register_density_monitor(100, threshold=2)
+        engine.report_object(1, Point(0.51, 0.51))
+        engine.report_object(2, Point(0.52, 0.52))
+        engine.evaluate()
+        engine.report_object(1, Point(0.515, 0.515))  # stays in cell
+        assert engine.evaluate() == []
+
+    def test_multiple_monitors_with_different_thresholds(self, engine):
+        engine.register_density_monitor(100, threshold=1)
+        engine.register_density_monitor(200, threshold=3)
+        engine.report_object(1, Point(0.51, 0.51))
+        updates = engine.evaluate()
+        cell = engine.grid.cell_of(Point(0.51, 0.51))
+        assert updates == [CellUpdate(100, cell, 1)]
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            CellUpdate(1, 2, 0)
+
+
+class TestLifecycle:
+    def test_unregister(self, engine):
+        engine.register_count_query(100, UNIT)
+        engine.register_density_monitor(200, 2)
+        engine.unregister(100)
+        engine.unregister(200)
+        with pytest.raises(KeyError):
+            engine.unregister(100)
+        assert engine.evaluate() == []

@@ -1,0 +1,90 @@
+"""Property-based aggregate tests (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aggregates import AggregateEngine, CellUpdate, CountUpdate
+from repro.geometry import Point, Rect
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+oid_st = st.integers(0, 19)
+
+op_st = st.one_of(
+    st.tuples(st.just("report"), oid_st, coord, coord),
+    st.tuples(st.just("remove"), oid_st, coord, coord),
+)
+run_st = st.lists(st.lists(op_st, max_size=8), min_size=1, max_size=6)
+
+
+@st.composite
+def regions(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return Rect(x1, y1, x2, y2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(run_st, regions(), st.integers(1, 12))
+def test_counts_match_model_and_deltas_are_minimal(run, region, grid_size):
+    engine = AggregateEngine(grid_size=grid_size)
+    engine.register_count_query(100, region)
+    engine.evaluate()
+    model: dict[int, Point] = {}
+    last_reported = 0
+
+    for batch in run:
+        for op in batch:
+            if op[0] == "report":
+                __, oid, x, y = op
+                model[oid] = Point(x, y)
+                engine.report_object(oid, model[oid])
+            else:
+                __, oid, __, __ = op
+                model.pop(oid, None)
+                engine.remove_object(oid)
+        updates = [u for u in engine.evaluate() if isinstance(u, CountUpdate)]
+        want = sum(1 for p in model.values() if region.contains_point(p))
+        # Exactness: a fresh recount matches the model.
+        assert engine.count_of(100) == want
+        # Minimality: an update arrives iff the count changed.
+        if want != last_reported:
+            assert updates == [CountUpdate(100, want)]
+            last_reported = want
+        else:
+            assert updates == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(run_st, st.integers(1, 4), st.integers(2, 10))
+def test_density_monitor_matches_model(run, threshold, grid_size):
+    engine = AggregateEngine(grid_size=grid_size)
+    engine.register_density_monitor(500, threshold)
+    engine.evaluate()
+    model: dict[int, Point] = {}
+    reported_dense: set[int] = set()
+
+    for batch in run:
+        for op in batch:
+            if op[0] == "report":
+                __, oid, x, y = op
+                model[oid] = Point(x, y)
+                engine.report_object(oid, model[oid])
+            else:
+                __, oid, __, __ = op
+                model.pop(oid, None)
+                engine.remove_object(oid)
+        updates = [u for u in engine.evaluate() if isinstance(u, CellUpdate)]
+        for update in updates:
+            if update.sign == 1:
+                assert update.cell not in reported_dense
+                reported_dense.add(update.cell)
+            else:
+                assert update.cell in reported_dense
+                reported_dense.discard(update.cell)
+        # The incrementally maintained set equals a model recount.
+        counts: dict[int, int] = {}
+        for p in model.values():
+            cell = engine.grid.cell_of(p)
+            counts[cell] = counts.get(cell, 0) + 1
+        want = {cell for cell, n in counts.items() if n >= threshold}
+        assert reported_dense == want
+        assert engine.dense_cells_of(500) == frozenset(want)

@@ -1,0 +1,143 @@
+"""Baseline engines: correctness agreement and modelled limitations."""
+
+import random
+
+import pytest
+
+from repro.baselines import PerQueryEngine, QIndexEngine, SnapshotEngine
+from repro.core import IncrementalEngine
+from repro.geometry import Point, Rect
+
+
+def workload(n_objects=150, n_queries=40, side=0.1, seed=0):
+    rng = random.Random(seed)
+    objects = {oid: Point(rng.random(), rng.random()) for oid in range(n_objects)}
+    queries = {
+        1000 + i: Rect.square(Point(rng.random(), rng.random()), side)
+        for i in range(n_queries)
+    }
+    return objects, queries
+
+
+def brute(objects, queries):
+    return {
+        qid: frozenset(
+            oid for oid, p in objects.items() if region.contains_point(p)
+        )
+        for qid, region in queries.items()
+    }
+
+
+ENGINES = [SnapshotEngine, QIndexEngine, PerQueryEngine]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_initial_answers_match_oracle(self, engine_cls):
+        objects, queries = workload()
+        engine = engine_cls()
+        for oid, location in objects.items():
+            engine.report_object(oid, location, 0.0)
+        for qid, region in queries.items():
+            engine.register_range_query(qid, region)
+        assert engine.evaluate(0.0) == brute(objects, queries)
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_answers_track_object_movement(self, engine_cls):
+        rng = random.Random(1)
+        objects, queries = workload(seed=1)
+        engine = engine_cls()
+        for oid, location in objects.items():
+            engine.report_object(oid, location, 0.0)
+        for qid, region in queries.items():
+            engine.register_range_query(qid, region)
+        engine.evaluate(0.0)
+        for oid in rng.sample(sorted(objects), 50):
+            objects[oid] = Point(rng.random(), rng.random())
+            engine.report_object(oid, objects[oid], 1.0)
+        assert engine.evaluate(1.0) == brute(objects, queries)
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_object_removal(self, engine_cls):
+        objects, queries = workload(n_objects=20, seed=2)
+        engine = engine_cls()
+        for oid, location in objects.items():
+            engine.report_object(oid, location, 0.0)
+        for qid, region in queries.items():
+            engine.register_range_query(qid, region)
+        engine.remove_object(3)
+        del objects[3]
+        assert engine.evaluate(0.0) == brute(objects, queries)
+
+    @pytest.mark.parametrize("engine_cls", [SnapshotEngine, PerQueryEngine])
+    def test_query_movement(self, engine_cls):
+        objects, queries = workload(seed=3)
+        engine = engine_cls()
+        for oid, location in objects.items():
+            engine.report_object(oid, location, 0.0)
+        for qid, region in queries.items():
+            engine.register_range_query(qid, region)
+        engine.evaluate(0.0)
+        moved_qid = next(iter(queries))
+        queries[moved_qid] = Rect.square(Point(0.2, 0.8), 0.2)
+        engine.move_range_query(moved_qid, queries[moved_qid], 1.0)
+        assert engine.evaluate(1.0) == brute(objects, queries)
+
+    def test_baselines_agree_with_incremental_engine(self):
+        objects, queries = workload(seed=4)
+        incremental = IncrementalEngine(grid_size=16)
+        others = [SnapshotEngine(), QIndexEngine(), PerQueryEngine()]
+        for oid, location in objects.items():
+            incremental.report_object(oid, location, 0.0)
+            for engine in others:
+                engine.report_object(oid, location, 0.0)
+        for qid, region in queries.items():
+            incremental.register_range_query(qid, region)
+            for engine in others:
+                engine.register_range_query(qid, region)
+        incremental.evaluate(0.0)
+        for engine in others:
+            answers = engine.evaluate(0.0)
+            for qid in queries:
+                assert answers[qid] == incremental.answer_of(qid)
+
+
+class TestModelledLimitations:
+    def test_qindex_rejects_moving_queries(self):
+        engine = QIndexEngine()
+        engine.register_range_query(1, Rect(0, 0, 0.1, 0.1))
+        with pytest.raises(NotImplementedError):
+            engine.move_range_query(1, Rect(0.5, 0.5, 0.6, 0.6), 1.0)
+
+    def test_qindex_bulk_register_rejects_duplicates(self):
+        engine = QIndexEngine()
+        engine.register_range_query(1, Rect(0, 0, 0.1, 0.1))
+        with pytest.raises(KeyError):
+            engine.bulk_register({1: Rect(0, 0, 0.2, 0.2)})
+
+    def test_snapshot_duplicate_registration_rejected(self):
+        engine = SnapshotEngine()
+        engine.register_range_query(1, Rect(0, 0, 0.1, 0.1))
+        with pytest.raises(KeyError):
+            engine.register_range_query(1, Rect(0, 0, 0.1, 0.1))
+
+    def test_answer_bytes_is_full_retransmission(self):
+        engine = SnapshotEngine()
+        engine.report_object(1, Point(0.05, 0.05), 0.0)
+        engine.register_range_query(1, Rect(0, 0, 0.1, 0.1))
+        answers = engine.evaluate(0.0)
+        assert engine.answer_bytes(answers) == 16 + 8
+
+
+class TestBulkRegister:
+    def test_qindex_bulk_equals_incremental_registration(self):
+        objects, queries = workload(seed=5)
+        one_by_one = QIndexEngine()
+        bulk = QIndexEngine()
+        for oid, location in objects.items():
+            one_by_one.report_object(oid, location, 0.0)
+            bulk.report_object(oid, location, 0.0)
+        for qid, region in queries.items():
+            one_by_one.register_range_query(qid, region)
+        bulk.bulk_register(queries)
+        assert one_by_one.evaluate(0.0) == bulk.evaluate(0.0)

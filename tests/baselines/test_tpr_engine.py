@@ -1,0 +1,99 @@
+"""TPR-tree predictive baseline vs the incremental engine."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines import TprPredictiveEngine
+from repro.core import IncrementalEngine
+from repro.geometry import Point, Rect, Velocity
+
+
+def random_velocity(rng: random.Random, top_speed: float = 0.005) -> Velocity:
+    heading = rng.uniform(0, 2 * math.pi)
+    speed = rng.uniform(0.0, top_speed)
+    return Velocity(speed * math.cos(heading), speed * math.sin(heading))
+
+
+class TestBasics:
+    def test_registration_validation(self):
+        engine = TprPredictiveEngine(horizon=60.0)
+        engine.register_predictive_query(1, Rect(0, 0, 0.1, 0.1), 30.0)
+        with pytest.raises(KeyError):
+            engine.register_predictive_query(1, Rect(0, 0, 0.1, 0.1), 30.0)
+        with pytest.raises(ValueError):
+            engine.register_predictive_query(2, Rect(0, 0, 0.1, 0.1), 120.0)
+
+    def test_report_and_evaluate(self):
+        engine = TprPredictiveEngine(horizon=100.0)
+        engine.report_object(1, Point(0.1, 0.45), 0.0, Velocity(0.01, 0.0))
+        engine.register_predictive_query(9, Rect(0.4, 0.4, 0.5, 0.5), 50.0)
+        answers = engine.evaluate(0.0)
+        assert answers[9] == frozenset({1})
+
+    def test_update_changes_answer(self):
+        engine = TprPredictiveEngine(horizon=100.0)
+        engine.report_object(1, Point(0.1, 0.45), 0.0, Velocity(0.01, 0.0))
+        engine.register_predictive_query(9, Rect(0.4, 0.4, 0.5, 0.5), 50.0)
+        engine.evaluate(0.0)
+        engine.report_object(1, Point(0.15, 0.45), 5.0, Velocity(-0.01, 0.0))
+        assert engine.evaluate(5.0)[9] == frozenset()
+
+    def test_remove_and_unregister(self):
+        engine = TprPredictiveEngine(horizon=100.0)
+        engine.report_object(1, Point(0.45, 0.45), 0.0)
+        engine.register_predictive_query(9, Rect(0.4, 0.4, 0.5, 0.5), 50.0)
+        engine.remove_object(1)
+        assert engine.evaluate(0.0)[9] == frozenset()
+        engine.unregister_query(9)
+        assert engine.evaluate(0.0) == {}
+
+    def test_clock_discipline(self):
+        engine = TprPredictiveEngine()
+        engine.evaluate(10.0)
+        with pytest.raises(ValueError):
+            engine.evaluate(5.0)
+        with pytest.raises(ValueError):
+            engine.report_object(1, Point(0, 0), 5.0)
+
+
+class TestAgreementWithIncrementalEngine:
+    def test_answers_match_under_churn(self):
+        rng = random.Random(13)
+        tpr = TprPredictiveEngine(horizon=100.0)
+        incremental = IncrementalEngine(grid_size=16, prediction_horizon=100.0)
+
+        fleet = {}
+        for oid in range(60):
+            fleet[oid] = (Point(rng.random(), rng.random()), random_velocity(rng))
+            location, velocity = fleet[oid]
+            tpr.report_object(oid, location, 0.0, velocity)
+            incremental.report_object(oid, location, 0.0, velocity)
+
+        regions = {
+            100 + i: Rect.square(Point(rng.random(), rng.random()), 0.15)
+            for i in range(8)
+        }
+        for qid, region in regions.items():
+            tpr.register_predictive_query(qid, region, 40.0)
+            incremental.register_predictive_query(qid, region, 40.0)
+
+        incremental.evaluate(0.0)
+        answers = tpr.evaluate(0.0)
+        for qid in regions:
+            assert answers[qid] == incremental.answer_of(qid), qid
+
+        for step in range(1, 5):
+            now = step * 5.0
+            for oid in rng.sample(sorted(fleet), 20):
+                location, velocity = fleet[oid]
+                position = velocity.displace(location, 5.0)
+                new_velocity = random_velocity(rng)
+                fleet[oid] = (position, new_velocity)
+                tpr.report_object(oid, position, now, new_velocity)
+                incremental.report_object(oid, position, now, new_velocity)
+            incremental.evaluate(now)
+            answers = tpr.evaluate(now)
+            for qid in regions:
+                assert answers[qid] == incremental.answer_of(qid), (step, qid)

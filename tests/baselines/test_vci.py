@@ -1,0 +1,139 @@
+"""Velocity-Constrained Indexing baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines import VCIEngine
+from repro.geometry import Point, Rect
+
+
+def drifting_workload(seed: int = 0, n_objects: int = 100, n_queries: int = 20):
+    rng = random.Random(seed)
+    objects = {oid: Point(rng.random(), rng.random()) for oid in range(n_objects)}
+    queries = {
+        1000 + i: Rect.square(Point(rng.random(), rng.random()), 0.2)
+        for i in range(n_queries)
+    }
+    return rng, objects, queries
+
+
+def drift(rng, objects, max_step: float):
+    """Move every object by at most max_step in each axis (bounded speed)."""
+    for oid, p in list(objects.items()):
+        objects[oid] = Point(
+            min(1.0, max(0.0, p.x + rng.uniform(-max_step, max_step))),
+            min(1.0, max(0.0, p.y + rng.uniform(-max_step, max_step))),
+        )
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            VCIEngine(max_speed=0.0)
+
+    def test_staleness_and_expansion(self):
+        engine = VCIEngine(max_speed=0.01)
+        engine.rebuild(0.0)
+        engine.evaluate(5.0)
+        assert engine.staleness == 5.0
+        assert engine.expansion == pytest.approx(0.05)
+
+
+class TestCorrectness:
+    def test_exact_at_rebuild_time(self):
+        __, objects, queries = drifting_workload()
+        engine = VCIEngine(max_speed=0.01)
+        for oid, location in objects.items():
+            engine.report_object(oid, location, 0.0)
+        for qid, region in queries.items():
+            engine.register_range_query(qid, region)
+        engine.rebuild(0.0)
+        answers = engine.evaluate(0.0)
+        for qid, region in queries.items():
+            want = {oid for oid, p in objects.items() if region.contains_point(p)}
+            assert set(answers[qid]) == want
+
+    def test_exact_under_bounded_drift_without_reindexing(self):
+        """The defining VCI property: answers stay exact as objects move,
+        with zero index maintenance, as long as speed stays bounded."""
+        rng, objects, queries = drifting_workload(seed=1)
+        max_speed = 0.004  # per second; 0.02 per 5-second cycle
+        engine = VCIEngine(max_speed=max_speed)
+        for oid, location in objects.items():
+            engine.report_object(oid, location, 0.0)
+        for qid, region in queries.items():
+            engine.register_range_query(qid, region)
+        engine.rebuild(0.0)
+        for cycle in range(1, 6):
+            now = cycle * 5.0
+            drift(rng, objects, max_step=max_speed * 5.0)
+            for oid, location in objects.items():
+                engine.report_object(oid, location, now)
+            answers = engine.evaluate(now)
+            for qid, region in queries.items():
+                want = {
+                    oid for oid, p in objects.items() if region.contains_point(p)
+                }
+                assert set(answers[qid]) == want, (cycle, qid)
+
+    def test_speed_violation_breaks_guarantee(self):
+        """An object teleporting beyond v_max * dt can be missed — the
+        documented failure mode that motivates conservative v_max."""
+        engine = VCIEngine(max_speed=0.001)
+        engine.report_object(1, Point(0.1, 0.1), 0.0)
+        engine.register_range_query(100, Rect(0.8, 0.8, 0.9, 0.9))
+        engine.rebuild(0.0)
+        engine.report_object(1, Point(0.85, 0.85), 5.0)  # way over the limit
+        answers = engine.evaluate(5.0)
+        assert answers[100] == frozenset()  # missed: candidate never probed
+
+    def test_newborn_objects_are_visible_before_rebuild(self):
+        engine = VCIEngine(max_speed=0.01)
+        engine.rebuild(0.0)
+        engine.register_range_query(100, Rect(0.4, 0.4, 0.6, 0.6))
+        engine.report_object(7, Point(0.5, 0.5), 3.0)
+        answers = engine.evaluate(3.0)
+        assert answers[100] == frozenset({7})
+
+    def test_removal(self):
+        engine = VCIEngine(max_speed=0.01)
+        engine.report_object(1, Point(0.5, 0.5), 0.0)
+        engine.register_range_query(100, Rect(0.4, 0.4, 0.6, 0.6))
+        engine.rebuild(0.0)
+        engine.remove_object(1)
+        assert engine.evaluate(1.0)[100] == frozenset()
+
+
+class TestCosts:
+    def test_probe_count_grows_with_staleness(self):
+        """The VCI trade-off: older index => bigger expansion => more
+        candidates refined per query."""
+        rng, objects, queries = drifting_workload(seed=2, n_objects=300)
+        engine = VCIEngine(max_speed=0.01)
+        for oid, location in objects.items():
+            engine.report_object(oid, location, 0.0)
+        for qid, region in queries.items():
+            engine.register_range_query(qid, region)
+        engine.rebuild(0.0)
+        engine.evaluate(1.0)
+        fresh_probes = engine.probe_count
+        engine.probe_count = 0
+        engine.evaluate(30.0)
+        stale_probes = engine.probe_count
+        assert stale_probes > fresh_probes
+
+    def test_rebuild_resets_expansion(self):
+        engine = VCIEngine(max_speed=0.01)
+        engine.report_object(1, Point(0.5, 0.5), 0.0)
+        engine.rebuild(0.0)
+        engine.evaluate(20.0)
+        assert engine.expansion > 0
+        engine.rebuild(20.0)
+        assert engine.expansion == 0.0
+
+    def test_time_cannot_go_backwards(self):
+        engine = VCIEngine(max_speed=0.01)
+        engine.evaluate(5.0)
+        with pytest.raises(ValueError):
+            engine.evaluate(4.0)

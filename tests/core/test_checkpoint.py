@@ -1,0 +1,110 @@
+"""Engine checkpoint / restore through the storage manager."""
+
+import os
+import random
+
+import pytest
+
+from repro.core import IncrementalEngine
+from repro.core.checkpoint import restore_engine, save_engine
+from repro.geometry import Point, Rect, Velocity
+from repro.storage import BufferPool, DiskManager, InMemoryDiskManager
+
+
+def populated_engine(seed: int = 0) -> IncrementalEngine:
+    rng = random.Random(seed)
+    engine = IncrementalEngine(grid_size=16, prediction_horizon=100.0)
+    for oid in range(80):
+        velocity = (
+            Velocity(rng.uniform(-0.01, 0.01), rng.uniform(-0.01, 0.01))
+            if oid % 4 == 0
+            else Velocity.ZERO
+        )
+        engine.report_object(
+            oid, Point(rng.random(), rng.random()), 0.0, velocity
+        )
+    for i in range(20):
+        engine.register_range_query(
+            100 + i, Rect.square(Point(rng.random(), rng.random()), 0.2)
+        )
+    for i in range(5):
+        engine.register_knn_query(200 + i, Point(rng.random(), rng.random()), 3)
+    for i in range(5):
+        engine.register_predictive_query(
+            300 + i,
+            Rect.square(Point(rng.random(), rng.random()), 0.2),
+            horizon=50.0,
+        )
+    engine.evaluate(10.0)
+    return engine
+
+
+class TestRoundTrip:
+    def test_answers_survive_checkpoint(self):
+        engine = populated_engine()
+        pool = BufferPool(InMemoryDiskManager(), capacity=16)
+        manifest = save_engine(engine, pool)
+        restored = restore_engine(manifest, pool)
+        assert restored.object_count == engine.object_count
+        assert restored.query_count == engine.query_count
+        for qid in engine.queries:
+            assert restored.answer_of(qid) == engine.answer_of(qid), qid
+        restored.check_invariants()
+
+    def test_object_state_is_preserved(self):
+        engine = populated_engine()
+        pool = BufferPool(InMemoryDiskManager(), capacity=16)
+        restored = restore_engine(save_engine(engine, pool), pool)
+        for oid, state in engine.objects.items():
+            mirror = restored.objects[oid]
+            assert mirror.location == state.location
+            assert mirror.velocity == state.velocity
+            assert mirror.t == state.t
+
+    def test_clock_is_preserved(self):
+        engine = populated_engine()
+        pool = BufferPool(InMemoryDiskManager(), capacity=16)
+        restored = restore_engine(save_engine(engine, pool), pool)
+        assert restored.now == engine.now
+
+    def test_restored_engine_keeps_evolving_correctly(self):
+        engine = populated_engine()
+        pool = BufferPool(InMemoryDiskManager(), capacity=16)
+        restored = restore_engine(save_engine(engine, pool), pool)
+        rng = random.Random(9)
+        for step in range(1, 4):
+            now = 10.0 + step
+            for oid in rng.sample(range(80), 30):
+                p = Point(rng.random(), rng.random())
+                engine.report_object(oid, p, now)
+                restored.report_object(oid, p, now)
+            engine.evaluate(now)
+            restored.evaluate(now)
+        for qid in engine.queries:
+            assert restored.answer_of(qid) == engine.answer_of(qid)
+
+    def test_empty_engine_round_trips(self):
+        engine = IncrementalEngine(grid_size=8)
+        pool = BufferPool(InMemoryDiskManager(), capacity=4)
+        restored = restore_engine(save_engine(engine, pool), pool)
+        assert restored.object_count == 0
+        assert restored.query_count == 0
+
+
+class TestDurability:
+    def test_checkpoint_survives_process_restart(self, tmp_path):
+        """Full durability loop: save, flush, close the file, reopen
+        with a fresh buffer pool, restore."""
+        path = os.path.join(tmp_path, "checkpoint.pages")
+        engine = populated_engine(seed=3)
+
+        disk = DiskManager(path)
+        pool = BufferPool(disk, capacity=8)
+        manifest = save_engine(engine, pool)
+        pool.flush_all()
+        disk.close()
+
+        with DiskManager(path) as disk2:
+            restored = restore_engine(manifest, BufferPool(disk2, capacity=8))
+            for qid in engine.queries:
+                assert restored.answer_of(qid) == engine.answer_of(qid)

@@ -1,0 +1,82 @@
+"""CommittedAnswerStore unit tests and server engine adoption."""
+
+import pytest
+
+from repro.core import CommittedAnswerStore, IncrementalEngine, LocationAwareServer, Update
+from repro.geometry import Point, Rect
+
+
+class TestCommittedAnswerStore:
+    def test_default_committed_answer_is_empty(self):
+        store = CommittedAnswerStore()
+        assert store.committed_answer(1) == frozenset()
+
+    def test_commit_and_read_back(self):
+        store = CommittedAnswerStore()
+        store.commit(1, frozenset({1, 2, 3}))
+        assert store.committed_answer(1) == frozenset({1, 2, 3})
+        assert store.tracked_queries() == {1}
+
+    def test_recommit_overwrites(self):
+        store = CommittedAnswerStore()
+        store.commit(1, frozenset({1}))
+        store.commit(1, frozenset({2}))
+        assert store.committed_answer(1) == frozenset({2})
+
+    def test_forget(self):
+        store = CommittedAnswerStore()
+        store.commit(1, frozenset({1}))
+        store.forget(1)
+        assert store.committed_answer(1) == frozenset()
+        store.forget(99)  # tolerated
+
+    def test_recovery_updates_are_the_exact_diff(self):
+        store = CommittedAnswerStore()
+        store.commit(7, frozenset({1, 2}))
+        updates = store.recovery_updates(7, frozenset({1, 3, 4}))
+        assert updates == [
+            Update.negative(7, 2),
+            Update.positive(7, 3),
+            Update.positive(7, 4),
+        ]
+
+    def test_recovery_from_no_commit_is_full_positive_answer(self):
+        store = CommittedAnswerStore()
+        updates = store.recovery_updates(7, frozenset({5, 6}))
+        assert updates == [Update.positive(7, 5), Update.positive(7, 6)]
+
+    def test_recovery_when_nothing_changed_is_empty(self):
+        store = CommittedAnswerStore()
+        store.commit(7, frozenset({1}))
+        assert store.recovery_updates(7, frozenset({1})) == []
+
+
+class TestEngineAdoption:
+    def test_server_adopts_restored_engine(self):
+        engine = IncrementalEngine(grid_size=8)
+        engine.report_object(1, Point(0.5, 0.5), 0.0)
+        engine.register_range_query(500, Rect(0.4, 0.4, 0.6, 0.6))
+        engine.evaluate(0.0)
+
+        server = LocationAwareServer(engine=engine)
+        server.register_client(1)
+        server.adopt_query(500, client_id=1)
+        assert server.queries_of(1) == frozenset({500})
+        # The adopted query keeps flowing updates through the server.
+        server.receive_object_report(1, Point(0.9, 0.9), 1.0)
+        result = server.evaluate_cycle(1.0)
+        assert len(result.updates) == 1
+
+    def test_adopt_unknown_query_raises(self):
+        server = LocationAwareServer(grid_size=8)
+        server.register_client(1)
+        with pytest.raises(KeyError):
+            server.adopt_query(999, client_id=1)
+
+    def test_adopt_requires_known_client(self):
+        engine = IncrementalEngine(grid_size=8)
+        engine.register_range_query(500, Rect(0, 0, 1, 1))
+        engine.evaluate(0.0)
+        server = LocationAwareServer(engine=engine)
+        with pytest.raises(KeyError):
+            server.adopt_query(500, client_id=42)

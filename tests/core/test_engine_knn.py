@@ -1,0 +1,134 @@
+"""Incremental k-NN query processing."""
+
+import random
+
+import pytest
+
+from repro.core import IncrementalEngine, Update
+from repro.geometry import Point, Rect
+
+
+@pytest.fixture
+def engine():
+    return IncrementalEngine(grid_size=8)
+
+
+def place_line(engine, xs, t=0.0):
+    """Objects 0..n-1 along y=0.5 at the given x positions."""
+    for oid, x in enumerate(xs):
+        engine.report_object(oid, Point(x, 0.5), t)
+
+
+class TestFirstAnswer:
+    def test_initial_k_nearest(self, engine):
+        place_line(engine, [0.50, 0.52, 0.56, 0.70, 0.90])
+        engine.register_knn_query(100, Point(0.5, 0.5), k=3)
+        updates = engine.evaluate(0.0)
+        assert engine.answer_of(100) == frozenset({0, 1, 2})
+        assert all(u.is_positive for u in updates)
+
+    def test_radius_is_kth_distance(self, engine):
+        place_line(engine, [0.50, 0.52, 0.56])
+        engine.register_knn_query(100, Point(0.5, 0.5), k=3)
+        engine.evaluate(0.0)
+        assert engine.queries[100].radius == pytest.approx(0.06)
+
+    def test_underfull_population(self, engine):
+        place_line(engine, [0.1, 0.9])
+        engine.register_knn_query(100, Point(0.5, 0.5), k=5)
+        engine.evaluate(0.0)
+        assert engine.answer_of(100) == frozenset({0, 1})
+
+    def test_k_must_be_positive(self, engine):
+        with pytest.raises(ValueError):
+            engine.register_knn_query(100, Point(0.5, 0.5), k=0)
+
+
+class TestMaintenance:
+    def test_intruder_evicts_furthest(self, engine):
+        place_line(engine, [0.50, 0.52, 0.56, 0.90])
+        engine.register_knn_query(100, Point(0.5, 0.5), k=3)
+        engine.evaluate(0.0)
+        # Object 3 moves inside the circle, displacing object 2.
+        engine.report_object(3, Point(0.51, 0.5), 1.0)
+        updates = engine.evaluate(1.0)
+        assert set(updates) == {Update.negative(100, 2), Update.positive(100, 3)}
+        assert engine.answer_of(100) == frozenset({0, 1, 3})
+
+    def test_departing_member_is_replaced(self, engine):
+        place_line(engine, [0.50, 0.52, 0.56, 0.60])
+        engine.register_knn_query(100, Point(0.5, 0.5), k=3)
+        engine.evaluate(0.0)
+        engine.report_object(1, Point(0.95, 0.5), 1.0)
+        updates = engine.evaluate(1.0)
+        assert set(updates) == {Update.negative(100, 1), Update.positive(100, 3)}
+        assert engine.queries[100].radius == pytest.approx(0.10)
+
+    def test_member_moving_within_circle_is_silent(self, engine):
+        place_line(engine, [0.50, 0.52, 0.56, 0.90])
+        engine.register_knn_query(100, Point(0.5, 0.5), k=3)
+        engine.evaluate(0.0)
+        engine.report_object(1, Point(0.53, 0.5), 1.0)
+        assert engine.evaluate(1.0) == []
+
+    def test_underfull_query_captures_new_arrivals(self, engine):
+        place_line(engine, [0.5])
+        engine.register_knn_query(100, Point(0.5, 0.5), k=3)
+        engine.evaluate(0.0)
+        assert engine.answer_of(100) == frozenset({0})
+        # A brand-new object appears far away; with k unfilled it joins.
+        engine.report_object(50, Point(0.05, 0.05), 1.0)
+        updates = engine.evaluate(1.0)
+        assert updates == [Update.positive(100, 50)]
+
+    def test_removal_of_member_triggers_replacement(self, engine):
+        place_line(engine, [0.50, 0.52, 0.56, 0.60])
+        engine.register_knn_query(100, Point(0.5, 0.5), k=3)
+        engine.evaluate(0.0)
+        engine.remove_object(1)
+        updates = engine.evaluate(1.0)
+        assert Update.negative(100, 1) in updates
+        assert Update.positive(100, 3) in updates
+        assert engine.answer_of(100) == frozenset({0, 2, 3})
+
+    def test_moving_knn_query(self, engine):
+        place_line(engine, [0.1, 0.2, 0.8, 0.9])
+        engine.register_knn_query(100, Point(0.0, 0.5), k=2)
+        engine.evaluate(0.0)
+        assert engine.answer_of(100) == frozenset({0, 1})
+        engine.move_knn_query(100, Point(1.0, 0.5), 1.0)
+        updates = engine.evaluate(1.0)
+        assert engine.answer_of(100) == frozenset({2, 3})
+        assert set(updates) == {
+            Update.negative(100, 0),
+            Update.negative(100, 1),
+            Update.positive(100, 2),
+            Update.positive(100, 3),
+        }
+
+
+class TestOracle:
+    def test_randomised_maintenance_matches_brute_force(self, engine):
+        rng = random.Random(42)
+        locations = {oid: Point(rng.random(), rng.random()) for oid in range(60)}
+        for oid, location in locations.items():
+            engine.report_object(oid, location, 0.0)
+        centers = {100 + i: Point(rng.random(), rng.random()) for i in range(8)}
+        for qid, center in centers.items():
+            engine.register_knn_query(qid, center, k=4)
+        engine.evaluate(0.0)
+        for step in range(1, 10):
+            for oid in rng.sample(sorted(locations), 20):
+                locations[oid] = Point(rng.random(), rng.random())
+                engine.report_object(oid, locations[oid], float(step))
+            engine.evaluate(float(step))
+            engine.check_invariants()
+            for qid, center in centers.items():
+                want = {
+                    oid
+                    for __, oid in sorted(
+                        (p.distance_to(center), oid)
+                        for oid, p in locations.items()
+                    )[:4]
+                }
+                assert set(engine.answer_of(qid)) == want, (step, qid)

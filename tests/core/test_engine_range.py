@@ -1,0 +1,154 @@
+"""Incremental range query processing."""
+
+import pytest
+
+from repro.core import IncrementalEngine, Update
+from repro.geometry import Point, Rect
+
+
+@pytest.fixture
+def engine():
+    return IncrementalEngine(grid_size=8)
+
+
+class TestFirstAnswer:
+    def test_initial_positives(self, engine):
+        engine.report_object(1, Point(0.55, 0.55), 0.0)
+        engine.report_object(2, Point(0.1, 0.1), 0.0)
+        engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+        updates = engine.evaluate(0.0)
+        assert Update.positive(100, 1) in updates
+        assert engine.answer_of(100) == frozenset({1})
+
+    def test_empty_region(self, engine):
+        engine.report_object(1, Point(0.9, 0.9), 0.0)
+        engine.register_range_query(100, Rect(0.0, 0.0, 0.1, 0.1))
+        assert engine.evaluate(0.0) == []
+        assert engine.answer_of(100) == frozenset()
+
+    def test_boundary_object_included(self, engine):
+        engine.report_object(1, Point(0.5, 0.5), 0.0)
+        engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+        engine.evaluate(0.0)
+        assert engine.answer_of(100) == frozenset({1})
+
+
+class TestObjectMovement:
+    def test_enter_and_leave(self, engine):
+        engine.report_object(1, Point(0.1, 0.1), 0.0)
+        engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+        engine.evaluate(0.0)
+
+        engine.report_object(1, Point(0.55, 0.55), 1.0)
+        assert engine.evaluate(1.0) == [Update.positive(100, 1)]
+
+        engine.report_object(1, Point(0.9, 0.9), 2.0)
+        assert engine.evaluate(2.0) == [Update.negative(100, 1)]
+
+    def test_move_within_region_is_silent(self, engine):
+        engine.report_object(1, Point(0.52, 0.52), 0.0)
+        engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+        engine.evaluate(0.0)
+        engine.report_object(1, Point(0.58, 0.58), 1.0)
+        assert engine.evaluate(1.0) == []
+
+    def test_move_outside_all_queries_is_silent(self, engine):
+        engine.report_object(1, Point(0.1, 0.1), 0.0)
+        engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+        engine.evaluate(0.0)
+        engine.report_object(1, Point(0.2, 0.2), 1.0)
+        assert engine.evaluate(1.0) == []
+
+    def test_long_jump_across_grid(self, engine):
+        """An object teleporting across many cells still updates correctly."""
+        engine.report_object(1, Point(0.05, 0.05), 0.0)
+        engine.register_range_query(100, Rect(0.0, 0.0, 0.1, 0.1))
+        engine.register_range_query(200, Rect(0.9, 0.9, 1.0, 1.0))
+        engine.evaluate(0.0)
+        engine.report_object(1, Point(0.95, 0.95), 1.0)
+        updates = engine.evaluate(1.0)
+        assert set(updates) == {Update.negative(100, 1), Update.positive(200, 1)}
+
+    def test_one_object_many_queries(self, engine):
+        for qid in range(100, 110):
+            engine.register_range_query(qid, Rect(0.4, 0.4, 0.6, 0.6))
+        engine.report_object(1, Point(0.5, 0.5), 0.0)
+        updates = engine.evaluate(0.0)
+        assert len(updates) == 10 and all(u.is_positive for u in updates)
+
+    def test_rereport_same_location_is_silent(self, engine):
+        engine.report_object(1, Point(0.55, 0.55), 0.0)
+        engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+        engine.evaluate(0.0)
+        engine.report_object(1, Point(0.55, 0.55), 1.0)
+        assert engine.evaluate(1.0) == []
+
+    def test_last_report_wins_within_batch(self, engine):
+        engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+        engine.report_object(1, Point(0.55, 0.55), 0.0)
+        engine.report_object(1, Point(0.1, 0.1), 0.5)
+        assert engine.evaluate(1.0) == []
+        assert engine.objects[1].location == Point(0.1, 0.1)
+
+
+class TestQueryMovement:
+    def test_move_produces_negatives_then_positives(self, engine):
+        engine.report_object(1, Point(0.55, 0.55), 0.0)
+        engine.report_object(2, Point(0.75, 0.75), 0.0)
+        engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+        engine.evaluate(0.0)
+        engine.move_range_query(100, Rect(0.7, 0.7, 0.8, 0.8), 1.0)
+        updates = engine.evaluate(1.0)
+        assert updates == [Update.negative(100, 1), Update.positive(100, 2)]
+
+    def test_overlapping_move_keeps_shared_members(self, engine):
+        engine.report_object(1, Point(0.55, 0.55), 0.0)
+        engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+        engine.evaluate(0.0)
+        # New region still contains object 1: no updates at all.
+        engine.move_range_query(100, Rect(0.52, 0.52, 0.62, 0.62), 1.0)
+        assert engine.evaluate(1.0) == []
+        assert engine.answer_of(100) == frozenset({1})
+
+    def test_simultaneous_object_and_query_moves(self, engine):
+        engine.report_object(1, Point(0.55, 0.55), 0.0)
+        engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+        engine.evaluate(0.0)
+        # Query moves away from the object AND the object chases it.
+        engine.move_range_query(100, Rect(0.7, 0.7, 0.8, 0.8), 1.0)
+        engine.report_object(1, Point(0.75, 0.75), 1.0)
+        updates = engine.evaluate(1.0)
+        # Net effect: object still in answer; any -/+ pair must cancel.
+        assert engine.answer_of(100) == frozenset({1})
+        applied = set()
+        for update in updates:
+            if update.is_positive:
+                applied.add(update.oid)
+            else:
+                applied.discard(update.oid)
+
+    def test_move_unknown_query_raises(self, engine):
+        engine.move_range_query(999, Rect(0, 0, 1, 1), 0.0)
+        with pytest.raises(KeyError):
+            engine.evaluate(0.0)
+
+    def test_query_moving_off_world_empties_answer(self, engine):
+        engine.report_object(1, Point(0.55, 0.55), 0.0)
+        engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
+        engine.evaluate(0.0)
+        engine.move_range_query(100, Rect(1.5, 1.5, 1.6, 1.6), 1.0)
+        updates = engine.evaluate(1.0)
+        assert updates == [Update.negative(100, 1)]
+        assert engine.answer_of(100) == frozenset()
+
+
+class TestClock:
+    def test_time_cannot_go_backwards(self, engine):
+        engine.evaluate(5.0)
+        with pytest.raises(ValueError):
+            engine.evaluate(4.0)
+
+    def test_evaluate_without_time_reuses_now(self, engine):
+        engine.evaluate(5.0)
+        engine.evaluate()
+        assert engine.now == 5.0

@@ -1,0 +1,90 @@
+"""Expanding-ring k-NN search over the grid."""
+
+import random
+
+import pytest
+
+from repro.core.knn import knn_search
+from repro.core.state import ObjectState
+from repro.geometry import Point, Rect, Velocity
+from repro.grid import Grid, GridIndex
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def populate(count: int, seed: int, grid_size: int = 12):
+    rng = random.Random(seed)
+    index = GridIndex(Grid(UNIT, grid_size))
+    objects: dict[int, ObjectState] = {}
+    for oid in range(count):
+        location = Point(rng.random(), rng.random())
+        objects[oid] = ObjectState(oid, location, Velocity.ZERO, 0.0)
+        index.place_object_at(oid, location)
+    return index, objects
+
+
+def brute(objects, center, k, exclude=None):
+    ranked = sorted(
+        (state.location.distance_to(center), oid)
+        for oid, state in objects.items()
+        if not (exclude and oid in exclude)
+    )
+    return ranked[:k]
+
+
+class TestKnnSearch:
+    @pytest.mark.parametrize("k", [1, 3, 10, 50])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, k, seed):
+        index, objects = populate(120, seed)
+        for center in (Point(0.5, 0.5), Point(0.02, 0.98), Point(0.9, 0.1)):
+            got = knn_search(index, objects, center, k)
+            want = brute(objects, center, k)
+            assert [oid for __, oid in got] == [oid for __, oid in want]
+            for (gd, __), (wd, __) in zip(got, want):
+                assert gd == pytest.approx(wd)
+
+    def test_population_smaller_than_k(self):
+        index, objects = populate(4, seed=3)
+        got = knn_search(index, objects, Point(0.5, 0.5), 10)
+        assert len(got) == 4
+
+    def test_empty_population(self):
+        index = GridIndex(Grid(UNIT, 8))
+        assert knn_search(index, {}, Point(0.5, 0.5), 3) == []
+
+    def test_exclusion(self):
+        index, objects = populate(60, seed=4)
+        center = Point(0.4, 0.6)
+        full = knn_search(index, objects, center, 5)
+        excluded = {full[0][1], full[1][1]}
+        got = knn_search(index, objects, center, 5, exclude=excluded)
+        want = brute(objects, center, 5, exclude=excluded)
+        assert [oid for __, oid in got] == [oid for __, oid in want]
+
+    def test_k_must_be_positive(self):
+        index, objects = populate(5, seed=5)
+        with pytest.raises(ValueError):
+            knn_search(index, objects, Point(0, 0), 0)
+
+    def test_results_sorted_by_distance(self):
+        index, objects = populate(80, seed=6)
+        got = knn_search(index, objects, Point(0.3, 0.3), 12)
+        distances = [d for d, __ in got]
+        assert distances == sorted(distances)
+
+    def test_center_outside_world(self):
+        index, objects = populate(40, seed=7)
+        got = knn_search(index, objects, Point(2.0, 2.0), 3)
+        want = brute(objects, Point(2.0, 2.0), 3)
+        assert [oid for __, oid in got] == [oid for __, oid in want]
+
+    def test_tie_break_by_oid(self):
+        index = GridIndex(Grid(UNIT, 8))
+        objects = {}
+        # Two objects equidistant from the probe.
+        for oid, location in ((5, Point(0.4, 0.5)), (2, Point(0.6, 0.5))):
+            objects[oid] = ObjectState(oid, location, Velocity.ZERO, 0.0)
+            index.place_object_at(oid, location)
+        got = knn_search(index, objects, Point(0.5, 0.5), 1)
+        assert got[0][1] == 2  # smaller oid wins the tie

@@ -1,0 +1,91 @@
+"""Property tests for moving k-NN queries (carried centers)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IncrementalEngine, apply_updates
+from repro.geometry import Point
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+population_st = st.lists(
+    st.tuples(coord, coord), min_size=1, max_size=30
+)
+center_path_st = st.lists(st.tuples(coord, coord), min_size=1, max_size=8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(population_st, center_path_st, st.integers(1, 6), st.integers(2, 12))
+def test_moving_knn_tracks_oracle_along_any_path(
+    population, path, k, grid_size
+):
+    """Wherever the query center wanders, the answer equals brute force
+    and the emitted update stream replays to it."""
+    engine = IncrementalEngine(grid_size=grid_size)
+    locations = {
+        oid: Point(x, y) for oid, (x, y) in enumerate(population)
+    }
+    for oid, location in locations.items():
+        engine.report_object(oid, location, 0.0)
+    center = Point(0.5, 0.5)
+    engine.register_knn_query(900, center, k)
+    engine.evaluate(0.0)
+    previous = set(engine.answer_of(900))
+
+    now = 0.0
+    for x, y in path:
+        now += 1.0
+        center = Point(x, y)
+        engine.move_knn_query(900, center, now)
+        updates = engine.evaluate(now)
+        engine.check_invariants()
+
+        want = {
+            oid
+            for __, oid in sorted(
+                (p.distance_to(center), oid) for oid, p in locations.items()
+            )[:k]
+        }
+        got = set(engine.answer_of(900))
+        assert got == want
+
+        replayed = apply_updates(previous, [u for u in updates if u.qid == 900])
+        assert replayed == got
+        previous = got
+
+
+@settings(max_examples=40, deadline=None)
+@given(population_st, st.integers(1, 6))
+def test_knn_radius_invariant(population, k):
+    """After any evaluation, the stored circle radius equals the distance
+    of the furthest answer member (or 0 for an empty answer)."""
+    engine = IncrementalEngine(grid_size=8)
+    for oid, (x, y) in enumerate(population):
+        engine.report_object(oid, Point(x, y), 0.0)
+    engine.register_knn_query(900, Point(0.5, 0.5), k)
+    engine.evaluate(0.0)
+    query = engine.queries[900]
+    if query.answer:
+        furthest = max(
+            engine.objects[oid].location.distance_to(query.center)
+            for oid in query.answer
+        )
+        assert abs(query.radius - furthest) < 1e-12
+    else:
+        assert query.radius == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(population_st, st.integers(1, 4))
+def test_knn_answer_members_lie_within_circle(population, k):
+    engine = IncrementalEngine(grid_size=8)
+    for oid, (x, y) in enumerate(population):
+        engine.report_object(oid, Point(x, y), 0.0)
+    engine.register_knn_query(900, Point(0.25, 0.75), k)
+    engine.evaluate(0.0)
+    query = engine.queries[900]
+    circle = query.circle()
+    for oid in query.answer:
+        # Allow boundary tolerance: the radius IS the k-th distance.
+        location = engine.objects[oid].location
+        assert location.distance_to(query.center) <= query.radius + 1e-12
+        assert circle.with_radius(query.radius + 1e-9).contains_point(location)

@@ -1,0 +1,166 @@
+"""Out-of-sync clients and the committed-answer recovery protocol (Fig. 4)."""
+
+import pytest
+
+from repro.core import Client, LocationAwareServer, Update
+from repro.geometry import Point, Rect
+
+REGION = Rect(0.4, 0.4, 0.6, 0.6)
+INSIDE = Point(0.5, 0.5)
+OUTSIDE = Point(0.9, 0.9)
+
+
+def make_pair():
+    server = LocationAwareServer(grid_size=8)
+    client = Client(client_id=1, server=server)
+    return server, client
+
+
+class TestFigure4Timeline:
+    """The paper's exact walkthrough: answer (p1, p2) committed at T1;
+    the client misses (-p2) and later changes while disconnected; on
+    wakeup the server ships the committed-vs-current diff."""
+
+    def test_recovery_diff_matches_paper(self):
+        server, client = make_pair()
+        server.register_range_query(1, 500, REGION, 0.0)
+        client.track_query(500)
+        for oid, location in ((1, INSIDE), (2, Point(0.55, 0.55))):
+            server.receive_object_report(oid, location, 0.0)
+        server.receive_object_report(3, OUTSIDE, 0.0)
+        server.receive_object_report(4, OUTSIDE, 0.0)
+        server.evaluate_cycle(0.0)
+        client.pump()
+        assert client.answer_of(500) == frozenset({1, 2})
+
+        # T1: commit (p1, p2) — the client acknowledges explicitly.
+        client.send_commit(500)
+
+        # Client disconnects; the world keeps changing.
+        client.disconnect()
+        server.receive_object_report(2, OUTSIDE, 1.0)  # -p2, lost
+        server.evaluate_cycle(1.0)
+        server.receive_object_report(3, Point(0.45, 0.45), 2.0)  # +p3, lost
+        server.receive_object_report(4, Point(0.42, 0.58), 2.0)  # +p4, lost
+        server.evaluate_cycle(2.0)
+        assert server.engine.answer_of(500) == frozenset({1, 3, 4})
+        assert client.answer_of(500) == frozenset({1, 2})  # stale
+
+        # T3: wakeup.  The recovery delta is exactly (-p2, +p3, +p4).
+        sent = server.receive_wakeup(1)
+        assert sent == [
+            Update.negative(500, 2),
+            Update.positive(500, 3),
+            Update.positive(500, 4),
+        ]
+        client.pump()
+        assert client.answer_of(500) == frozenset({1, 3, 4})
+
+    def test_naive_client_would_be_wrong_without_recovery(self):
+        """Reproduces the paper's erroneous-result motivation: applying
+        post-outage updates without recovery leaves a stale member."""
+        server, client = make_pair()
+        server.register_range_query(1, 500, REGION, 0.0)
+        client.track_query(500)
+        server.receive_object_report(1, INSIDE, 0.0)
+        server.receive_object_report(2, Point(0.55, 0.55), 0.0)
+        server.evaluate_cycle(0.0)
+        client.pump()
+
+        client.disconnect()
+        server.receive_object_report(2, OUTSIDE, 1.0)
+        server.evaluate_cycle(1.0)  # (-p2) lost
+
+        # Client silently reconnects WITHOUT the wakeup protocol.
+        client.link.reconnect()
+        server.receive_object_report(3, Point(0.5, 0.45), 2.0)
+        server.evaluate_cycle(2.0)  # (+p3) delivered
+        client.pump()
+        # The stale p2 is still in the client answer: exactly the bug.
+        assert client.answer_of(500) == frozenset({1, 2, 3})
+        assert server.engine.answer_of(500) == frozenset({1, 3})
+
+
+class TestCommitTriggers:
+    def test_moving_query_uplink_commits(self):
+        server, client = make_pair()
+        server.register_range_query(1, 500, REGION, 0.0)
+        client.track_query(500)
+        server.receive_object_report(1, INSIDE, 0.0)
+        server.evaluate_cycle(0.0)
+        client.pump()
+        assert server.commits.committed_answer(500) == frozenset()
+        # Any movement report from the query commits its latest answer.
+        server.receive_range_query_move(500, REGION, 1.0)
+        client.note_uplink_commit(500)
+        assert server.commits.committed_answer(500) == frozenset({1})
+
+    def test_stationary_query_needs_explicit_commit(self):
+        server, client = make_pair()
+        server.register_range_query(1, 500, REGION, 0.0)
+        client.track_query(500)
+        server.receive_object_report(1, INSIDE, 0.0)
+        server.evaluate_cycle(0.0)
+        assert server.commits.committed_answer(500) == frozenset()
+        client.send_commit(500)
+        assert server.commits.committed_answer(500) == frozenset({1})
+
+    def test_wakeup_commits_recovered_answer(self):
+        server, client = make_pair()
+        server.register_range_query(1, 500, REGION, 0.0)
+        client.track_query(500)
+        server.receive_object_report(1, INSIDE, 0.0)
+        server.evaluate_cycle(0.0)
+        client.disconnect()
+        client.reconnect()
+        assert server.commits.committed_answer(500) == frozenset({1})
+
+    def test_commit_for_unknown_query_raises(self):
+        server, __ = make_pair()
+        with pytest.raises(KeyError):
+            server.receive_commit(999)
+
+
+class TestClientRollback:
+    def test_uncommitted_updates_roll_back_on_wakeup(self):
+        """Updates delivered after the last commit but before an outage
+        must not survive the recovery diff (they are folded back in by
+        the diff itself when still valid)."""
+        server, client = make_pair()
+        server.register_range_query(1, 500, REGION, 0.0)
+        client.track_query(500)
+        server.receive_object_report(1, INSIDE, 0.0)
+        server.evaluate_cycle(0.0)
+        client.pump()
+        client.send_commit(500)  # committed: {1}
+
+        # Delivered but never committed: +p2.
+        server.receive_object_report(2, Point(0.58, 0.58), 1.0)
+        server.evaluate_cycle(1.0)
+        client.pump()
+        assert client.answer_of(500) == frozenset({1, 2})
+
+        # Outage; meanwhile p2 leaves again (the client never learns).
+        client.disconnect()
+        server.receive_object_report(2, OUTSIDE, 2.0)
+        server.evaluate_cycle(2.0)
+
+        client.reconnect()
+        assert client.answer_of(500) == frozenset({1})
+        assert client.answer_of(500) == server.engine.answer_of(500)
+
+    def test_repeated_disconnects(self):
+        server, client = make_pair()
+        server.register_range_query(1, 500, REGION, 0.0)
+        client.track_query(500)
+        positions = [INSIDE, OUTSIDE, Point(0.45, 0.5), OUTSIDE, INSIDE]
+        server.receive_object_report(1, positions[0], 0.0)
+        server.evaluate_cycle(0.0)
+        client.pump()
+        client.send_commit(500)
+        for step, location in enumerate(positions[1:], start=1):
+            client.disconnect()
+            server.receive_object_report(1, location, float(step))
+            server.evaluate_cycle(float(step))
+            client.reconnect()
+            assert client.answer_of(500) == server.engine.answer_of(500)

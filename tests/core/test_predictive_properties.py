@@ -1,0 +1,82 @@
+"""Property-based tests for predictive query processing (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IncrementalEngine, apply_updates
+from repro.geometry import LinearMotion, Point, Rect, Velocity
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+speed = st.floats(min_value=-0.0078125, max_value=0.0078125, allow_nan=False, width=32)
+oid_st = st.integers(0, 9)
+
+report_st = st.tuples(oid_st, coord, coord, speed, speed)
+batch_st = st.lists(report_st, max_size=6)
+run_st = st.lists(batch_st, min_size=1, max_size=5)
+
+HORIZON = 50.0
+PREDICTION_HORIZON = 100.0
+
+
+@st.composite
+def regions(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return Rect(x1, y1, x2, y2)
+
+
+def oracle_membership(engine: IncrementalEngine, qid: int) -> set[int]:
+    """Brute-force predicted membership from raw engine state."""
+    query = engine.queries[qid]
+    members = set()
+    for oid, state in engine.objects.items():
+        start = max(engine.now, state.t)
+        end = min(
+            engine.now + query.horizon, state.t + engine.prediction_horizon
+        )
+        if end < start:
+            continue
+        motion = LinearMotion(state.location, state.velocity, state.t)
+        if motion.time_in_rect(query.region, start, end) is not None:
+            members.add(oid)
+    return members
+
+
+@settings(max_examples=50, deadline=None)
+@given(run_st, regions(), st.integers(2, 12))
+def test_predictive_answers_match_oracle(run, region, grid_size):
+    engine = IncrementalEngine(
+        grid_size=grid_size, prediction_horizon=PREDICTION_HORIZON
+    )
+    engine.register_predictive_query(500, region, HORIZON)
+    engine.evaluate(0.0)
+    previous = set(engine.answer_of(500))
+
+    now = 0.0
+    for batch in run:
+        now += 7.0
+        for oid, x, y, vx, vy in batch:
+            engine.report_object(oid, Point(x, y), now, Velocity(vx, vy))
+        updates = engine.evaluate(now)
+        engine.check_invariants()
+
+        got = set(engine.answer_of(500))
+        assert got == oracle_membership(engine, 500)
+
+        replayed = apply_updates(previous, [u for u in updates if u.qid == 500])
+        assert replayed == got
+        previous = got
+
+
+@settings(max_examples=50, deadline=None)
+@given(batch_st, regions())
+def test_window_drift_without_reports_matches_oracle(batch, region):
+    """Answers stay oracle-correct as time passes with NO new reports —
+    the sliding-window refresh is doing the work."""
+    engine = IncrementalEngine(grid_size=8, prediction_horizon=PREDICTION_HORIZON)
+    engine.register_predictive_query(500, region, HORIZON)
+    for oid, x, y, vx, vy in batch:
+        engine.report_object(oid, Point(x, y), 0.0, Velocity(vx, vy))
+    engine.evaluate(0.0)
+    for now in (10.0, 25.0, 49.0, 80.0, 120.0):
+        engine.evaluate(now)
+        assert set(engine.answer_of(500)) == oracle_membership(engine, 500)

@@ -1,0 +1,122 @@
+"""Property-based tests on the engine's central invariants.
+
+Two properties carry the whole design:
+
+1. **Oracle equivalence** — after any sequence of buffered reports,
+   moves, removals and evaluations, every answer set equals a
+   brute-force recomputation over current state.
+2. **Update-stream consistency** — a client that starts from the
+   previously reported answers and applies the emitted updates in order
+   arrives at exactly the new answers.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IncrementalEngine, apply_updates
+from repro.geometry import Point, Rect
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+oid_st = st.integers(0, 14)
+qid_st = st.integers(100, 107)
+
+# One scripted action per tuple; a batch is a list of actions, a run is
+# a list of batches separated by evaluate() calls.
+action_st = st.one_of(
+    st.tuples(st.just("report"), oid_st, coord, coord),
+    st.tuples(st.just("remove"), oid_st, coord, coord),
+    st.tuples(st.just("move_q"), qid_st, coord, coord),
+)
+run_st = st.lists(st.lists(action_st, max_size=8), min_size=1, max_size=6)
+
+
+def brute_force_range_answers(engine: IncrementalEngine) -> dict[int, set[int]]:
+    answers: dict[int, set[int]] = {}
+    for qid, query in engine.queries.items():
+        answers[qid] = {
+            oid
+            for oid, state in engine.objects.items()
+            if query.region.contains_point(state.location)
+        }
+    return answers
+
+
+@settings(max_examples=60, deadline=None)
+@given(run_st, st.integers(1, 12))
+def test_range_answers_match_oracle_and_streams_are_consistent(run, grid_size):
+    engine = IncrementalEngine(grid_size=grid_size)
+    for qid in range(100, 108):
+        engine.register_range_query(qid, Rect.square(Point(0.5, 0.5), 0.3))
+    previous = {qid: set() for qid in range(100, 108)}
+    engine.evaluate(0.0)
+    # Registration itself emits the (empty) first-time answers.
+    previous = {qid: set(engine.answer_of(qid)) for qid in range(100, 108)}
+
+    now = 0.0
+    for batch in run:
+        now += 1.0
+        for action in batch:
+            if action[0] == "report":
+                __, oid, x, y = action
+                engine.report_object(oid, Point(x, y), now)
+            elif action[0] == "remove":
+                engine.remove_object(action[1])
+            else:
+                __, qid, x, y = action
+                engine.move_range_query(qid, Rect.square(Point(x, y), 0.3), now)
+        updates = engine.evaluate(now)
+        engine.check_invariants()
+
+        # Property 1: oracle equivalence.
+        oracle = brute_force_range_answers(engine)
+        for qid in range(100, 108):
+            assert set(engine.answer_of(qid)) == oracle[qid]
+
+        # Property 2: update-stream consistency.
+        for qid in range(100, 108):
+            own_updates = [u for u in updates if u.qid == qid]
+            replayed = apply_updates(previous[qid], own_updates)
+            assert replayed == set(engine.answer_of(qid)), qid
+            previous[qid] = replayed
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(oid_st, coord, coord), min_size=1, max_size=25),
+    st.lists(st.tuples(oid_st, coord, coord), max_size=25),
+    st.integers(1, 6),
+)
+def test_knn_answers_match_oracle(initial, moves, k):
+    engine = IncrementalEngine(grid_size=10)
+    locations: dict[int, Point] = {}
+    for oid, x, y in initial:
+        locations[oid] = Point(x, y)
+        engine.report_object(oid, locations[oid], 0.0)
+    center = Point(0.5, 0.5)
+    engine.register_knn_query(500, center, k)
+    engine.evaluate(0.0)
+
+    for step, (oid, x, y) in enumerate(moves, start=1):
+        locations[oid] = Point(x, y)
+        engine.report_object(oid, locations[oid], float(step))
+        engine.evaluate(float(step))
+        want = {
+            o
+            for __, o in sorted(
+                (p.distance_to(center), o) for o, p in locations.items()
+            )[:k]
+        }
+        assert set(engine.answer_of(500)) == want
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(oid_st, coord, coord), min_size=1, max_size=30))
+def test_no_duplicate_live_memberships(reports):
+    """After any run, answer sets and reverse lists agree exactly."""
+    engine = IncrementalEngine(grid_size=8)
+    engine.register_range_query(100, Rect(0.25, 0.25, 0.75, 0.75))
+    for step, (oid, x, y) in enumerate(reports):
+        engine.report_object(oid, Point(x, y), float(step))
+        if step % 3 == 0:
+            engine.evaluate(float(step))
+    engine.evaluate(float(len(reports)))
+    engine.check_invariants()

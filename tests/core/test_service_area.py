@@ -1,0 +1,108 @@
+"""Service-area semantics: clamped locations, clipped regions.
+
+Regression suite for a real bug: an object whose reported location (or
+predicted trajectory) left the unit world could satisfy the un-clipped
+portion of a query region that also hung off the map — geometry the
+grid cannot index, so the incremental engine silently missed the
+update while the TPR baseline reported it.  The fix makes the service
+area authoritative for every engine: locations clamp into the world,
+regions clip to it.
+"""
+
+import pytest
+
+from repro.baselines import (
+    PerQueryEngine,
+    QIndexEngine,
+    SnapshotEngine,
+    TprPredictiveEngine,
+    VCIEngine,
+)
+from repro.core import IncrementalEngine
+from repro.geometry import Point, Rect, Velocity
+
+
+class TestClamping:
+    def test_off_world_report_is_clamped(self):
+        engine = IncrementalEngine(grid_size=8)
+        engine.report_object(1, Point(1.5, -0.5), 0.0)
+        engine.evaluate(0.0)
+        assert engine.objects[1].location == Point(1.0, 0.0)
+
+    def test_edge_straddling_region_is_clipped(self):
+        engine = IncrementalEngine(grid_size=8)
+        engine.register_range_query(100, Rect(0.9, 0.9, 1.2, 1.2))
+        engine.evaluate(0.0)
+        assert engine.queries[100].region == Rect(0.9, 0.9, 1.0, 1.0)
+
+    def test_fully_off_world_region_pins_to_boundary(self):
+        engine = IncrementalEngine(grid_size=8)
+        engine.report_object(1, Point(1.0, 1.0), 0.0)
+        engine.register_range_query(100, Rect(2.0, 2.0, 3.0, 3.0))
+        engine.evaluate(0.0)
+        # Pinned at (1, 1): the clamped corner object is exactly there.
+        assert engine.answer_of(100) == frozenset({1})
+
+
+class TestCrossEngineAgreementAtTheEdge:
+    def test_regression_trajectory_through_off_world_region_chunk(self):
+        """The exact scenario that diverged: an object at the north
+        edge whose trajectory crossed the off-world part of a region.
+        Both engines must now agree (on the clipped geometry)."""
+        region = Rect(0.7114, 0.9670, 0.7615, 1.0170)  # pokes above y=1
+        incremental = IncrementalEngine(grid_size=64, prediction_horizon=60.0)
+        tpr = TprPredictiveEngine(horizon=60.0)
+        location = Point(0.6529, 1.0008)  # off-world report
+        velocity = Velocity(0.0016456, 0.0004558)
+        for engine in (incremental, tpr):
+            engine.report_object(753, location, 5.0, velocity)
+        incremental.register_predictive_query(22, region, 40.0, t=5.0)
+        tpr.register_predictive_query(22, region, 40.0)
+        incremental.evaluate(5.0)
+        answers = tpr.evaluate(5.0)
+        assert answers[22] == incremental.answer_of(22)
+
+    def test_range_engines_agree_on_edge_workload(self):
+        """Objects and queries pushed at/over the boundary: all range
+        engines produce identical answers."""
+        locations = {
+            1: Point(1.0, 1.0),
+            2: Point(0.99, 1.3),  # clamps to (0.99, 1.0)
+            3: Point(-0.2, 0.5),  # clamps to (0.0, 0.5)
+        }
+        regions = {
+            100: Rect(0.95, 0.95, 1.10, 1.10),
+            200: Rect(-0.5, 0.4, 0.05, 0.6),
+            300: Rect(1.5, 1.5, 2.0, 2.0),  # fully off-world
+        }
+        engines = [
+            IncrementalEngine(grid_size=16),
+            SnapshotEngine(grid_size=16),
+            QIndexEngine(),
+            PerQueryEngine(),
+            VCIEngine(max_speed=0.01),
+        ]
+        for engine in engines:
+            for oid, location in locations.items():
+                engine.report_object(oid, location, 0.0)
+            for qid, region in regions.items():
+                engine.register_range_query(qid, region)
+        engines[-1].rebuild(0.0)
+        incremental = engines[0]
+        incremental.evaluate(0.0)
+        reference = {qid: incremental.answer_of(qid) for qid in regions}
+        for engine in engines[1:]:
+            answers = engine.evaluate(0.0)
+            for qid in regions:
+                assert answers[qid] == reference[qid], (type(engine), qid)
+
+    def test_expected_edge_answers(self):
+        engine = IncrementalEngine(grid_size=16)
+        engine.report_object(1, Point(1.0, 1.0), 0.0)
+        engine.report_object(2, Point(0.99, 1.3), 0.0)
+        engine.report_object(3, Point(-0.2, 0.5), 0.0)
+        engine.register_range_query(100, Rect(0.95, 0.95, 1.10, 1.10))
+        engine.register_range_query(200, Rect(-0.5, 0.4, 0.05, 0.6))
+        engine.evaluate(0.0)
+        assert engine.answer_of(100) == frozenset({1, 2})
+        assert engine.answer_of(200) == frozenset({3})

@@ -1,0 +1,116 @@
+"""End-to-end simulation harness."""
+
+import pytest
+
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.generator import WorkloadConfig
+
+
+def small_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        object_count=200,
+        workload=WorkloadConfig(range_queries=100, side=0.05, seed=1),
+        grid_size=16,
+        blocks=6,
+        seed=2,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestBootstrap:
+    def test_initial_cycle_recorded(self):
+        sim = Simulation(small_config())
+        assert len(sim.results) == 1
+        assert sim.server.engine.object_count == 200
+        assert sim.server.engine.query_count == 100
+
+    def test_mixed_workload_bootstrap(self):
+        sim = Simulation(
+            small_config(
+                workload=WorkloadConfig(
+                    range_queries=30, knn_queries=10, predictive_queries=5, seed=3
+                )
+            )
+        )
+        assert sim.server.engine.query_count == 45
+
+
+class TestRunning:
+    def test_run_appends_results(self):
+        sim = Simulation(small_config())
+        results = sim.run(4)
+        assert len(results) == 4
+        assert len(sim.results) == 5
+
+    def test_client_mirrors_server_answers(self):
+        sim = Simulation(small_config())
+        sim.run(5)
+        for qid in sim.workload.specs:
+            assert sim.client.answer_of(qid) == sim.server.engine.answer_of(qid)
+
+    def test_engine_invariants_hold_under_load(self):
+        sim = Simulation(
+            small_config(
+                workload=WorkloadConfig(
+                    range_queries=50, knn_queries=10, predictive_queries=5,
+                    moving_fraction=0.6, seed=4,
+                )
+            )
+        )
+        for __ in range(5):
+            sim.step()
+            sim.server.engine.check_invariants()
+
+    def test_incremental_answers_match_snapshot_recomputation(self):
+        """The server's evolved answers equal a from-scratch recompute."""
+        sim = Simulation(small_config())
+        sim.run(5)
+        engine = sim.server.engine
+        for qid, spec in sim.workload.specs.items():
+            want = {
+                oid
+                for oid, state in engine.objects.items()
+                if spec.region().contains_point(state.location)
+            }
+            assert set(engine.answer_of(qid)) == want
+
+
+class TestAccounting:
+    def test_report_fraction_limits_churn(self):
+        quiet = Simulation(small_config(object_report_fraction=0.0, seed=9))
+        quiet.run(3)
+        busy = Simulation(small_config(object_report_fraction=1.0, seed=9))
+        busy.run(3)
+        assert quiet.mean_incremental_kb() <= busy.mean_incremental_kb()
+
+    def test_zero_report_fraction_with_stationary_queries_is_silent(self):
+        sim = Simulation(
+            small_config(
+                object_report_fraction=0.0,
+                workload=WorkloadConfig(
+                    range_queries=50, moving_fraction=0.0, seed=5
+                ),
+            )
+        )
+        results = sim.run(3)
+        assert all(r.incremental_bytes == 0 for r in results)
+        assert all(r.complete_bytes > 0 for r in results)
+
+    def test_incremental_beats_complete_on_paper_workload(self):
+        sim = Simulation(
+            small_config(
+                object_count=500,
+                workload=WorkloadConfig(
+                    range_queries=500, side=0.03, moving_fraction=0.5, seed=6
+                ),
+            )
+        )
+        sim.run(6)
+        assert sim.mean_incremental_kb() < sim.mean_complete_kb()
+
+    def test_mean_kb_skips_bootstrap_cycle(self):
+        sim = Simulation(small_config())
+        assert sim.mean_incremental_kb() == 0.0  # no post-bootstrap cycles
+        sim.run(1)
+        assert sim.mean_incremental_kb() >= 0.0

@@ -1,0 +1,60 @@
+"""The update algebra: construction, diffing, application."""
+
+import pytest
+
+from repro.core import Update, apply_updates, diff_answers
+
+
+class TestUpdate:
+    def test_signs(self):
+        assert Update.positive(1, 2).is_positive
+        assert not Update.negative(1, 2).is_positive
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            Update(1, 2, 0)
+
+    def test_paper_notation(self):
+        assert str(Update.positive(1, 5)) == "(Q1, +p5)"
+        assert str(Update.negative(2, 7)) == "(Q2, -p7)"
+
+
+class TestDiff:
+    def test_identical_sets_produce_nothing(self):
+        assert diff_answers(1, {1, 2}, {1, 2}) == []
+
+    def test_pure_additions(self):
+        updates = diff_answers(1, set(), {3, 1, 2})
+        assert updates == [
+            Update.positive(1, 1),
+            Update.positive(1, 2),
+            Update.positive(1, 3),
+        ]
+
+    def test_pure_removals(self):
+        updates = diff_answers(1, {3, 1}, set())
+        assert updates == [Update.negative(1, 1), Update.negative(1, 3)]
+
+    def test_negatives_precede_positives(self):
+        updates = diff_answers(9, {1}, {2})
+        assert updates == [Update.negative(9, 1), Update.positive(9, 2)]
+
+
+class TestApply:
+    def test_round_trip(self):
+        old, new = {1, 2, 3}, {2, 4}
+        assert apply_updates(old, diff_answers(7, old, new)) == new
+
+    def test_apply_does_not_mutate_input(self):
+        answer = {1, 2}
+        apply_updates(answer, [Update.negative(1, 1)])
+        assert answer == {1, 2}
+
+    def test_redundant_updates_are_idempotent(self):
+        answer = apply_updates({1}, [Update.positive(9, 1), Update.negative(9, 5)])
+        assert answer == {1}
+
+    def test_order_matters_for_conflicts(self):
+        ups = [Update.negative(1, 5), Update.positive(1, 5)]
+        assert apply_updates({5}, ups) == {5}
+        assert apply_updates({5}, list(reversed(ups))) == set()

@@ -1,0 +1,129 @@
+"""Object lifecycle and congestion extensions of the simulator."""
+
+import pytest
+
+from repro.generator import MovingObjectSimulator, manhattan_city
+
+
+@pytest.fixture(scope="module")
+def city():
+    return manhattan_city(blocks=6)
+
+
+class TestValidation:
+    def test_bad_lifecycle_args(self, city):
+        with pytest.raises(ValueError):
+            MovingObjectSimulator(city, 5, routes_per_life=0)
+        with pytest.raises(ValueError):
+            MovingObjectSimulator(city, 5, arrivals_per_tick=-1)
+        with pytest.raises(ValueError):
+            MovingObjectSimulator(city, 5, congestion_alpha=-0.1)
+        with pytest.raises(ValueError):
+            MovingObjectSimulator(city, 5, edge_capacity=0)
+
+
+class TestLifecycle:
+    def test_objects_retire_after_their_routes(self, city):
+        sim = MovingObjectSimulator(
+            city, 30, seed=1, route_mode="walk", walk_length=2,
+            routes_per_life=1,
+        )
+        departed = []
+        for __ in range(100):
+            sim.tick(30.0)
+            departed.extend(sim.departed)
+            if not sim.object_ids:
+                break
+        assert sorted(departed) == list(range(30))
+        assert sim.object_ids == []
+
+    def test_departed_resets_each_tick(self, city):
+        sim = MovingObjectSimulator(
+            city, 10, seed=2, route_mode="walk", walk_length=2,
+            routes_per_life=1,
+        )
+        while sim.object_ids:
+            sim.tick(30.0)
+        sim_departed_last = list(sim.departed)
+        # ticking an empty world produces no departures
+        sim.tick(5.0)
+        assert sim.departed == []
+        assert sim_departed_last or True
+
+    def test_arrivals_get_fresh_ids(self, city):
+        sim = MovingObjectSimulator(
+            city, 5, seed=3, route_mode="walk", arrivals_per_tick=2
+        )
+        sim.tick(5.0)
+        assert len(sim.object_ids) == 7
+        assert max(sim.object_ids) == 6  # ids 5 and 6 are the newcomers
+
+    def test_newborns_report_on_their_first_tick(self, city):
+        sim = MovingObjectSimulator(
+            city, 5, seed=4, route_mode="walk", arrivals_per_tick=3
+        )
+        reports = sim.tick(5.0)
+        assert {r.oid for r in reports} == set(range(8))
+
+    def test_steady_state_population(self, city):
+        """Arrivals replacing departures keep the population bounded."""
+        sim = MovingObjectSimulator(
+            city, 20, seed=5, route_mode="walk", walk_length=2,
+            routes_per_life=1, arrivals_per_tick=5,
+        )
+        sizes = []
+        for __ in range(20):
+            sim.tick(30.0)
+            sizes.append(len(sim.object_ids))
+        assert all(size > 0 for size in sizes)
+
+
+class TestCongestion:
+    def test_occupancy_is_tracked(self, city):
+        sim = MovingObjectSimulator(city, 50, seed=6, route_mode="walk")
+        total = sum(sim.edge_occupancy(edge) for edge in city.edges)
+        assert total == 50
+        sim.tick(5.0)
+        total = sum(sim.edge_occupancy(edge) for edge in city.edges)
+        assert total == 50
+
+    def test_occupancy_drops_on_retirement(self, city):
+        sim = MovingObjectSimulator(
+            city, 10, seed=7, route_mode="walk", walk_length=2,
+            routes_per_life=1,
+        )
+        while sim.object_ids:
+            sim.tick(30.0)
+        assert sum(sim.edge_occupancy(edge) for edge in city.edges) == 0
+
+    def test_congestion_slows_objects_down(self, city):
+        """Same seed, same routes: with congestion on, objects cover
+        less ground per tick."""
+        free = MovingObjectSimulator(
+            city, 80, seed=8, route_mode="walk", speed_jitter=0.0
+        )
+        jammed = MovingObjectSimulator(
+            city, 80, seed=8, route_mode="walk", speed_jitter=0.0,
+            congestion_alpha=5.0, edge_capacity=2,
+        )
+        free_start = free.positions()
+        jam_start = jammed.positions()
+        free.tick(10.0)
+        jammed.tick(10.0)
+        free_distance = sum(
+            free_start[oid].distance_to(p) for oid, p in free.positions().items()
+        )
+        jam_distance = sum(
+            jam_start[oid].distance_to(p) for oid, p in jammed.positions().items()
+        )
+        assert jam_distance < free_distance
+
+    def test_congestion_preserves_report_structure(self, city):
+        sim = MovingObjectSimulator(
+            city, 30, seed=9, route_mode="walk", congestion_alpha=2.0
+        )
+        reports = sim.tick(5.0)
+        assert len(reports) == 30
+        world = city.bounding_rect()
+        for report in reports:
+            assert world.expanded(1e-9).contains_point(report.location)

@@ -1,0 +1,137 @@
+"""Moving-object simulation on road networks."""
+
+import pytest
+
+from repro.generator import MovingObjectSimulator, manhattan_city
+from repro.generator.roadnet import RoadClass
+
+
+@pytest.fixture(scope="module")
+def city():
+    return manhattan_city(blocks=8)
+
+
+class TestConstruction:
+    def test_rejects_bad_args(self, city):
+        with pytest.raises(ValueError):
+            MovingObjectSimulator(city, 0)
+        with pytest.raises(ValueError):
+            MovingObjectSimulator(city, 10, speed_jitter=1.5)
+        with pytest.raises(ValueError):
+            MovingObjectSimulator(city, 10, route_mode="teleport")
+
+    def test_rejects_disconnected_network(self):
+        from repro.generator import RoadNetwork
+        from repro.geometry import Point
+
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        net.add_node(1, Point(1, 0))
+        net.add_node(2, Point(0, 1))
+        net.add_edge(0, 1, RoadClass.STREET)
+        with pytest.raises(ValueError):
+            MovingObjectSimulator(net, 5)
+
+    def test_initial_reports_cover_all_objects(self, city):
+        sim = MovingObjectSimulator(city, 25, seed=1)
+        reports = sim.initial_reports()
+        assert sorted(r.oid for r in reports) == list(range(25))
+        assert all(r.t == 0.0 for r in reports)
+
+
+class TestMovement:
+    def test_objects_stay_in_world(self, city):
+        sim = MovingObjectSimulator(city, 50, seed=2, route_mode="walk")
+        world = city.bounding_rect()
+        for __ in range(20):
+            for report in sim.tick(5.0):
+                assert world.expanded(1e-9).contains_point(report.location)
+
+    def test_objects_move_at_plausible_speed(self, city):
+        sim = MovingObjectSimulator(city, 30, seed=3, speed_jitter=0.0)
+        before = sim.positions()
+        dt = 5.0
+        sim.tick(dt)
+        after = sim.positions()
+        max_speed = RoadClass.HIGHWAY.speed
+        for oid in before:
+            displacement = before[oid].distance_to(after[oid])
+            # Straight-line displacement never exceeds path length.
+            assert displacement <= max_speed * dt * 1.0001
+
+    def test_time_advances(self, city):
+        sim = MovingObjectSimulator(city, 5, seed=4)
+        sim.tick(5.0)
+        sim.tick(2.5)
+        assert sim.now == pytest.approx(7.5)
+
+    def test_rejects_nonpositive_dt(self, city):
+        sim = MovingObjectSimulator(city, 5, seed=4)
+        with pytest.raises(ValueError):
+            sim.tick(0.0)
+
+    def test_deterministic_given_seed(self, city):
+        a = MovingObjectSimulator(city, 20, seed=7, route_mode="walk")
+        b = MovingObjectSimulator(city, 20, seed=7, route_mode="walk")
+        a.tick(5.0)
+        b.tick(5.0)
+        assert a.positions() == b.positions()
+
+    def test_velocity_matches_actual_motion(self, city):
+        sim = MovingObjectSimulator(city, 10, seed=5, speed_jitter=0.0)
+        sim.tick(1.0)
+        oid = 0
+        before = sim.position_of(oid)
+        velocity = sim.velocity_of(oid)
+        dt = 0.1  # small enough to stay on the current edge (usually)
+        sim.tick(dt)
+        after = sim.position_of(oid)
+        predicted = velocity.displace(before, dt)
+        # Either the prediction holds or the object turned a corner.
+        drift = predicted.distance_to(after)
+        assert drift <= RoadClass.HIGHWAY.speed * dt * 2 + 1e-9
+
+
+class TestReporting:
+    def test_full_fraction_reports_all_moved(self, city):
+        sim = MovingObjectSimulator(city, 40, seed=6)
+        assert len(sim.tick(5.0, report_fraction=1.0)) == 40
+
+    def test_zero_fraction_reports_none(self, city):
+        sim = MovingObjectSimulator(city, 40, seed=6)
+        assert sim.tick(5.0, report_fraction=0.0) == []
+
+    def test_partial_fraction_reports_subset(self, city):
+        sim = MovingObjectSimulator(city, 200, seed=8)
+        count = len(sim.tick(5.0, report_fraction=0.3))
+        assert 20 <= count <= 120  # loose binomial bounds around 60
+
+    def test_unreported_movement_is_not_lost(self, city):
+        sim = MovingObjectSimulator(city, 30, seed=9)
+        sim.tick(5.0, report_fraction=0.0)
+        # Next full tick must report everyone (still marked moved).
+        assert len(sim.tick(5.0, report_fraction=1.0)) == 30
+
+    def test_invalid_fraction_rejected(self, city):
+        sim = MovingObjectSimulator(city, 5, seed=10)
+        with pytest.raises(ValueError):
+            sim.tick(5.0, report_fraction=1.5)
+
+    def test_reports_carry_current_position(self, city):
+        sim = MovingObjectSimulator(city, 15, seed=11)
+        reports = sim.tick(5.0)
+        for report in reports:
+            assert report.location == sim.position_of(report.oid)
+            assert report.t == sim.now
+
+
+class TestRouteModes:
+    def test_shortest_mode_runs(self, city):
+        sim = MovingObjectSimulator(city, 10, seed=12, route_mode="shortest")
+        for __ in range(30):
+            sim.tick(10.0)  # long ticks force many re-routes
+
+    def test_walk_mode_runs(self, city):
+        sim = MovingObjectSimulator(city, 10, seed=13, route_mode="walk")
+        for __ in range(30):
+            sim.tick(10.0)

@@ -1,0 +1,80 @@
+"""Dijkstra routing over road networks."""
+
+import pytest
+
+from repro.generator import RoadClass, RoadNetwork, manhattan_city, shortest_path
+from repro.generator.paths import path_length, path_travel_time
+from repro.geometry import Point
+
+
+def line_network(n: int = 5) -> RoadNetwork:
+    net = RoadNetwork()
+    for i in range(n):
+        net.add_node(i, Point(float(i), 0.0))
+    for i in range(n - 1):
+        net.add_edge(i, i + 1, RoadClass.STREET)
+    return net
+
+
+class TestShortestPath:
+    def test_trivial_same_node(self):
+        net = line_network()
+        assert shortest_path(net, 2, 2) == [2]
+
+    def test_line_path(self):
+        net = line_network()
+        assert shortest_path(net, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_unknown_node_raises(self):
+        net = line_network()
+        with pytest.raises(KeyError):
+            shortest_path(net, 0, 99)
+
+    def test_unreachable_returns_none(self):
+        net = line_network()
+        net.add_node(100, Point(50, 50))  # isolated
+        assert shortest_path(net, 0, 100) is None
+
+    def test_prefers_fast_roads_over_short_ones(self):
+        # Triangle: direct slow street 0-2 vs highway detour 0-1-2.
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        net.add_node(1, Point(0.5, 0.4))
+        net.add_node(2, Point(1, 0))
+        net.add_edge(0, 2, RoadClass.STREET)  # length 1.0, slow
+        net.add_edge(0, 1, RoadClass.HIGHWAY)
+        net.add_edge(1, 2, RoadClass.HIGHWAY)
+        path = shortest_path(net, 0, 2)
+        assert path == [0, 1, 2]
+
+    def test_path_is_optimal_vs_exhaustive(self):
+        net = manhattan_city(blocks=4)
+        source, target = 0, net.node_count - 1
+        path = shortest_path(net, source, target)
+        assert path is not None
+        # Dijkstra's distance must match a Bellman-Ford style relaxation.
+        inf = float("inf")
+        dist = {node: inf for node in net.nodes}
+        dist[source] = 0.0
+        for __ in range(net.node_count):
+            for edge in net.edges:
+                for u, v in ((edge.u, edge.v), (edge.v, edge.u)):
+                    if dist[u] + edge.travel_time < dist[v]:
+                        dist[v] = dist[u] + edge.travel_time
+        assert path_travel_time(net, path) == pytest.approx(dist[target])
+
+
+class TestPathMeasures:
+    def test_path_length_line(self):
+        net = line_network()
+        assert path_length(net, [0, 1, 2]) == pytest.approx(2.0)
+
+    def test_travel_time_uses_road_class(self):
+        net = line_network()
+        t = path_travel_time(net, [0, 1])
+        assert t == pytest.approx(1.0 / RoadClass.STREET.speed)
+
+    def test_missing_edge_raises(self):
+        net = line_network()
+        with pytest.raises(ValueError):
+            path_length(net, [0, 2])

@@ -1,0 +1,124 @@
+"""Road network construction."""
+
+import pytest
+
+from repro.generator import RoadClass, RoadNetwork, manhattan_city, random_network
+from repro.geometry import Point, Rect
+
+
+class TestRoadNetwork:
+    def test_add_node_and_edge(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        net.add_node(1, Point(1, 0))
+        edge = net.add_edge(0, 1, RoadClass.STREET)
+        assert edge.length == 1.0
+        assert edge.travel_time == pytest.approx(1.0 / RoadClass.STREET.speed)
+        assert net.degree(0) == 1 and net.degree(1) == 1
+
+    def test_duplicate_node_rejected(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        with pytest.raises(ValueError):
+            net.add_node(0, Point(1, 1))
+
+    def test_self_loop_rejected(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        with pytest.raises(ValueError):
+            net.add_edge(0, 0, RoadClass.STREET)
+
+    def test_edge_to_unknown_node_rejected(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        with pytest.raises(KeyError):
+            net.add_edge(0, 99, RoadClass.STREET)
+
+    def test_other_end(self):
+        net = RoadNetwork()
+        net.add_node(0, Point(0, 0))
+        net.add_node(1, Point(1, 0))
+        edge = net.add_edge(0, 1, RoadClass.HIGHWAY)
+        assert edge.other_end(0) == 1
+        assert edge.other_end(1) == 0
+        with pytest.raises(ValueError):
+            edge.other_end(2)
+
+    def test_connectivity_detection(self):
+        net = RoadNetwork()
+        for i, p in enumerate([Point(0, 0), Point(1, 0), Point(0, 1)]):
+            net.add_node(i, p)
+        net.add_edge(0, 1, RoadClass.STREET)
+        assert not net.is_connected()
+        net.add_edge(1, 2, RoadClass.STREET)
+        assert net.is_connected()
+
+
+class TestSpeeds:
+    def test_road_classes_are_ordered(self):
+        assert (
+            RoadClass.HIGHWAY.speed
+            > RoadClass.ARTERIAL.speed
+            > RoadClass.STREET.speed
+            > 0
+        )
+
+    def test_speeds_small_relative_to_query_sides(self):
+        # 5-second displacement must be well under the paper's smallest
+        # query side (0.01), or incremental evaluation cannot pay off.
+        assert RoadClass.HIGHWAY.speed * 5 < 0.01
+
+
+class TestManhattanCity:
+    def test_node_and_edge_counts(self):
+        blocks = 6
+        net = manhattan_city(blocks=blocks)
+        side = blocks + 1
+        assert net.node_count == side * side
+        assert net.edge_count == 2 * side * blocks
+
+    def test_is_connected(self):
+        assert manhattan_city(blocks=5).is_connected()
+
+    def test_bounds_match_world(self):
+        world = Rect(0, 0, 2, 2)
+        net = manhattan_city(blocks=4, world=world)
+        assert net.bounding_rect() == world
+
+    def test_ring_is_highway(self):
+        net = manhattan_city(blocks=4)
+        corner_edges = net.edges_from(0)
+        assert all(e.road_class is RoadClass.HIGHWAY for e in corner_edges)
+
+    def test_has_all_three_classes(self):
+        net = manhattan_city(blocks=8, arterial_every=4)
+        classes = {e.road_class for e in net.edges}
+        assert classes == {RoadClass.HIGHWAY, RoadClass.ARTERIAL, RoadClass.STREET}
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            manhattan_city(blocks=0)
+
+
+class TestRandomNetwork:
+    def test_is_connected(self):
+        assert random_network(80, seed=3).is_connected()
+
+    def test_deterministic_for_seed(self):
+        a = random_network(50, seed=9)
+        b = random_network(50, seed=9)
+        assert a.node_count == b.node_count
+        assert a.edge_count == b.edge_count
+        assert all(a.nodes[i] == b.nodes[i] for i in a.nodes)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_network(1)
+
+    def test_no_duplicate_edges(self):
+        net = random_network(60, seed=1)
+        seen = set()
+        for edge in net.edges:
+            pair = frozenset((edge.u, edge.v))
+            assert pair not in seen
+            seen.add(pair)

@@ -1,0 +1,101 @@
+"""Query workload generation."""
+
+import pytest
+
+from repro.generator import (
+    MovingObjectSimulator,
+    QuerySpec,
+    WorkloadConfig,
+    WorkloadGenerator,
+    manhattan_city,
+)
+from repro.geometry import Point, Rect
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return MovingObjectSimulator(manhattan_city(blocks=6), 100, seed=0)
+
+
+class TestQuerySpec:
+    def test_region_is_square(self):
+        spec = QuerySpec(qid=1, kind="range", center=Point(0.5, 0.5), side=0.1)
+        region = spec.region()
+        assert region.width == pytest.approx(0.1)
+        assert region.height == pytest.approx(0.1)
+        assert region.center == Point(0.5, 0.5)
+
+    def test_knn_region_raises(self):
+        spec = QuerySpec(qid=1, kind="knn", center=Point(0.5, 0.5), k=3)
+        with pytest.raises(ValueError):
+            spec.region()
+
+    def test_recentred_preserves_identity(self):
+        spec = QuerySpec(qid=1, kind="range", center=Point(0, 0), side=0.1, carrier=4)
+        moved = spec.recentred(Point(1, 1))
+        assert moved.qid == 1 and moved.carrier == 4 and moved.center == Point(1, 1)
+
+
+class TestGeneration:
+    def test_counts_per_kind(self, sim):
+        config = WorkloadConfig(
+            range_queries=20, knn_queries=10, predictive_queries=5, seed=1
+        )
+        gen = WorkloadGenerator(config, sim)
+        kinds = [spec.kind for spec in gen.specs.values()]
+        assert kinds.count("range") == 20
+        assert kinds.count("knn") == 10
+        assert kinds.count("predictive") == 5
+
+    def test_qids_are_dense_from_first_qid(self, sim):
+        gen = WorkloadGenerator(WorkloadConfig(range_queries=10, seed=1), sim, first_qid=500)
+        assert sorted(gen.specs) == list(range(500, 510))
+
+    def test_moving_fraction_zero_means_all_stationary(self, sim):
+        gen = WorkloadGenerator(
+            WorkloadConfig(range_queries=30, moving_fraction=0.0, seed=2), sim
+        )
+        assert gen.moving_query_count == 0
+        assert all(spec.carrier is None for spec in gen.specs.values())
+
+    def test_moving_fraction_one_means_all_carried(self, sim):
+        gen = WorkloadGenerator(
+            WorkloadConfig(range_queries=30, moving_fraction=1.0, seed=2), sim
+        )
+        assert gen.moving_query_count == 30
+        for spec in gen.specs.values():
+            assert spec.carrier is not None
+            assert spec.center == sim.position_of(spec.carrier)
+
+    def test_deterministic_for_seed(self, sim):
+        a = WorkloadGenerator(WorkloadConfig(range_queries=15, seed=5), sim)
+        b = WorkloadGenerator(WorkloadConfig(range_queries=15, seed=5), sim)
+        assert a.specs == b.specs
+
+
+class TestFollowing:
+    def test_updates_follow_carriers(self):
+        local_sim = MovingObjectSimulator(manhattan_city(blocks=6), 50, seed=3)
+        gen = WorkloadGenerator(
+            WorkloadConfig(range_queries=25, moving_fraction=1.0, seed=4), local_sim
+        )
+        reports = local_sim.tick(5.0)
+        moved = [r.oid for r in reports]
+        updated = gen.updates_for_moved_objects(moved)
+        assert updated  # with 25 carried queries over 50 objects, some move
+        for spec in updated:
+            assert spec.center == local_sim.position_of(spec.carrier)
+            assert gen.specs[spec.qid] == spec
+
+    def test_stationary_queries_never_update(self, sim):
+        gen = WorkloadGenerator(
+            WorkloadConfig(range_queries=10, moving_fraction=0.0, seed=6), sim
+        )
+        assert gen.updates_for_moved_objects(sim.object_ids) == []
+
+    def test_unmoved_carriers_produce_no_updates(self):
+        local_sim = MovingObjectSimulator(manhattan_city(blocks=6), 20, seed=7)
+        gen = WorkloadGenerator(
+            WorkloadConfig(range_queries=10, moving_fraction=1.0, seed=8), local_sim
+        )
+        assert gen.updates_for_moved_objects([]) == []

@@ -1,0 +1,57 @@
+"""Circles: the region type backing continuous k-NN queries."""
+
+import pytest
+
+from repro.geometry import Circle, Point, Rect
+
+
+class TestCircle:
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0, 0), -0.1)
+
+    def test_zero_radius_contains_only_center(self):
+        c = Circle(Point(0.5, 0.5), 0.0)
+        assert c.contains_point(Point(0.5, 0.5))
+        assert not c.contains_point(Point(0.5, 0.500001))
+
+    def test_boundary_point_is_inside(self):
+        c = Circle(Point(0, 0), 1.0)
+        assert c.contains_point(Point(1, 0))
+        assert c.contains_point(Point(0, -1))
+
+    def test_point_outside(self):
+        assert not Circle(Point(0, 0), 1.0).contains_point(Point(1, 1))
+
+    def test_intersects_rect_overlap(self):
+        c = Circle(Point(0, 0), 1.0)
+        assert c.intersects_rect(Rect(0.5, 0.5, 2, 2))
+
+    def test_intersects_rect_corner_gap(self):
+        # Rect corner at (1,1) is sqrt(2) away: no intersection at r=1.
+        c = Circle(Point(0, 0), 1.0)
+        assert not c.intersects_rect(Rect(1.05, 1.05, 2, 2))
+
+    def test_intersects_rect_containing_circle(self):
+        c = Circle(Point(0.5, 0.5), 0.1)
+        assert c.intersects_rect(Rect(0, 0, 1, 1))
+
+    def test_contains_rect(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.contains_rect(Rect(-1, -1, 1, 1))
+        assert not c.contains_rect(Rect(-2, -2, 2, 2))
+
+    def test_intersects_circle_touching(self):
+        a = Circle(Point(0, 0), 1.0)
+        b = Circle(Point(2, 0), 1.0)
+        assert a.intersects_circle(b)
+        assert not a.intersects_circle(Circle(Point(2.01, 0), 1.0))
+
+    def test_bounding_rect(self):
+        c = Circle(Point(0.5, 0.5), 0.25)
+        assert c.bounding_rect() == Rect(0.25, 0.25, 0.75, 0.75)
+
+    def test_with_radius_and_center(self):
+        c = Circle(Point(0, 0), 1.0)
+        assert c.with_radius(2.0) == Circle(Point(0, 0), 2.0)
+        assert c.with_center(Point(1, 1)) == Circle(Point(1, 1), 1.0)

@@ -1,0 +1,75 @@
+"""Time-parameterised linear motion (predictive evaluation primitive)."""
+
+import pytest
+
+from repro.geometry import LinearMotion, Point, Rect, Velocity
+
+
+class TestPositions:
+    def test_position_at_report_time(self):
+        m = LinearMotion(Point(0.5, 0.5), Velocity(0.1, 0), t0=10.0)
+        assert m.position_at(10.0) == Point(0.5, 0.5)
+
+    def test_position_extrapolates(self):
+        m = LinearMotion(Point(0, 0), Velocity(0.1, 0.2), t0=0.0)
+        assert m.position_at(5.0) == Point(0.5, 1.0)
+
+    def test_segment_until(self):
+        m = LinearMotion(Point(0, 0), Velocity(1, 0), t0=0.0)
+        s = m.segment_until(2.0)
+        assert s.start == Point(0, 0) and s.end == Point(2, 0)
+
+    def test_segment_until_before_t0_raises(self):
+        m = LinearMotion(Point(0, 0), Velocity(1, 0), t0=5.0)
+        with pytest.raises(ValueError):
+            m.segment_until(4.0)
+
+    def test_bounding_rect_until(self):
+        m = LinearMotion(Point(1, 1), Velocity(-1, 1), t0=0.0)
+        assert m.bounding_rect_until(1.0) == Rect(0, 1, 1, 2)
+
+
+class TestTimeInRect:
+    def test_crossing_interval(self):
+        m = LinearMotion(Point(0, 0), Velocity(1, 1), t0=0.0)
+        interval = m.time_in_rect(Rect(2, 2, 4, 4), 0.0, 10.0)
+        assert interval == pytest.approx((2.0, 4.0))
+
+    def test_never_entering(self):
+        m = LinearMotion(Point(0, 0), Velocity(1, 0), t0=0.0)
+        assert m.time_in_rect(Rect(0, 2, 10, 3), 0.0, 10.0) is None
+
+    def test_entering_after_window_closes(self):
+        m = LinearMotion(Point(0, 0), Velocity(1, 1), t0=0.0)
+        assert m.time_in_rect(Rect(5, 5, 6, 6), 0.0, 4.0) is None
+
+    def test_window_clamps_interval(self):
+        m = LinearMotion(Point(0, 0), Velocity(1, 1), t0=0.0)
+        interval = m.time_in_rect(Rect(2, 2, 8, 8), 3.0, 5.0)
+        assert interval == pytest.approx((3.0, 5.0))
+
+    def test_stationary_inside_spans_whole_window(self):
+        m = LinearMotion(Point(0.5, 0.5), Velocity.ZERO, t0=0.0)
+        assert m.time_in_rect(Rect(0, 0, 1, 1), 2.0, 7.0) == (2.0, 7.0)
+
+    def test_stationary_outside_is_none(self):
+        m = LinearMotion(Point(2, 2), Velocity.ZERO, t0=0.0)
+        assert m.time_in_rect(Rect(0, 0, 1, 1), 0.0, 100.0) is None
+
+    def test_window_before_report_raises(self):
+        m = LinearMotion(Point(0, 0), Velocity(1, 0), t0=5.0)
+        with pytest.raises(ValueError):
+            m.time_in_rect(Rect(0, 0, 1, 1), 0.0, 10.0)
+
+    def test_empty_window_raises(self):
+        m = LinearMotion(Point(0, 0), Velocity(1, 0), t0=0.0)
+        with pytest.raises(ValueError):
+            m.time_in_rect(Rect(0, 0, 1, 1), 5.0, 4.0)
+
+    def test_interval_endpoints_are_inside_rect(self):
+        m = LinearMotion(Point(0.1, 0.9), Velocity(0.05, -0.04), t0=0.0)
+        rect = Rect(0.3, 0.3, 0.6, 0.6)
+        interval = m.time_in_rect(rect, 0.0, 30.0)
+        assert interval is not None
+        for t in interval:
+            assert rect.expanded(1e-9).contains_point(m.position_at(t))

@@ -1,0 +1,71 @@
+"""Points and velocity vectors."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Velocity
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(0.2, 0.9), Point(0.7, 0.1)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_squared_distance_matches_distance(self):
+        a, b = Point(0.25, 0.5), Point(0.75, 0.125)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(0.3, 0.3)
+        assert p.distance_to(p) == 0.0
+
+    def test_translated(self):
+        assert Point(1, 2).translated(0.5, -1) == Point(1.5, 1)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(1, 1)) == Point(0.5, 0.5)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_points_are_hashable_and_comparable_by_value(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_points_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0  # type: ignore[misc]
+
+
+class TestVelocity:
+    def test_speed_is_magnitude(self):
+        assert Velocity(3, 4).speed == 5.0
+
+    def test_zero_constant(self):
+        assert Velocity.ZERO.is_zero()
+        assert Velocity.ZERO.speed == 0.0
+
+    def test_nonzero_is_not_zero(self):
+        assert not Velocity(0.0, 1e-12).is_zero()
+
+    def test_scaled(self):
+        assert Velocity(1, -2).scaled(2.0) == Velocity(2, -4)
+
+    def test_displace_moves_linearly(self):
+        moved = Velocity(0.1, 0.0).displace(Point(0, 0), 5.0)
+        assert moved == Point(0.5, 0.0)
+
+    def test_displace_zero_velocity_is_identity(self):
+        origin = Point(0.4, 0.6)
+        assert Velocity.ZERO.displace(origin, 100.0) == origin
+
+    def test_displace_backwards_in_time(self):
+        moved = Velocity(1.0, 1.0).displace(Point(1, 1), -1.0)
+        assert moved == Point(0, 0)
+
+    def test_speed_of_diagonal(self):
+        assert Velocity(1, 1).speed == pytest.approx(math.sqrt(2))

@@ -1,0 +1,98 @@
+"""Property-based tests on the geometry kernel (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, Rect, Segment
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, width=32)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+@st.composite
+def points(draw):
+    return Point(draw(coords), draw(coords))
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects(), rects(), points())
+    def test_intersection_contains_iff_both_contain(self, a, b, p):
+        inter = a.intersection(b)
+        both = a.contains_point(p) and b.contains_point(p)
+        if inter is None:
+            assert not both
+        else:
+            assert inter.contains_point(p) == both
+
+    @given(rects(), rects())
+    def test_difference_area_identity(self, a, b):
+        pieces = a.difference(b)
+        inter = a.intersection(b)
+        inter_area = inter.area if inter is not None else 0.0
+        total = sum(p.area for p in pieces)
+        assert abs(total - (a.area - inter_area)) <= 1e-6 * max(1.0, a.area)
+
+    @given(rects(), rects(), points())
+    def test_difference_membership(self, a, b, p):
+        """p in (a - b) iff p is in exactly the difference pieces,
+        modulo shared boundaries (where containment is inclusive)."""
+        pieces = a.difference(b)
+        in_pieces = any(piece.contains_point(p) for piece in pieces)
+        if a.contains_point(p) and not b.contains_point(p):
+            assert in_pieces
+        if in_pieces:
+            assert a.contains_point(p)
+
+    @given(rects(), points())
+    def test_min_distance_zero_iff_inside(self, r, p):
+        if r.contains_point(p):
+            assert r.min_distance_to_point(p) == 0.0
+        else:
+            assert r.min_distance_to_point(p) > 0.0
+
+    @given(rects(), points())
+    def test_min_le_max_distance(self, r, p):
+        assert r.min_distance_to_point(p) <= r.max_distance_to_point(p) + 1e-12
+
+
+class TestSegmentProperties:
+    @given(points(), points(), rects())
+    def test_clip_agrees_with_sampling(self, a, b, rect):
+        """If dense sampling finds an interior point, clipping must agree."""
+        segment = Segment(a, b)
+        params = segment.clip_parameters(rect)
+        hit_by_sampling = any(
+            rect.contains_point(segment.point_at(i / 64)) for i in range(65)
+        )
+        if hit_by_sampling:
+            assert params is not None
+        if params is None:
+            assert not hit_by_sampling
+
+    @given(points(), points(), rects())
+    def test_clip_interval_is_ordered_and_within_unit(self, a, b, rect):
+        params = Segment(a, b).clip_parameters(rect)
+        if params is not None:
+            t0, t1 = params
+            assert 0.0 <= t0 <= t1 <= 1.0
+
+    @given(points(), points(), points())
+    def test_distance_to_point_bounded_by_endpoints(self, a, b, p):
+        segment = Segment(a, b)
+        d = segment.distance_to_point(p)
+        assert d <= a.distance_to(p) + 1e-9
+        assert d <= b.distance_to(p) + 1e-9

@@ -1,0 +1,130 @@
+"""Rectangles: constructors, predicates, combinators, difference."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+
+
+class TestConstruction:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 1, 0)
+
+    def test_zero_area_rect_is_allowed(self):
+        r = Rect(0.5, 0.5, 0.5, 0.5)
+        assert r.area == 0.0
+        assert r.contains_point(Point(0.5, 0.5))
+
+    def test_from_points_any_order(self):
+        r = Rect.from_points(Point(1, 0), Point(0, 1))
+        assert r == Rect(0, 0, 1, 1)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(0.5, 0.5), 0.2, 0.4)
+        assert r == Rect(0.4, 0.3, 0.6, 0.7)
+
+    def test_square(self):
+        r = Rect.square(Point(0.5, 0.5), 0.2)
+        assert r.width == pytest.approx(0.2)
+        assert r.height == pytest.approx(0.2)
+        assert r.center == Point(0.5, 0.5)
+
+
+class TestPredicates:
+    def test_boundary_points_are_inside(self):
+        r = Rect(0, 0, 1, 1)
+        for corner in r.corners():
+            assert r.contains_point(corner)
+
+    def test_outside_point(self):
+        assert not Rect(0, 0, 1, 1).contains_point(Point(1.0001, 0.5))
+
+    def test_contains_rect(self):
+        outer, inner = Rect(0, 0, 1, 1), Rect(0.2, 0.2, 0.8, 0.8)
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_rect(outer)
+
+    def test_intersects_shared_edge(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_intersects_disjoint(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.01, 0, 2, 1))
+
+
+class TestCombinators:
+    def test_intersection(self):
+        got = Rect(0, 0, 2, 2).intersection(Rect(1, 1, 3, 3))
+        assert got == Rect(1, 1, 2, 2)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_union_bounds_both(self):
+        a, b = Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    def test_expanded(self):
+        assert Rect(0, 0, 1, 1).expanded(0.5) == Rect(-0.5, -0.5, 1.5, 1.5)
+
+    def test_min_distance_inside_is_zero(self):
+        assert Rect(0, 0, 1, 1).min_distance_to_point(Point(0.5, 0.5)) == 0.0
+
+    def test_min_distance_diagonal(self):
+        assert Rect(0, 0, 1, 1).min_distance_to_point(Point(4, 5)) == 5.0
+
+    def test_max_distance(self):
+        assert Rect(0, 0, 3, 4).max_distance_to_point(Point(0, 0)) == 5.0
+
+
+class TestDifference:
+    """``A.difference(B)`` drives incremental range-query movement."""
+
+    def test_disjoint_returns_self(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.difference(Rect(2, 2, 3, 3)) == [a]
+
+    def test_covered_returns_empty(self):
+        assert Rect(0.2, 0.2, 0.8, 0.8).difference(Rect(0, 0, 1, 1)) == []
+
+    def test_self_difference_is_empty(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.difference(a) == []
+
+    def test_pieces_are_disjoint_and_tile_the_difference(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(0.25, 0.25, 0.75, 0.75)
+        pieces = a.difference(b)
+        assert len(pieces) == 4
+        total = sum(p.area for p in pieces)
+        assert total == pytest.approx(a.area - b.area)
+        for i, p in enumerate(pieces):
+            for q in pieces[i + 1 :]:
+                inter = p.intersection(q)
+                assert inter is None or inter.area == 0.0
+
+    def test_pieces_cover_exactly_the_difference_pointwise(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(0.5, -1, 2, 0.5)  # overlaps a corner
+        pieces = a.difference(b)
+        steps = 20
+        for i in range(steps + 1):
+            for j in range(steps + 1):
+                p = Point(i / steps, j / steps)
+                in_diff = a.contains_point(p) and not b.contains_point(p)
+                in_pieces = any(piece.contains_point(p) for piece in pieces)
+                if in_diff:
+                    assert in_pieces, p
+                # Boundary points of b may fall on piece boundaries, so
+                # only the forward implication is exact on a lattice.
+
+    def test_moving_window_difference_is_two_bands(self):
+        old = Rect(0, 0, 1, 1)
+        new = Rect(0.1, 0.1, 1.1, 1.1)
+        pieces = new.difference(old)
+        assert sum(p.area for p in pieces) == pytest.approx(
+            new.area - new.intersection(old).area
+        )

@@ -1,0 +1,89 @@
+"""Segments and Liang-Barsky clipping (predictive trajectories)."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Rect, Segment
+
+
+class TestBasics:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length == 5.0
+
+    def test_point_at_endpoints_and_middle(self):
+        s = Segment(Point(0, 0), Point(2, 2))
+        assert s.point_at(0.0) == Point(0, 0)
+        assert s.point_at(1.0) == Point(2, 2)
+        assert s.point_at(0.5) == Point(1, 1)
+
+    def test_bounding_rect(self):
+        s = Segment(Point(2, 0), Point(0, 1))
+        assert s.bounding_rect() == Rect(0, 0, 2, 1)
+
+    def test_heading(self):
+        assert Segment(Point(0, 0), Point(1, 1)).heading() == pytest.approx(
+            math.pi / 4
+        )
+
+
+class TestClipping:
+    def test_segment_through_rect(self):
+        s = Segment(Point(-1, 0.5), Point(2, 0.5))
+        t0, t1 = s.clip_parameters(Rect(0, 0, 1, 1))
+        assert t0 == pytest.approx(1 / 3)
+        assert t1 == pytest.approx(2 / 3)
+
+    def test_segment_inside_rect(self):
+        s = Segment(Point(0.2, 0.2), Point(0.8, 0.8))
+        assert s.clip_parameters(Rect(0, 0, 1, 1)) == (0.0, 1.0)
+
+    def test_segment_missing_rect(self):
+        s = Segment(Point(-1, 2), Point(2, 2))
+        assert s.clip_parameters(Rect(0, 0, 1, 1)) is None
+        assert not s.intersects_rect(Rect(0, 0, 1, 1))
+
+    def test_segment_touching_corner(self):
+        s = Segment(Point(0, 2), Point(2, 0))  # passes through (1,1)
+        assert s.intersects_rect(Rect(0, 0, 1, 1))
+
+    def test_degenerate_segment_inside(self):
+        s = Segment(Point(0.5, 0.5), Point(0.5, 0.5))
+        assert s.clip_parameters(Rect(0, 0, 1, 1)) == (0.0, 1.0)
+
+    def test_degenerate_segment_outside(self):
+        s = Segment(Point(2, 2), Point(2, 2))
+        assert s.clip_parameters(Rect(0, 0, 1, 1)) is None
+
+    def test_vertical_segment(self):
+        s = Segment(Point(0.5, -1), Point(0.5, 2))
+        t0, t1 = s.clip_parameters(Rect(0, 0, 1, 1))
+        assert t0 == pytest.approx(1 / 3)
+        assert t1 == pytest.approx(2 / 3)
+
+    def test_clipped_points_are_inside(self):
+        rect = Rect(0.25, 0.25, 0.75, 0.75)
+        s = Segment(Point(0, 0), Point(1, 0.9))
+        params = s.clip_parameters(rect)
+        assert params is not None
+        for t in params:
+            p = s.point_at(t)
+            assert rect.expanded(1e-9).contains_point(p)
+
+
+class TestDistance:
+    def test_distance_to_point_on_segment(self):
+        s = Segment(Point(0, 0), Point(1, 0))
+        assert s.distance_to_point(Point(0.5, 0)) == 0.0
+
+    def test_distance_perpendicular(self):
+        s = Segment(Point(0, 0), Point(1, 0))
+        assert s.distance_to_point(Point(0.5, 2)) == 2.0
+
+    def test_distance_beyond_endpoint(self):
+        s = Segment(Point(0, 0), Point(1, 0))
+        assert s.distance_to_point(Point(4, 4)) == 5.0
+
+    def test_distance_degenerate_segment(self):
+        s = Segment(Point(1, 1), Point(1, 1))
+        assert s.distance_to_point(Point(4, 5)) == 5.0

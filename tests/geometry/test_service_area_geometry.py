@@ -1,0 +1,72 @@
+"""clamp_point and clip_or_pin — the service-area primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Point, Rect
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+coord = st.floats(min_value=-5, max_value=5, allow_nan=False, width=32)
+
+
+class TestClampPoint:
+    def test_inside_point_unchanged(self):
+        assert UNIT.clamp_point(Point(0.3, 0.7)) == Point(0.3, 0.7)
+
+    def test_outside_point_moves_to_boundary(self):
+        assert UNIT.clamp_point(Point(2.0, -1.0)) == Point(1.0, 0.0)
+
+    def test_boundary_point_unchanged(self):
+        assert UNIT.clamp_point(Point(1.0, 0.0)) == Point(1.0, 0.0)
+
+    @given(coord, coord)
+    def test_result_is_always_inside(self, x, y):
+        assert UNIT.contains_point(UNIT.clamp_point(Point(x, y)))
+
+    @given(coord, coord)
+    def test_clamping_is_idempotent(self, x, y):
+        once = UNIT.clamp_point(Point(x, y))
+        assert UNIT.clamp_point(once) == once
+
+    @given(coord, coord)
+    def test_clamp_is_nearest_point(self, x, y):
+        """The clamp is the metric projection onto the rectangle."""
+        p = Point(x, y)
+        clamped = UNIT.clamp_point(p)
+        assert p.distance_to(clamped) == pytest.approx(
+            UNIT.min_distance_to_point(p)
+        )
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestClipOrPin:
+    def test_inside_region_unchanged(self):
+        region = Rect(0.2, 0.2, 0.4, 0.4)
+        assert UNIT.clip_or_pin(region) == region
+
+    def test_straddling_region_clipped(self):
+        assert UNIT.clip_or_pin(Rect(0.9, 0.9, 1.5, 1.5)) == Rect(0.9, 0.9, 1.0, 1.0)
+
+    def test_outside_region_pins_to_boundary(self):
+        pinned = UNIT.clip_or_pin(Rect(2.0, 2.0, 3.0, 3.0))
+        assert pinned == Rect(1.0, 1.0, 1.0, 1.0)
+
+    @given(rects())
+    def test_result_is_always_within_world(self, region):
+        clipped = UNIT.clip_or_pin(region)
+        assert UNIT.contains_rect(clipped)
+
+    @given(rects(), coord, coord)
+    def test_in_world_membership_is_preserved(self, region, x, y):
+        """For a point inside the world, clipping the region never
+        changes whether the point is a member."""
+        p = Point(x, y)
+        if UNIT.contains_point(p) and region.intersection(UNIT) is not None:
+            clipped = UNIT.clip_or_pin(region)
+            assert clipped.contains_point(p) == region.contains_point(p)

@@ -1,0 +1,117 @@
+"""GridIndex: placement, movement, retrieval, bucket reclamation."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.grid import Grid, GridIndex
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture
+def index() -> GridIndex:
+    return GridIndex(Grid(UNIT, 8))
+
+
+class TestObjects:
+    def test_place_and_lookup(self, index):
+        index.place_object_at(1, Point(0.1, 0.1))
+        assert index.contains_object(1)
+        assert index.object_count == 1
+        cell = index.grid.cell_of(Point(0.1, 0.1))
+        assert index.object_cells(1) == frozenset({cell})
+        assert 1 in index.objects_in_cell(cell)
+
+    def test_move_updates_cells(self, index):
+        index.place_object_at(1, Point(0.05, 0.05))
+        old_cell = index.grid.cell_of(Point(0.05, 0.05))
+        index.place_object_at(1, Point(0.95, 0.95))
+        new_cell = index.grid.cell_of(Point(0.95, 0.95))
+        assert index.object_cells(1) == frozenset({new_cell})
+        assert 1 not in index.objects_in_cell(old_cell)
+        assert index.object_count == 1
+
+    def test_multi_cell_footprint(self, index):
+        cells = index.grid.cells_overlapping_set(Rect(0.0, 0.0, 0.5, 0.1))
+        index.place_object(2, cells)
+        assert index.object_cells(2) == cells
+        for cell in cells:
+            assert 2 in index.objects_in_cell(cell)
+
+    def test_remove_object(self, index):
+        index.place_object_at(1, Point(0.5, 0.5))
+        index.remove_object(1)
+        assert not index.contains_object(1)
+        assert index.object_count == 0
+        with pytest.raises(KeyError):
+            index.remove_object(1)
+
+    def test_empty_footprint_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.place_object(1, frozenset())
+
+
+class TestQueries:
+    def test_place_query_region(self, index):
+        region = Rect(0.2, 0.2, 0.45, 0.3)
+        index.place_query_region(7, region)
+        assert index.query_cells(7) == index.grid.cells_overlapping_set(region)
+
+    def test_region_outside_world_clamps(self, index):
+        index.place_query_region(7, Rect(2, 2, 3, 3))
+        assert len(index.query_cells(7)) == 1
+
+    def test_move_query(self, index):
+        index.place_query_region(7, Rect(0.0, 0.0, 0.1, 0.1))
+        index.place_query_region(7, Rect(0.9, 0.9, 1.0, 1.0))
+        assert index.query_count == 1
+        old_cell = index.grid.cell_of(Point(0.05, 0.05))
+        assert 7 not in index.queries_in_cell(old_cell)
+
+    def test_remove_query(self, index):
+        index.place_query_region(7, Rect(0, 0, 1, 1))
+        index.remove_query(7)
+        assert not index.contains_query(7)
+        assert index.populated_cell_count == 0
+
+
+class TestRetrieval:
+    def test_objects_overlapping_returns_candidates(self, index):
+        index.place_object_at(1, Point(0.51, 0.51))
+        index.place_object_at(2, Point(0.99, 0.99))
+        found = index.objects_overlapping(Rect(0.5, 0.5, 0.6, 0.6))
+        assert 1 in found  # exact hit
+        assert 2 not in found  # far away
+
+    def test_candidates_may_exceed_exact_matches(self, index):
+        # An object in the same cell but outside the rect is a candidate.
+        index.place_object_at(1, Point(0.51, 0.51))
+        found = index.objects_overlapping(Rect(0.5, 0.5, 0.505, 0.505))
+        assert 1 in found
+
+    def test_queries_colocated_with_object(self, index):
+        index.place_object_at(1, Point(0.5, 0.5))
+        index.place_query_region(7, Rect(0.45, 0.45, 0.55, 0.55))
+        index.place_query_region(8, Rect(0.0, 0.0, 0.05, 0.05))
+        colocated = index.queries_colocated_with_object(1)
+        assert 7 in colocated and 8 not in colocated
+
+
+class TestBuckets:
+    def test_empty_buckets_are_reclaimed(self, index):
+        index.place_object_at(1, Point(0.5, 0.5))
+        assert index.populated_cell_count == 1
+        index.remove_object(1)
+        assert index.populated_cell_count == 0
+
+    def test_bucket_shared_by_object_and_query(self, index):
+        index.place_object_at(1, Point(0.5, 0.5))
+        cell = index.grid.cell_of(Point(0.5, 0.5))
+        index.place_query(9, frozenset({cell}))
+        bucket = index.bucket(cell)
+        assert bucket is not None
+        assert 1 in bucket.objects and 9 in bucket.queries
+        index.remove_object(1)
+        assert index.bucket(cell) is not None  # query keeps it alive
+        index.remove_query(9)
+        assert index.bucket(cell) is None

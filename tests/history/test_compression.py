@@ -1,0 +1,97 @@
+"""Douglas-Peucker trajectory compression."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Point, Segment, Velocity
+from repro.history.compression import (
+    compression_ratio,
+    douglas_peucker,
+    simplify_trajectory,
+)
+from repro.storage import LocationRecord
+
+
+def records_from(points: list[Point]) -> list[LocationRecord]:
+    return [
+        LocationRecord(1, p, Velocity.ZERO, float(i))
+        for i, p in enumerate(points)
+    ]
+
+
+class TestDouglasPeucker:
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            douglas_peucker([Point(0, 0)], -0.1)
+
+    def test_short_inputs_kept_verbatim(self):
+        assert douglas_peucker([], 0.1) == []
+        assert douglas_peucker([Point(0, 0)], 0.1) == [0]
+        assert douglas_peucker([Point(0, 0), Point(1, 1)], 0.1) == [0, 1]
+
+    def test_collinear_points_collapse_to_endpoints(self):
+        points = [Point(i / 10, i / 10) for i in range(11)]
+        assert douglas_peucker(points, 1e-9) == [0, 10]
+
+    def test_corner_is_preserved(self):
+        # An L-shaped path: the corner must survive any tolerance that
+        # is smaller than the corner's offset from the endpoints' chord.
+        points = [Point(0, 0), Point(0.5, 0.0), Point(1.0, 0.0), Point(1.0, 0.5), Point(1, 1)]
+        kept = douglas_peucker(points, 0.1)
+        assert 0 in kept and 4 in kept
+        assert 2 in kept  # the corner at (1, 0)
+
+    def test_zero_tolerance_keeps_every_deviating_point(self):
+        points = [Point(0, 0), Point(0.5, 0.1), Point(1, 0)]
+        assert douglas_peucker(points, 0.0) == [0, 1, 2]
+
+    def test_huge_tolerance_keeps_only_endpoints(self):
+        rng = random.Random(1)
+        points = [Point(rng.random(), rng.random()) for __ in range(50)]
+        assert douglas_peucker(points, 10.0) == [0, 49]
+
+    def test_error_bound_holds(self):
+        """Every dropped point lies within tolerance of the simplified
+        polyline — the algorithm's defining guarantee."""
+        rng = random.Random(2)
+        # A wiggly road-like path.
+        points = []
+        x, y = 0.0, 0.5
+        for __ in range(200):
+            x += 0.005
+            y += rng.uniform(-0.004, 0.004)
+            points.append(Point(x, y))
+        tolerance = 0.01
+        kept = douglas_peucker(points, tolerance)
+        for i, p in enumerate(points):
+            if i in kept:
+                continue
+            # Find the surrounding kept indices.
+            left = max(k for k in kept if k < i)
+            right = min(k for k in kept if k > i)
+            chord = Segment(points[left], points[right])
+            assert chord.distance_to_point(p) <= tolerance + 1e-12
+
+
+class TestSimplifyTrajectory:
+    def test_straight_drive_compresses_hard(self):
+        records = records_from([Point(i / 100, 0.5) for i in range(101)])
+        simplified = simplify_trajectory(records, 0.001)
+        assert len(simplified) == 2
+        assert simplified[0].t == 0.0 and simplified[-1].t == 100.0
+
+    def test_survivors_keep_their_timestamps_and_order(self):
+        rng = random.Random(3)
+        records = records_from(
+            [Point(rng.random(), rng.random()) for __ in range(40)]
+        )
+        simplified = simplify_trajectory(records, 0.05)
+        times = [rec.t for rec in simplified]
+        assert times == sorted(times)
+        assert set(times) <= {rec.t for rec in records}
+
+    def test_compression_ratio(self):
+        assert compression_ratio(100, 5) == 0.05
+        assert compression_ratio(0, 0) == 1.0

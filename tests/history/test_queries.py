@@ -1,0 +1,117 @@
+"""Past range / trajectory / position / k-NN queries."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Velocity
+from repro.grid import Grid
+from repro.history import HistoricalQueryEngine, HistoryStore
+from repro.storage import BufferPool, InMemoryDiskManager, LocationRecord
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture
+def store() -> HistoryStore:
+    return HistoryStore(
+        BufferPool(InMemoryDiskManager(), capacity=16),
+        Grid(UNIT, 8),
+        bucket_seconds=10.0,
+    )
+
+
+@pytest.fixture
+def engine(store) -> HistoricalQueryEngine:
+    # Object 1 walks east along y=0.5; object 2 sits still in a corner.
+    for step in range(6):
+        store.append(
+            LocationRecord(
+                1, Point(0.1 + 0.1 * step, 0.5), Velocity.ZERO, 10.0 * step
+            )
+        )
+        store.append(
+            LocationRecord(2, Point(0.9, 0.9), Velocity.ZERO, 10.0 * step)
+        )
+    return HistoricalQueryEngine(store)
+
+
+class TestPastRange:
+    def test_finds_visits_in_window(self, engine):
+        visits = engine.past_range(Rect(0.25, 0.4, 0.45, 0.6), 0.0, 50.0)
+        assert [(v.oid, v.t) for v in visits] == [(1, 20.0), (1, 30.0)]
+
+    def test_time_filter_is_exact(self, engine):
+        # t=20 sample is in bucket 2; asking [21, 29] must exclude it.
+        visits = engine.past_range(Rect(0.25, 0.4, 0.45, 0.6), 21.0, 29.0)
+        assert visits == []
+
+    def test_objects_seen_in(self, engine):
+        seen = engine.objects_seen_in(UNIT, 0.0, 100.0)
+        assert seen == {1, 2}
+
+    def test_results_sorted_by_time(self, engine):
+        visits = engine.past_range(UNIT, 0.0, 100.0)
+        times = [v.t for v in visits]
+        assert times == sorted(times)
+
+
+class TestTrajectory:
+    def test_trajectory_between(self, engine):
+        samples = engine.trajectory_between(1, 10.0, 30.0)
+        assert [s.t for s in samples] == [10.0, 20.0, 30.0]
+
+    def test_empty_interval_raises(self, engine):
+        with pytest.raises(ValueError):
+            engine.trajectory_between(1, 30.0, 10.0)
+
+    def test_unknown_object(self, engine):
+        assert engine.trajectory_between(99, 0.0, 100.0) == []
+
+
+class TestPositionAt:
+    def test_exact_sample_time(self, engine):
+        position = engine.position_at(1, 20.0)
+        assert position.x == pytest.approx(0.3)
+        assert position.y == pytest.approx(0.5)
+
+    def test_interpolates_between_samples(self, engine):
+        position = engine.position_at(1, 25.0)
+        assert position.x == pytest.approx(0.35)
+        assert position.y == pytest.approx(0.5)
+
+    def test_outside_archive_span_is_none(self, engine):
+        assert engine.position_at(1, -5.0) is None
+        assert engine.position_at(1, 500.0) is None
+
+    def test_unknown_object_is_none(self, engine):
+        assert engine.position_at(99, 10.0) is None
+
+    def test_duplicate_timestamps(self, store):
+        store.append(LocationRecord(5, Point(0.1, 0.1), Velocity.ZERO, 10.0))
+        store.append(LocationRecord(5, Point(0.2, 0.2), Velocity.ZERO, 10.0))
+        engine = HistoricalQueryEngine(store)
+        assert engine.position_at(5, 10.0) is not None
+
+
+class TestKnnAt:
+    def test_nearest_at_instant(self, engine):
+        # At t=25, object 1 is at (0.35, 0.5); object 2 at (0.9, 0.9).
+        ranked = engine.knn_at(Point(0.35, 0.5), k=2, t=25.0)
+        assert [oid for __, oid in ranked] == [1, 2]
+        assert ranked[0][0] == pytest.approx(0.0)
+
+    def test_k_must_be_positive(self, engine):
+        with pytest.raises(ValueError):
+            engine.knn_at(Point(0.5, 0.5), k=0, t=10.0)
+
+    def test_empty_store(self, store):
+        engine = HistoricalQueryEngine(store)
+        assert engine.knn_at(Point(0.5, 0.5), k=3, t=10.0) == []
+
+
+class TestRebuild:
+    def test_queries_survive_index_rebuild(self, engine):
+        before = engine.past_range(UNIT, 0.0, 100.0)
+        engine.store.rebuild_index()
+        after = engine.past_range(UNIT, 0.0, 100.0)
+        assert before == after
+        assert engine.store.temporal.entry_count == len(before)

@@ -1,0 +1,78 @@
+"""The (time bucket x grid cell) index over archived records."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.grid import Grid
+from repro.history import TemporalGridIndex
+from repro.storage.heapfile import RecordId
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture
+def index() -> TemporalGridIndex:
+    return TemporalGridIndex(Grid(UNIT, 8), bucket_seconds=10.0)
+
+
+def rid(i: int) -> RecordId:
+    return RecordId(0, i)
+
+
+class TestMaintenance:
+    def test_rejects_bad_bucket_width(self):
+        with pytest.raises(ValueError):
+            TemporalGridIndex(Grid(UNIT, 8), bucket_seconds=0.0)
+
+    def test_entry_count_and_time_range(self, index):
+        index.add(rid(0), Point(0.5, 0.5), 5.0)
+        index.add(rid(1), Point(0.5, 0.5), 42.0)
+        assert index.entry_count == 2
+        assert index.time_range == (5.0, 42.0)
+
+    def test_clear(self, index):
+        index.add(rid(0), Point(0.5, 0.5), 5.0)
+        index.clear()
+        assert index.entry_count == 0
+        assert index.time_range is None
+        assert index.populated_bucket_count == 0
+
+    def test_bucket_of(self, index):
+        assert index.bucket_of(0.0) == 0
+        assert index.bucket_of(9.99) == 0
+        assert index.bucket_of(10.0) == 1
+
+
+class TestCandidates:
+    def test_pruning_by_space(self, index):
+        index.add(rid(0), Point(0.1, 0.1), 5.0)
+        index.add(rid(1), Point(0.9, 0.9), 5.0)
+        got = set(index.candidates(Rect(0.0, 0.0, 0.2, 0.2), 0.0, 10.0))
+        assert rid(0) in got and rid(1) not in got
+
+    def test_pruning_by_time(self, index):
+        index.add(rid(0), Point(0.5, 0.5), 5.0)
+        index.add(rid(1), Point(0.5, 0.5), 500.0)
+        got = set(index.candidates(UNIT, 0.0, 20.0))
+        assert rid(0) in got and rid(1) not in got
+
+    def test_candidates_overapproximate_within_bucket(self, index):
+        # Same bucket, time outside the asked interval: still a candidate.
+        index.add(rid(0), Point(0.5, 0.5), 9.0)
+        got = set(index.candidates(UNIT, 0.0, 5.0))
+        assert rid(0) in got  # caller must re-check exact time
+
+    def test_empty_interval_raises(self, index):
+        with pytest.raises(ValueError):
+            list(index.candidates(UNIT, 10.0, 5.0))
+
+    def test_region_outside_world(self, index):
+        index.add(rid(0), Point(0.5, 0.5), 5.0)
+        assert list(index.candidates(Rect(2, 2, 3, 3), 0.0, 10.0)) == []
+
+    def test_candidates_in_interval(self, index):
+        index.add(rid(0), Point(0.1, 0.1), 5.0)
+        index.add(rid(1), Point(0.9, 0.9), 15.0)
+        index.add(rid(2), Point(0.5, 0.5), 95.0)
+        got = set(index.candidates_in_interval(0.0, 20.0))
+        assert got == {rid(0), rid(1)}

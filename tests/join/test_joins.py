@@ -1,0 +1,69 @@
+"""Spatial joins: the three implementations agree with each other."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.grid import Grid
+from repro.join import grid_join, nested_loop_join, pbsm_join
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def workload(n_objects: int, n_queries: int, side: float, seed: int):
+    rng = random.Random(seed)
+    objects = {
+        oid: Point(rng.random(), rng.random()) for oid in range(n_objects)
+    }
+    queries = {
+        qid: Rect.square(Point(rng.random(), rng.random()), side)
+        for qid in range(n_queries)
+    }
+    return objects, queries
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("grid_size", [1, 4, 16, 50])
+    @pytest.mark.parametrize("side", [0.01, 0.1, 0.5])
+    def test_all_joins_agree(self, grid_size, side):
+        objects, queries = workload(150, 60, side, seed=grid_size)
+        grid = Grid(UNIT, grid_size)
+        reference = nested_loop_join(objects, queries)
+        assert grid_join(objects, queries, grid) == reference
+        assert pbsm_join(objects, queries, grid) == reference
+
+    def test_empty_inputs(self):
+        grid = Grid(UNIT, 8)
+        assert nested_loop_join({}, {}) == set()
+        assert grid_join({}, {}, grid) == set()
+        assert pbsm_join({}, {}, grid) == set()
+        objects, __ = workload(10, 0, 0.1, 0)
+        assert grid_join(objects, {}, grid) == set()
+        __, queries = workload(0, 10, 0.1, 0)
+        assert pbsm_join({}, queries, grid) == set()
+
+    def test_query_covering_everything(self):
+        objects, __ = workload(40, 0, 0.1, 3)
+        queries = {99: UNIT}
+        grid = Grid(UNIT, 8)
+        want = {(oid, 99) for oid in objects}
+        assert grid_join(objects, queries, grid) == want
+        assert pbsm_join(objects, queries, grid) == want
+
+    def test_boundary_points_included(self):
+        # Objects sitting exactly on query borders and cell borders.
+        objects = {1: Point(0.5, 0.5), 2: Point(0.25, 0.25)}
+        queries = {10: Rect(0.25, 0.25, 0.5, 0.5)}
+        grid = Grid(UNIT, 4)  # cell boundaries at multiples of 0.25
+        want = {(1, 10), (2, 10)}
+        assert nested_loop_join(objects, queries) == want
+        assert grid_join(objects, queries, grid) == want
+        assert pbsm_join(objects, queries, grid) == want
+
+    def test_duplicate_suppression_with_straddling_queries(self):
+        # Queries spanning many cells must not produce duplicate pairs.
+        objects, queries = workload(80, 10, 0.6, seed=5)
+        grid = Grid(UNIT, 10)
+        result = pbsm_join(objects, queries, grid)
+        assert result == nested_loop_join(objects, queries)

@@ -1,0 +1,42 @@
+"""Property-based join agreement (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Rect
+from repro.grid import Grid
+from repro.join import grid_join, nested_loop_join, pbsm_join
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+@st.composite
+def object_sets(draw):
+    pairs = draw(
+        st.lists(st.tuples(coord, coord), min_size=0, max_size=50)
+    )
+    return {oid: Point(x, y) for oid, (x, y) in enumerate(pairs)}
+
+
+@st.composite
+def query_sets(draw):
+    rects = []
+    for __ in range(draw(st.integers(0, 20))):
+        x1, x2 = sorted((draw(coord), draw(coord)))
+        y1, y2 = sorted((draw(coord), draw(coord)))
+        rects.append(Rect(x1, y1, x2, y2))
+    return {qid: rect for qid, rect in enumerate(rects)}
+
+
+@settings(max_examples=60, deadline=None)
+@given(object_sets(), query_sets(), st.integers(1, 20))
+def test_grid_join_equals_nested_loop(objects, queries, grid_size):
+    grid = Grid(UNIT, grid_size)
+    assert grid_join(objects, queries, grid) == nested_loop_join(objects, queries)
+
+
+@settings(max_examples=60, deadline=None)
+@given(object_sets(), query_sets(), st.integers(1, 20))
+def test_pbsm_join_equals_nested_loop(objects, queries, grid_size):
+    grid = Grid(UNIT, grid_size)
+    assert pbsm_join(objects, queries, grid) == nested_loop_join(objects, queries)

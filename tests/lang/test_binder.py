@@ -1,0 +1,103 @@
+"""Binding parsed commands to a running engine."""
+
+import pytest
+
+from repro.core import IncrementalEngine
+from repro.geometry import Point, Rect
+from repro.lang import Binder, parse
+from repro.lang.binder import BindError
+
+
+@pytest.fixture
+def engine():
+    return IncrementalEngine(grid_size=8)
+
+
+@pytest.fixture
+def binder(engine):
+    return Binder(engine)
+
+
+class TestRegistration:
+    def test_register_allocates_qids(self, engine, binder):
+        qid_a = binder.execute(parse("REGISTER RANGE QUERY a REGION (0,0,1,1)"))
+        qid_b = binder.execute(parse("REGISTER KNN QUERY b K 2 AT (0.5,0.5)"))
+        assert qid_a != qid_b
+        engine.evaluate(0.0)
+        assert engine.query_count == 2
+        assert binder.qid_of("a") == qid_a
+        assert binder.names() == ["a", "b"]
+
+    def test_duplicate_name_rejected(self, binder):
+        binder.execute(parse("REGISTER RANGE QUERY a REGION (0,0,1,1)"))
+        with pytest.raises(BindError):
+            binder.execute(parse("REGISTER RANGE QUERY a REGION (0,0,1,1)"))
+
+    def test_registered_query_finds_objects(self, engine, binder):
+        engine.report_object(1, Point(0.5, 0.5), 0.0)
+        qid = binder.execute(parse("REGISTER RANGE QUERY a REGION (0.4,0.4,0.6,0.6)"))
+        engine.evaluate(0.0)
+        assert engine.answer_of(qid) == frozenset({1})
+
+
+class TestMove:
+    def test_move_range_by_region(self, engine, binder):
+        engine.report_object(1, Point(0.5, 0.5), 0.0)
+        qid = binder.execute(parse("REGISTER RANGE QUERY a REGION (0.4,0.4,0.6,0.6)"))
+        engine.evaluate(0.0)
+        binder.execute(parse("MOVE QUERY a REGION (0.8,0.8,0.9,0.9)"), t=1.0)
+        engine.evaluate(1.0)
+        assert engine.answer_of(qid) == frozenset()
+
+    def test_move_knn_by_at(self, engine, binder):
+        engine.report_object(1, Point(0.1, 0.1), 0.0)
+        engine.report_object(2, Point(0.9, 0.9), 0.0)
+        qid = binder.execute(parse("REGISTER KNN QUERY b K 1 AT (0.0, 0.0)"))
+        engine.evaluate(0.0)
+        assert engine.answer_of(qid) == frozenset({1})
+        binder.execute(parse("MOVE QUERY b AT (1.0, 1.0)"), t=1.0)
+        engine.evaluate(1.0)
+        assert engine.answer_of(qid) == frozenset({2})
+
+    def test_wrong_move_clause_for_kind(self, binder):
+        binder.execute(parse("REGISTER KNN QUERY b K 1 AT (0,0)"))
+        binder.execute(parse("REGISTER RANGE QUERY a REGION (0,0,1,1)"))
+        with pytest.raises(BindError):
+            binder.execute(parse("MOVE QUERY b REGION (0,0,1,1)"))
+        with pytest.raises(BindError):
+            binder.execute(parse("MOVE QUERY a AT (0.5,0.5)"))
+
+    def test_move_unknown_name(self, binder):
+        with pytest.raises(BindError):
+            binder.execute(parse("MOVE QUERY ghost AT (0,0)"))
+
+
+class TestUnregister:
+    def test_unregister_frees_name(self, engine, binder):
+        binder.execute(parse("REGISTER RANGE QUERY a REGION (0,0,1,1)"))
+        engine.evaluate(0.0)
+        binder.execute(parse("UNREGISTER QUERY a"))
+        engine.evaluate(1.0)
+        assert engine.query_count == 0
+        # The name can be reused.
+        binder.execute(parse("REGISTER RANGE QUERY a REGION (0,0,1,1)"))
+        engine.evaluate(2.0)
+        assert engine.query_count == 1
+
+    def test_unregister_unknown_name(self, binder):
+        with pytest.raises(BindError):
+            binder.execute(parse("UNREGISTER QUERY ghost"))
+
+
+class TestPrograms:
+    def test_run_program(self, engine, binder):
+        qids = binder.run_program(
+            """
+            REGISTER RANGE QUERY a REGION (0, 0, 0.5, 0.5)
+            REGISTER PREDICTIVE QUERY c REGION (0, 0, 1, 1) WITHIN 30
+            UNREGISTER QUERY a
+            """
+        )
+        engine.evaluate(0.0)
+        assert len(qids) == 3
+        assert engine.query_count == 1

@@ -1,0 +1,106 @@
+"""The console: object stream, evaluation and inspection commands."""
+
+import pytest
+
+from repro.lang import Console, ParseError, parse
+from repro.lang.ast import Evaluate, RemoveObject, ReportObject, ShowAnswer
+from repro.lang.binder import BindError
+
+
+@pytest.fixture
+def console() -> Console:
+    return Console()
+
+
+class TestParsingNewCommands:
+    def test_report_object(self):
+        cmd = parse("REPORT OBJECT 7 AT (0.5, 0.5)")
+        assert isinstance(cmd, ReportObject)
+        assert cmd.oid == 7 and cmd.velocity is None
+
+    def test_report_object_with_velocity(self):
+        cmd = parse("REPORT OBJECT 7 AT (0.5, 0.5) VELOCITY (0.01, -0.02)")
+        assert cmd.velocity is not None
+        assert cmd.velocity.y == -0.02
+
+    def test_remove_object(self):
+        assert parse("REMOVE OBJECT 9") == RemoveObject(9)
+
+    def test_evaluate_variants(self):
+        assert parse("EVALUATE") == Evaluate()
+        assert parse("EVALUATE AT 12.5") == Evaluate(at=12.5)
+
+    def test_show_answer(self):
+        assert parse("SHOW ANSWER q1") == ShowAnswer("q1")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "REPORT OBJECT x AT (0,0)",
+            "REPORT OBJECT 1.5 AT (0,0)",
+            "REPORT OBJECT 1",
+            "SHOW EVERYTHING",
+            "EVALUATE AT",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+class TestConsoleExecution:
+    def test_end_to_end_session(self, console):
+        console.run("REPORT OBJECT 1 AT (0.55, 0.55)")
+        console.run("REGISTER RANGE QUERY watch REGION (0.5, 0.5, 0.6, 0.6)")
+        output = console.run("EVALUATE")
+        assert "+p1" in output
+        assert console.run("SHOW ANSWER watch") == "watch: [1]"
+
+    def test_evaluate_with_clock(self, console):
+        console.run("REPORT OBJECT 1 AT (0.5, 0.5)")
+        console.run("EVALUATE AT 10")
+        assert console.engine.now == 10.0
+
+    def test_no_updates_message(self, console):
+        assert console.run("EVALUATE") == "no updates"
+
+    def test_remove_object_flow(self, console):
+        console.run("REPORT OBJECT 1 AT (0.55, 0.55)")
+        console.run("REGISTER RANGE QUERY watch REGION (0.5, 0.5, 0.6, 0.6)")
+        console.run("EVALUATE")
+        console.run("REMOVE OBJECT 1")
+        output = console.run("EVALUATE")
+        assert "-p1" in output
+        assert console.run("SHOW ANSWER watch") == "watch: []"
+
+    def test_show_queries_and_objects(self, console):
+        assert console.run("SHOW QUERIES") == "no queries registered"
+        console.run("REGISTER KNN QUERY cabs K 2 AT (0.5, 0.5)")
+        console.run("REPORT OBJECT 1 AT (0.1, 0.1)")
+        console.run("EVALUATE")
+        assert "cabs" in console.run("SHOW QUERIES")
+        assert console.run("SHOW OBJECTS") == "1 objects tracked"
+
+    def test_velocity_feeds_predictive_queries(self, console):
+        console.run(
+            "REGISTER PREDICTIVE QUERY zone REGION (0.4, 0.4, 0.5, 0.5) WITHIN 50"
+        )
+        console.run("REPORT OBJECT 1 AT (0.1, 0.45) VELOCITY (0.01, 0.0)")
+        output = console.run("EVALUATE")
+        assert "+p1" in output
+
+    def test_show_answer_unknown_query(self, console):
+        with pytest.raises(BindError):
+            console.run("SHOW ANSWER ghost")
+
+    def test_run_script(self, console):
+        outputs = console.run_script(
+            """
+            -- a tiny scenario
+            REPORT OBJECT 1 AT (0.55, 0.55)
+            REGISTER RANGE QUERY watch REGION (0.5, 0.5, 0.6, 0.6)
+            EVALUATE
+            SHOW ANSWER watch
+            """
+        )
+        assert outputs[-1] == "watch: [1]"

@@ -1,0 +1,62 @@
+"""Property-based language tests: total error behaviour and round trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Rect
+from repro.lang import (
+    LexError,
+    ParseError,
+    RegisterKnn,
+    RegisterRange,
+    parse,
+)
+from repro.lang.binder import BindError
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=80))
+def test_parser_is_total_over_arbitrary_text(source):
+    """Any input either parses or raises a *language* error — never an
+    internal exception (IndexError, TypeError, ...)."""
+    try:
+        parse(source)
+    except (ParseError, LexError):
+        pass
+
+
+name_st = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_\-]{0,10}", fullmatch=True)
+num = st.floats(min_value=0, max_value=1, allow_nan=False, width=16)
+
+
+@settings(max_examples=100, deadline=None)
+@given(name_st, num, num, num, num)
+def test_register_range_round_trip(name, a, b, c, d):
+    x1, x2 = sorted((a, b))
+    y1, y2 = sorted((c, d))
+    source = f"REGISTER RANGE QUERY {name} REGION ({x1!r}, {y1!r}, {x2!r}, {y2!r})"
+    command = parse(source)
+    assert command == RegisterRange(name, Rect(x1, y1, x2, y2))
+
+
+@settings(max_examples=100, deadline=None)
+@given(name_st, st.integers(1, 100), num, num)
+def test_register_knn_round_trip(name, k, x, y):
+    source = f"REGISTER KNN QUERY {name} K {k} AT ({x!r}, {y!r})"
+    command = parse(source)
+    assert command == RegisterKnn(name, k, Point(x, y))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(name_st, min_size=1, max_size=10, unique=True))
+def test_binder_name_allocation_is_injective(names):
+    from repro.core import IncrementalEngine
+    from repro.lang import Binder
+
+    binder = Binder(IncrementalEngine(grid_size=4))
+    qids = [
+        binder.execute(parse(f"REGISTER RANGE QUERY {name} REGION (0,0,1,1)"))
+        for name in names
+    ]
+    assert len(set(qids)) == len(names)
+    for name, qid in zip(names, qids):
+        assert binder.qid_of(name) == qid

@@ -1,0 +1,50 @@
+"""Tokeniser for the query command language."""
+
+import pytest
+
+from repro.lang import LexError, TokenKind, tokenize
+
+
+class TestTokenize:
+    def test_words_and_punctuation(self):
+        tokens = tokenize("REGISTER RANGE QUERY q1 REGION (0.1, 0.2, 0.3, 0.4)")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            TokenKind.WORD, TokenKind.WORD, TokenKind.WORD, TokenKind.WORD,
+            TokenKind.WORD, TokenKind.LPAREN, TokenKind.NUMBER,
+            TokenKind.COMMA, TokenKind.NUMBER, TokenKind.COMMA,
+            TokenKind.NUMBER, TokenKind.COMMA, TokenKind.NUMBER,
+            TokenKind.RPAREN, TokenKind.END,
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 -3 +4.25 1e-3 .5")
+        values = [t.number for t in tokens[:-1]]
+        assert values == [1.0, 2.5, -3.0, 4.25, 0.001, 0.5]
+
+    def test_identifiers_with_dashes_and_digits(self):
+        tokens = tokenize("my-query_2")
+        assert tokens[0].kind is TokenKind.WORD
+        assert tokens[0].text == "my-query_2"
+
+    def test_whitespace_insensitive(self):
+        a = [(t.kind, t.text) for t in tokenize("A ( 1 , 2 )")]
+        b = [(t.kind, t.text) for t in tokenize("A(1,2)")]
+        assert [x[0] for x in a] == [x[0] for x in b]
+
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind is TokenKind.END
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("REGISTER @ QUERY")
+
+    def test_number_on_word_raises(self):
+        with pytest.raises(ValueError):
+            tokenize("REGISTER")[0].number
+
+    def test_positions_recorded(self):
+        tokens = tokenize("AB (")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

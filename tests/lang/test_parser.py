@@ -1,0 +1,94 @@
+"""Parser for the query command language."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.lang import (
+    MoveQuery,
+    ParseError,
+    RegisterKnn,
+    RegisterPredictive,
+    RegisterRange,
+    Unregister,
+    parse,
+    parse_program,
+)
+
+
+class TestRegister:
+    def test_range(self):
+        cmd = parse("REGISTER RANGE QUERY downtown REGION (0.1, 0.2, 0.3, 0.4)")
+        assert cmd == RegisterRange("downtown", Rect(0.1, 0.2, 0.3, 0.4))
+
+    def test_knn(self):
+        cmd = parse("REGISTER KNN QUERY cabs K 3 AT (0.5, 0.6)")
+        assert cmd == RegisterKnn("cabs", 3, Point(0.5, 0.6))
+
+    def test_predictive(self):
+        cmd = parse(
+            "REGISTER PREDICTIVE QUERY air REGION (0, 0, 1, 1) WITHIN 30 SECONDS"
+        )
+        assert cmd == RegisterPredictive("air", Rect(0, 0, 1, 1), 30.0)
+
+    def test_predictive_without_seconds_keyword(self):
+        cmd = parse("REGISTER PREDICTIVE QUERY air REGION (0, 0, 1, 1) WITHIN 30")
+        assert cmd == RegisterPredictive("air", Rect(0, 0, 1, 1), 30.0)
+
+    def test_keywords_are_case_insensitive(self):
+        cmd = parse("register range query q REGION (0, 0, 1, 1)")
+        assert isinstance(cmd, RegisterRange)
+
+    def test_names_are_case_sensitive(self):
+        assert parse("REGISTER RANGE QUERY Foo REGION (0,0,1,1)").name == "Foo"
+
+
+class TestMoveAndUnregister:
+    def test_move_region(self):
+        cmd = parse("MOVE QUERY downtown REGION (0.2, 0.2, 0.4, 0.4)")
+        assert cmd == MoveQuery("downtown", region=Rect(0.2, 0.2, 0.4, 0.4))
+
+    def test_move_at(self):
+        cmd = parse("MOVE QUERY cabs AT (0.9, 0.1)")
+        assert cmd == MoveQuery("cabs", center=Point(0.9, 0.1))
+
+    def test_unregister(self):
+        assert parse("UNREGISTER QUERY cabs") == Unregister("cabs")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "REGISTER",
+            "REGISTER CIRCLE QUERY q REGION (0,0,1,1)",
+            "REGISTER RANGE QUERY q REGION (0,0,1)",
+            "REGISTER RANGE QUERY q REGION (1,1,0,0)",  # degenerate
+            "REGISTER KNN QUERY q K 0 AT (0,0)",
+            "REGISTER KNN QUERY q K 2.5 AT (0,0)",
+            "REGISTER PREDICTIVE QUERY q REGION (0,0,1,1) WITHIN -5",
+            "REGISTER RANGE QUERY q REGION (0,0,1,1) trailing",
+            "MOVE QUERY",
+            "UNREGISTER q",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+
+class TestProgram:
+    def test_multi_line_with_comments_and_blanks(self):
+        program = """
+        -- register two queries
+        REGISTER RANGE QUERY a REGION (0, 0, 0.5, 0.5)
+
+        REGISTER KNN QUERY b K 2 AT (0.5, 0.5)  -- trailing comment
+        """
+        commands = parse_program(program)
+        assert len(commands) == 2
+        assert isinstance(commands[0], RegisterRange)
+        assert isinstance(commands[1], RegisterKnn)
+
+    def test_empty_program(self):
+        assert parse_program("\n  -- nothing here\n") == []

@@ -1,0 +1,61 @@
+"""Client links: delivery, loss during disconnection, accounting."""
+
+from repro.net import ClientLink, NetworkStats, UpdateMessage
+
+
+def update(i: int = 1) -> UpdateMessage:
+    return UpdateMessage(i, i, 1)
+
+
+class TestDelivery:
+    def test_connected_delivery(self):
+        link = ClientLink(1)
+        assert link.deliver(update())
+        assert link.drain() == [update()]
+
+    def test_drain_empties_inbox(self):
+        link = ClientLink(1)
+        link.deliver(update())
+        link.drain()
+        assert link.drain() == []
+
+    def test_disconnected_messages_are_lost(self):
+        link = ClientLink(1)
+        link.disconnect()
+        assert not link.deliver(update())
+        link.reconnect()
+        assert link.drain() == []  # not queued, lost
+
+    def test_delivery_order_preserved(self):
+        link = ClientLink(1)
+        for i in range(5):
+            link.deliver(update(i))
+        assert [m.qid for m in link.drain()] == [0, 1, 2, 3, 4]
+
+
+class TestAccounting:
+    def test_delivered_and_dropped_bytes(self):
+        stats = NetworkStats()
+        link = ClientLink(1, stats)
+        link.deliver(update())
+        link.disconnect()
+        link.deliver(update())
+        assert stats.delivered_bytes == 17
+        assert stats.dropped_bytes == 17
+        assert stats.delivered_messages == 1
+        assert stats.dropped_messages == 1
+
+    def test_by_type_counters(self):
+        stats = NetworkStats()
+        link = ClientLink(1, stats)
+        link.deliver(update())
+        link.disconnect()
+        link.deliver(update())
+        assert stats.by_type["UpdateMessage"] == 1
+        assert stats.by_type["dropped:UpdateMessage"] == 1
+
+    def test_shared_stats_across_links(self):
+        stats = NetworkStats()
+        for cid in range(3):
+            ClientLink(cid, stats).deliver(update())
+        assert stats.delivered_messages == 3

@@ -1,0 +1,57 @@
+"""Wire messages and their byte accounting."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Velocity
+from repro.net import (
+    CommitMessage,
+    FullAnswerMessage,
+    ObjectReportMessage,
+    QueryRegionMessage,
+    UpdateMessage,
+    WakeupMessage,
+)
+
+
+class TestUpdateMessage:
+    def test_size_is_constant(self):
+        assert UpdateMessage(1, 2, 1).size_bytes == 17
+        assert UpdateMessage(10**9, 10**9, -1).size_bytes == 17
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateMessage(1, 2, 0)
+        with pytest.raises(ValueError):
+            UpdateMessage(1, 2, 2)
+
+
+class TestFullAnswerMessage:
+    def test_size_grows_with_members(self):
+        empty = FullAnswerMessage(1, frozenset())
+        ten = FullAnswerMessage(1, frozenset(range(10)))
+        assert empty.size_bytes == 16
+        assert ten.size_bytes == 16 + 80
+
+    def test_break_even_point(self):
+        """A full answer of n members costs 16 + 8n bytes; n incremental
+        updates cost 17n.  Incremental wins whenever fewer than about
+        (16 + 8n) / 17 members changed — the arithmetic behind Figure 5."""
+        n = 100
+        full = FullAnswerMessage(1, frozenset(range(n))).size_bytes
+        changed = 10
+        incremental = changed * UpdateMessage(1, 1, 1).size_bytes
+        assert incremental < full
+
+
+class TestUplinkMessages:
+    def test_object_report_size(self):
+        msg = ObjectReportMessage(1, Point(0, 0), Velocity.ZERO, 0.0)
+        assert msg.size_bytes == 48
+
+    def test_query_region_size(self):
+        msg = QueryRegionMessage(1, Rect(0, 0, 1, 1), 0.0)
+        assert msg.size_bytes == 48
+
+    def test_control_message_sizes(self):
+        assert WakeupMessage(1).size_bytes == 8
+        assert CommitMessage(1).size_bytes == 8

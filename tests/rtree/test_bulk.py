@@ -1,0 +1,75 @@
+"""STR bulk loading."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree import RTree, str_bulk_load
+
+
+def random_items(count: int, seed: int = 0) -> list[tuple[int, Rect]]:
+    rng = random.Random(seed)
+    return [
+        (key, Rect.square(Point(rng.random(), rng.random()), 0.03))
+        for key in range(count)
+    ]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = str_bulk_load([])
+        assert len(tree) == 0
+
+    def test_single_leaf(self):
+        items = random_items(10)
+        tree = str_bulk_load(items, max_entries=16)
+        assert len(tree) == 10
+        assert tree.height == 1
+        tree.check_invariants()
+
+    @pytest.mark.parametrize("count", [17, 100, 777, 2000])
+    def test_invariants_at_scale(self, count):
+        tree = str_bulk_load(random_items(count), max_entries=16)
+        assert len(tree) == count
+        tree.check_invariants()
+
+    def test_duplicate_keys_rejected(self):
+        items = random_items(5) + random_items(5)
+        with pytest.raises(ValueError):
+            str_bulk_load(items)
+
+    def test_search_matches_incremental_tree(self):
+        items = random_items(600, seed=9)
+        bulk = str_bulk_load(items, max_entries=8)
+        incremental = RTree(max_entries=8)
+        for key, rect in items:
+            incremental.insert(key, rect)
+        for query in (Rect(0, 0, 0.2, 0.2), Rect(0.3, 0.3, 0.7, 0.7)):
+            got = {e.key for e in bulk.search(query)}
+            want = {e.key for e in incremental.search(query)}
+            assert got == want
+
+    def test_bulk_tree_is_shallower_or_equal(self):
+        items = random_items(1000, seed=2)
+        bulk = str_bulk_load(items, max_entries=8)
+        incremental = RTree(max_entries=8)
+        for key, rect in items:
+            incremental.insert(key, rect)
+        assert bulk.height <= incremental.height
+
+    def test_bulk_tree_supports_further_mutation(self):
+        items = random_items(200, seed=4)
+        tree = str_bulk_load(items, max_entries=8)
+        tree.insert(10_000, Rect(0.1, 0.1, 0.12, 0.12))
+        tree.delete(0)
+        tree.delete(1)
+        tree.check_invariants()
+        assert len(tree) == 199
+        hits = {e.key for e in tree.search(Rect(0.09, 0.09, 0.13, 0.13))}
+        assert 10_000 in hits
+
+    def test_str_tail_not_underfull(self):
+        # 17 items with fanout 16 would naively leave a 1-entry leaf.
+        tree = str_bulk_load(random_items(17), max_entries=16)
+        tree.check_invariants()

@@ -1,0 +1,70 @@
+"""Property-based R-tree tests: search/delete vs a brute-force oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Rect
+from repro.rtree import RTree, str_bulk_load
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+
+
+@st.composite
+def rect_strategy(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return Rect(x1, y1, x2, y2)
+
+
+# Operations: (key, rect) inserts; negative ints request deletion of the
+# key at that index of the live set (modulo size).
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), rect_strategy()),
+        st.tuples(st.just("delete"), st.integers(0, 10_000)),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy, rect_strategy())
+def test_search_matches_oracle_under_churn(ops, query):
+    tree = RTree(max_entries=4)
+    live: dict[int, Rect] = {}
+    next_key = 0
+    for op, payload in ops:
+        if op == "insert":
+            tree.insert(next_key, payload)
+            live[next_key] = payload
+            next_key += 1
+        elif live:
+            key = sorted(live)[payload % len(live)]
+            tree.delete(key)
+            del live[key]
+    tree.check_invariants()
+    want = {k for k, r in live.items() if r.intersects(query)}
+    got = {e.key for e in tree.search(query)}
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(rect_strategy(), min_size=1, max_size=120), coord, coord,
+       st.integers(1, 8))
+def test_nearest_distances_match_oracle(rects, x, y, k):
+    items = list(enumerate(rects))
+    tree = str_bulk_load(items, max_entries=4)
+    tree.check_invariants()
+    probe = Point(x, y)
+    got = [e.rect.min_distance_to_point(probe) for e in tree.nearest(probe, k)]
+    want = sorted(r.min_distance_to_point(probe) for r in rects)[:k]
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert abs(g - w) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(rect_strategy(), min_size=1, max_size=100))
+def test_bulk_load_indexes_every_item(rects):
+    tree = str_bulk_load(list(enumerate(rects)), max_entries=5)
+    assert {e.key for e in tree.items()} == set(range(len(rects)))
+    tree.check_invariants()

@@ -1,0 +1,135 @@
+"""Update-memo R-tree (RUM-tree style)."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree import RumTree
+
+
+class TestBasics:
+    def test_rejects_bad_gc_ratio(self):
+        with pytest.raises(ValueError):
+            RumTree(gc_stale_ratio=0.0)
+        with pytest.raises(ValueError):
+            RumTree(gc_stale_ratio=1.5)
+
+    def test_upsert_and_search(self):
+        tree = RumTree()
+        tree.upsert(1, Point(0.5, 0.5))
+        assert set(tree.search(Rect(0.4, 0.4, 0.6, 0.6))) == {1}
+        assert 1 in tree and len(tree) == 1
+
+    def test_update_supersedes_old_location(self):
+        tree = RumTree(gc_stale_ratio=1.0)  # keep stale entries around
+        tree.upsert(1, Point(0.1, 0.1))
+        tree.upsert(1, Point(0.9, 0.9))
+        # The stale version must NOT satisfy queries at the old spot.
+        assert set(tree.search(Rect(0.0, 0.0, 0.2, 0.2))) == set()
+        assert set(tree.search(Rect(0.8, 0.8, 1.0, 1.0))) == {1}
+        assert len(tree) == 1
+        assert tree.physical_entry_count == 2  # stale version still stored
+
+    def test_delete(self):
+        tree = RumTree(gc_stale_ratio=1.0)
+        tree.upsert(1, Point(0.5, 0.5))
+        tree.delete(1)
+        assert 1 not in tree
+        assert set(tree.search(Rect(0, 0, 1, 1))) == set()
+        with pytest.raises(KeyError):
+            tree.delete(1)
+
+    def test_location_of(self):
+        tree = RumTree()
+        tree.upsert(3, Point(0.25, 0.75))
+        assert tree.location_of(3) == Point(0.25, 0.75)
+
+
+class TestGarbageCollection:
+    def test_gc_triggers_on_stale_ratio(self):
+        tree = RumTree(gc_stale_ratio=0.4)
+        for __ in range(10):
+            tree.upsert(1, Point(0.5, 0.5))
+        assert tree.gc_runs > 0
+        assert tree.stale_ratio < 0.4
+
+    def test_manual_gc_removes_exactly_the_stale(self):
+        tree = RumTree(gc_stale_ratio=1.0)
+        for oid in range(5):
+            tree.upsert(oid, Point(0.1 * oid, 0.5))
+        for oid in range(5):
+            tree.upsert(oid, Point(0.1 * oid, 0.6))
+        assert tree.physical_entry_count == 10
+        removed = tree.garbage_collect()
+        assert removed == 5
+        assert tree.physical_entry_count == 5
+        assert set(tree.search(Rect(0, 0, 1, 1))) == set(range(5))
+
+    def test_queries_identical_before_and_after_gc(self):
+        rng = random.Random(1)
+        tree = RumTree(gc_stale_ratio=1.0)
+        locations = {}
+        for __ in range(300):
+            oid = rng.randrange(40)
+            locations[oid] = Point(rng.random(), rng.random())
+            tree.upsert(oid, locations[oid])
+        region = Rect(0.25, 0.25, 0.75, 0.75)
+        before = set(tree.search(region))
+        tree.garbage_collect()
+        after = set(tree.search(region))
+        want = {oid for oid, p in locations.items() if region.contains_point(p)}
+        assert before == after == want
+
+
+class TestOracle:
+    def test_search_matches_dict_model_under_churn(self):
+        rng = random.Random(2)
+        tree = RumTree(gc_stale_ratio=0.3)
+        model: dict[int, Point] = {}
+        for step in range(500):
+            oid = rng.randrange(60)
+            if oid in model and rng.random() < 0.15:
+                tree.delete(oid)
+                del model[oid]
+            else:
+                location = Point(rng.random(), rng.random())
+                tree.upsert(oid, location)
+                model[oid] = location
+            if step % 50 == 0:
+                region = Rect.square(Point(rng.random(), rng.random()), 0.4)
+                want = {
+                    o for o, p in model.items() if region.contains_point(p)
+                }
+                assert set(tree.search(region)) == want
+
+    def test_nearest_matches_brute_force(self):
+        rng = random.Random(3)
+        tree = RumTree(gc_stale_ratio=1.0)
+        model: dict[int, Point] = {}
+        for __ in range(400):  # heavy churn: many stale versions linger
+            oid = rng.randrange(50)
+            location = Point(rng.random(), rng.random())
+            tree.upsert(oid, location)
+            model[oid] = location
+        for probe in (Point(0.5, 0.5), Point(0.05, 0.95)):
+            for k in (1, 5, 20):
+                got = tree.nearest(probe, k)
+                ranked = sorted(
+                    (p.distance_to(probe), oid) for oid, p in model.items()
+                )
+                want_dists = [d for d, __ in ranked[:k]]
+                got_dists = sorted(
+                    model[oid].distance_to(probe) for oid in got
+                )
+                assert got_dists == pytest.approx(sorted(want_dists))
+
+    def test_nearest_k_exceeds_population(self):
+        tree = RumTree()
+        tree.upsert(1, Point(0.5, 0.5))
+        tree.upsert(1, Point(0.6, 0.6))  # stale + live
+        assert tree.nearest(Point(0, 0), 10) == [1]
+
+    def test_nearest_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            RumTree().nearest(Point(0, 0), 0)

@@ -1,0 +1,168 @@
+"""R-tree: inserts, splits, deletes, searches."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree import RTree
+
+
+def build_tree(count: int, seed: int = 1, max_entries: int = 8):
+    rng = random.Random(seed)
+    tree = RTree(max_entries=max_entries)
+    items: dict[int, Rect] = {}
+    for key in range(count):
+        rect = Rect.square(Point(rng.random(), rng.random()), 0.05)
+        tree.insert(key, rect)
+        items[key] = rect
+    return tree, items
+
+
+class TestConstruction:
+    def test_rejects_small_capacity(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+
+    def test_rejects_bad_min_entries(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=0)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert list(tree.search(Rect(0, 0, 1, 1))) == []
+        assert tree.nearest(Point(0.5, 0.5), k=3) == []
+
+
+class TestInsert:
+    def test_len_and_contains(self):
+        tree, __ = build_tree(50)
+        assert len(tree) == 50
+        assert 17 in tree and 50 not in tree
+
+    def test_duplicate_key_rejected(self):
+        tree, __ = build_tree(5)
+        with pytest.raises(KeyError):
+            tree.insert(3, Rect(0, 0, 1, 1))
+
+    def test_tree_grows_in_height(self):
+        tree, __ = build_tree(200, max_entries=4)
+        assert tree.height >= 3
+        tree.check_invariants()
+
+    def test_rect_of(self):
+        tree, items = build_tree(30)
+        for key, rect in items.items():
+            assert tree.rect_of(key) == rect
+
+    def test_invariants_after_many_inserts(self):
+        tree, __ = build_tree(500, max_entries=6)
+        tree.check_invariants()
+
+
+class TestSearch:
+    def test_matches_brute_force(self):
+        tree, items = build_tree(300, seed=7)
+        for query in (
+            Rect(0.0, 0.0, 0.3, 0.3),
+            Rect(0.4, 0.4, 0.6, 0.6),
+            Rect(0.0, 0.0, 1.0, 1.0),
+            Rect(0.99, 0.99, 1.0, 1.0),
+        ):
+            want = {k for k, r in items.items() if r.intersects(query)}
+            got = {entry.key for entry in tree.search(query)}
+            assert got == want
+
+    def test_search_point(self):
+        tree = RTree()
+        tree.insert(1, Rect(0, 0, 0.5, 0.5))
+        tree.insert(2, Rect(0.4, 0.4, 1, 1))
+        hits = {e.key for e in tree.search_point(Point(0.45, 0.45))}
+        assert hits == {1, 2}
+        assert {e.key for e in tree.search_point(Point(0.9, 0.1))} == set()
+
+    def test_items_yields_everything(self):
+        tree, items = build_tree(120)
+        assert {e.key for e in tree.items()} == set(items)
+
+
+class TestDelete:
+    def test_delete_removes_key(self):
+        tree, __ = build_tree(40)
+        tree.delete(10)
+        assert 10 not in tree
+        assert len(tree) == 39
+        with pytest.raises(KeyError):
+            tree.delete(10)
+
+    def test_delete_down_to_empty(self):
+        tree, items = build_tree(60, max_entries=4)
+        for key in list(items):
+            tree.delete(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_interleaved_insert_delete_matches_brute_force(self):
+        rng = random.Random(3)
+        tree = RTree(max_entries=5)
+        live: dict[int, Rect] = {}
+        next_key = 0
+        for __ in range(400):
+            if live and rng.random() < 0.4:
+                key = rng.choice(list(live))
+                tree.delete(key)
+                del live[key]
+            else:
+                rect = Rect.square(Point(rng.random(), rng.random()), 0.04)
+                tree.insert(next_key, rect)
+                live[next_key] = rect
+                next_key += 1
+        tree.check_invariants()
+        query = Rect(0.25, 0.25, 0.75, 0.75)
+        want = {k for k, r in live.items() if r.intersects(query)}
+        assert {e.key for e in tree.search(query)} == want
+
+    def test_update_moves_entry(self):
+        tree, __ = build_tree(20)
+        tree.update(5, Rect(0.9, 0.9, 0.95, 0.95))
+        assert tree.rect_of(5) == Rect(0.9, 0.9, 0.95, 0.95)
+        assert len(tree) == 20
+
+
+class TestNearest:
+    def test_matches_brute_force(self):
+        tree, items = build_tree(250, seed=11)
+        for probe in (Point(0.5, 0.5), Point(0.0, 1.0), Point(0.87, 0.13)):
+            for k in (1, 5, 20):
+                got = [e.key for e in tree.nearest(probe, k)]
+                want = sorted(
+                    items,
+                    key=lambda key: (
+                        items[key].min_distance_to_point(probe),
+                        key,
+                    ),
+                )[:k]
+                got_dists = [items[key].min_distance_to_point(probe) for key in got]
+                want_dists = [items[key].min_distance_to_point(probe) for key in want]
+                assert got_dists == pytest.approx(want_dists)
+
+    def test_k_larger_than_population(self):
+        tree, __ = build_tree(5)
+        assert len(tree.nearest(Point(0.5, 0.5), k=50)) == 5
+
+    def test_nonpositive_k_rejected(self):
+        tree, __ = build_tree(5)
+        with pytest.raises(ValueError):
+            tree.nearest(Point(0, 0), k=0)
+
+    def test_results_in_distance_order(self):
+        tree, items = build_tree(100, seed=5)
+        probe = Point(0.3, 0.6)
+        hits = tree.nearest(probe, k=10)
+        dists = [e.rect.min_distance_to_point(probe) for e in hits]
+        assert dists == sorted(dists)

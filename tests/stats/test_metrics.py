@@ -1,0 +1,61 @@
+"""Measurement helpers."""
+
+import pytest
+
+from repro.stats import Series, StopWatch, format_table
+
+
+class TestStopWatch:
+    def test_accumulates_laps(self):
+        watch = StopWatch()
+        for __ in range(3):
+            with watch:
+                pass
+        assert len(watch.laps) == 3
+        assert watch.total == pytest.approx(sum(watch.laps))
+        assert watch.mean == pytest.approx(watch.total / 3)
+
+    def test_empty_watch(self):
+        watch = StopWatch()
+        assert watch.total == 0.0
+        assert watch.mean == 0.0
+
+
+class TestSeries:
+    def test_statistics(self):
+        series = Series("latency")
+        for v in (1.0, 2.0, 3.0):
+            series.add(v)
+        assert series.mean == 2.0
+        assert series.total == 6.0
+        assert series.minimum == 1.0
+        assert series.maximum == 3.0
+
+    def test_empty_series(self):
+        series = Series("empty")
+        assert series.mean == 0.0
+        assert series.minimum == 0.0
+        assert series.maximum == 0.0
+
+    def test_summary_mentions_name(self):
+        series = Series("throughput")
+        series.add(5.0)
+        assert "throughput" in series.summary()
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        table = format_table(["x", "value"], [[1, 2.5], [10, 0.125]])
+        lines = table.splitlines()
+        assert "x" in lines[0] and "value" in lines[0]
+        assert len(lines) == 4
+        assert "2.500" in lines[2]
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+    def test_column_alignment(self):
+        table = format_table(["col"], [[1], [100]])
+        lines = table.splitlines()
+        assert len(lines[2]) == len(lines[3])

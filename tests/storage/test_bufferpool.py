@@ -1,0 +1,99 @@
+"""Buffer pool: pinning, LRU eviction, write-back."""
+
+import pytest
+
+from repro.storage import BufferPool, InMemoryDiskManager
+from repro.storage.bufferpool import BufferPoolFullError
+
+
+@pytest.fixture
+def pool():
+    return BufferPool(InMemoryDiskManager(), capacity=3)
+
+
+class TestLifecycle:
+    def test_new_page_is_pinned_and_dirty(self, pool):
+        page = pool.new_page()
+        assert page.pin_count == 1
+        assert page.dirty
+
+    def test_fetch_after_unpin_hits_cache(self, pool):
+        page = pool.new_page()
+        pid = page.page_id
+        pool.unpin(page)
+        again = pool.fetch(pid)
+        assert again is page
+        assert pool.stats.hits == 1
+
+    def test_unpin_unpinned_raises(self, pool):
+        page = pool.new_page()
+        pool.unpin(page)
+        with pytest.raises(ValueError):
+            pool.unpin(page)
+
+    def test_pinned_context_manager(self, pool):
+        page = pool.new_page()
+        pool.unpin(page)
+        with pool.pinned(page.page_id) as pinned:
+            assert pinned.pin_count == 1
+        assert pinned.pin_count == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BufferPool(InMemoryDiskManager(), capacity=0)
+
+
+class TestEviction:
+    def test_lru_eviction_on_overflow(self, pool):
+        pages = [pool.new_page() for __ in range(3)]
+        for page in pages:
+            pool.unpin(page)
+        pool.new_page()  # forces eviction of pages[0] (least recent)
+        assert pool.stats.evictions == 1
+        assert pages[0].page_id not in pool.resident_page_ids
+
+    def test_pinned_pages_survive_eviction(self, pool):
+        keeper = pool.new_page()  # stays pinned
+        others = [pool.new_page() for __ in range(2)]
+        for page in others:
+            pool.unpin(page)
+        pool.new_page()
+        assert keeper.page_id in pool.resident_page_ids
+
+    def test_all_pinned_raises(self, pool):
+        for __ in range(3):
+            pool.new_page()  # all pinned
+        with pytest.raises(BufferPoolFullError):
+            pool.new_page()
+
+    def test_dirty_eviction_writes_back(self, pool):
+        page = pool.new_page()
+        page.data[100:105] = b"dirty"
+        pid = page.page_id
+        pool.unpin(page)
+        for __ in range(3):
+            pool.unpin(pool.new_page())
+        # page must have been evicted and flushed
+        assert pid not in pool.resident_page_ids
+        fresh = pool.fetch(pid)
+        assert bytes(fresh.data[100:105]) == b"dirty"
+
+
+class TestFlush:
+    def test_flush_all_persists(self):
+        disk = InMemoryDiskManager()
+        pool = BufferPool(disk, capacity=4)
+        page = pool.new_page()
+        page.data[0:5] = b"\x01\x02\x03\x04\x05"
+        pool.unpin(page)
+        pool.flush_all()
+        assert disk.read_page(page.page_id)[0:5] == b"\x01\x02\x03\x04\x05"
+        assert not page.dirty
+
+    def test_hit_ratio(self, pool):
+        page = pool.new_page()
+        pid = page.page_id
+        pool.unpin(page)
+        for __ in range(9):
+            pool.unpin(pool.fetch(pid))
+        assert pool.stats.hit_ratio == pytest.approx(1.0)

@@ -1,0 +1,96 @@
+"""Heap files and record ids, including disk round trips."""
+
+import os
+
+import pytest
+
+from repro.storage import (
+    BufferPool,
+    DiskManager,
+    HeapFile,
+    InMemoryDiskManager,
+    RecordId,
+)
+
+
+@pytest.fixture
+def heap():
+    return HeapFile(BufferPool(InMemoryDiskManager(), capacity=4))
+
+
+class TestBasics:
+    def test_insert_read(self, heap):
+        rid = heap.insert(b"payload")
+        assert heap.read(rid) == b"payload"
+
+    def test_many_records_span_pages(self, heap):
+        rids = [heap.insert(bytes([i % 256]) * 600) for i in range(40)]
+        assert len({rid.page_id for rid in rids}) > 1
+        for i, rid in enumerate(rids):
+            assert heap.read(rid) == bytes([i % 256]) * 600
+
+    def test_record_count(self, heap):
+        for i in range(25):
+            heap.insert(f"r{i}".encode())
+        assert heap.record_count() == 25
+
+    def test_delete(self, heap):
+        rid = heap.insert(b"gone")
+        heap.delete(rid)
+        with pytest.raises(KeyError):
+            heap.read(rid)
+        assert heap.record_count() == 0
+
+    def test_foreign_rid_rejected(self, heap):
+        heap.insert(b"x")
+        with pytest.raises(KeyError):
+            heap.read(RecordId(999, 0))
+
+    def test_scan_yields_live_records(self, heap):
+        rids = [heap.insert(f"rec-{i}".encode()) for i in range(10)]
+        heap.delete(rids[3])
+        scanned = dict(heap.scan())
+        assert len(scanned) == 9
+        assert rids[3] not in scanned
+        assert scanned[rids[0]] == b"rec-0"
+
+    def test_space_reuse_after_delete(self, heap):
+        rids = [heap.insert(bytes(1000)) for __ in range(8)]
+        pages_before = len(set(heap.page_ids))
+        for rid in rids:
+            heap.delete(rid)
+        for __ in range(8):
+            heap.insert(bytes(1000))
+        assert len(set(heap.page_ids)) == pages_before  # no growth
+
+
+class TestDiskRoundTrip:
+    def test_reopen_from_disk(self, tmp_path):
+        path = os.path.join(tmp_path, "heap.pages")
+        disk = DiskManager(path)
+        pool = BufferPool(disk, capacity=2)
+        heap = HeapFile(pool)
+        rids = [heap.insert(f"durable-{i}".encode()) for i in range(60)]
+        page_ids = heap.page_ids
+        pool.flush_all()
+        disk.close()
+
+        with DiskManager(path) as disk2:
+            heap2 = HeapFile(BufferPool(disk2, capacity=2), page_ids=page_ids)
+            assert heap2.record_count() == 60
+            for i, rid in enumerate(rids):
+                assert heap2.read(rid) == f"durable-{i}".encode()
+
+    def test_disk_manager_rejects_torn_file(self, tmp_path):
+        path = os.path.join(tmp_path, "torn.pages")
+        with open(path, "wb") as f:
+            f.write(b"x" * 100)
+        with pytest.raises(ValueError):
+            DiskManager(path)
+
+    def test_disk_manager_bounds(self, tmp_path):
+        with DiskManager(os.path.join(tmp_path, "d.pages")) as disk:
+            pid = disk.allocate()
+            disk.read_page(pid)
+            with pytest.raises(IndexError):
+                disk.read_page(pid + 1)

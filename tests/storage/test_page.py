@@ -1,0 +1,112 @@
+"""Slotted pages."""
+
+import pytest
+
+from repro.storage import PAGE_SIZE, Page
+from repro.storage.page import PageFullError
+
+
+class TestInsertRead:
+    def test_round_trip(self):
+        page = Page(0)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_multiple_records(self):
+        page = Page(0)
+        slots = [page.insert(f"record-{i}".encode()) for i in range(20)]
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == f"record-{i}".encode()
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError):
+            Page(0).insert(b"")
+
+    def test_page_full(self):
+        page = Page(0)
+        big = bytes(1000)
+        for __ in range(4):
+            page.insert(big)
+        with pytest.raises(PageFullError):
+            page.insert(big)
+
+    def test_free_space_decreases(self):
+        page = Page(0)
+        before = page.free_space
+        page.insert(bytes(100))
+        assert page.free_space < before - 100
+
+    def test_bad_slot_raises(self):
+        page = Page(0)
+        page.insert(b"x")
+        with pytest.raises(IndexError):
+            page.read(5)
+
+    def test_data_must_be_page_sized(self):
+        with pytest.raises(ValueError):
+            Page(0, b"short")
+
+
+class TestDelete:
+    def test_deleted_slot_unreadable(self):
+        page = Page(0)
+        slot = page.insert(b"doomed")
+        page.delete(slot)
+        with pytest.raises(KeyError):
+            page.read(slot)
+        with pytest.raises(KeyError):
+            page.delete(slot)
+
+    def test_live_slots(self):
+        page = Page(0)
+        slots = [page.insert(bytes([i])) for i in range(5)]
+        page.delete(slots[1])
+        page.delete(slots[3])
+        assert page.live_slots() == [slots[0], slots[2], slots[4]]
+
+    def test_is_live(self):
+        page = Page(0)
+        slot = page.insert(b"x")
+        assert page.is_live(slot)
+        page.delete(slot)
+        assert not page.is_live(slot)
+
+
+class TestCompaction:
+    def test_compaction_reclaims_space(self):
+        page = Page(0)
+        big = bytes(900)
+        slots = [page.insert(big) for __ in range(4)]
+        page.delete(slots[0])
+        page.delete(slots[2])
+        with pytest.raises(PageFullError):
+            page.insert(bytes(1500))
+        page.compact()
+        page.insert(bytes(1500))  # now fits
+
+    def test_compaction_preserves_slots_and_content(self):
+        page = Page(0)
+        slots = [page.insert(f"keep-{i}".encode() * 3) for i in range(8)]
+        for victim in (1, 4, 6):
+            page.delete(slots[victim])
+        page.compact()
+        for i, slot in enumerate(slots):
+            if i in (1, 4, 6):
+                assert not page.is_live(slot)
+            else:
+                assert page.read(slot) == f"keep-{i}".encode() * 3
+
+
+class TestPersistenceFormat:
+    def test_reload_from_bytes(self):
+        page = Page(7)
+        slots = [page.insert(f"persist-{i}".encode()) for i in range(5)]
+        page.delete(slots[2])
+        reloaded = Page(7, bytes(page.data))
+        assert reloaded.read(slots[0]) == b"persist-0"
+        assert not reloaded.is_live(slots[2])
+        assert reloaded.slot_count == 5
+
+    def test_fresh_page_has_full_free_space(self):
+        page = Page(0)
+        assert page.free_space == PAGE_SIZE - 4 - 4  # header + 1 slot reserve

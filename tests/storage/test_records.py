@@ -1,0 +1,40 @@
+"""Binary record codecs."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Velocity
+from repro.storage import LocationRecord, QueryRecord
+
+
+class TestLocationRecord:
+    def test_round_trip(self):
+        record = LocationRecord(42, Point(0.25, 0.75), Velocity(0.01, -0.02), 99.5)
+        assert LocationRecord.unpack(record.pack()) == record
+
+    def test_packed_size_is_declared_size(self):
+        record = LocationRecord(1, Point(0, 0), Velocity.ZERO, 0.0)
+        assert len(record.pack()) == LocationRecord.SIZE
+
+    def test_negative_oid_round_trips(self):
+        record = LocationRecord(-5, Point(0, 0), Velocity.ZERO, 0.0)
+        assert LocationRecord.unpack(record.pack()).oid == -5
+
+    def test_garbage_rejected(self):
+        with pytest.raises(Exception):
+            LocationRecord.unpack(b"too short")
+
+
+class TestQueryRecord:
+    @pytest.mark.parametrize("kind", ["range", "knn", "predictive"])
+    def test_round_trip_all_kinds(self, kind):
+        record = QueryRecord(7, kind, Rect(0.1, 0.2, 0.3, 0.4), 12.0)
+        assert QueryRecord.unpack(record.pack()) == record
+
+    def test_packed_size(self):
+        record = QueryRecord(1, "range", Rect(0, 0, 1, 1), 0.0)
+        assert len(record.pack()) == QueryRecord.SIZE
+
+    def test_unknown_kind_rejected(self):
+        record = QueryRecord(1, "teleport", Rect(0, 0, 1, 1), 0.0)
+        with pytest.raises(ValueError):
+            record.pack()

@@ -1,0 +1,60 @@
+"""The history repository of superseded locations."""
+
+import pytest
+
+from repro.geometry import Point, Velocity
+from repro.storage import (
+    BufferPool,
+    HistoryRepository,
+    InMemoryDiskManager,
+    LocationRecord,
+)
+
+
+@pytest.fixture
+def repo():
+    return HistoryRepository(BufferPool(InMemoryDiskManager(), capacity=8))
+
+
+def record(oid: int, t: float) -> LocationRecord:
+    return LocationRecord(oid, Point(t / 100.0, 0.5), Velocity.ZERO, t)
+
+
+class TestAppendRetrieve:
+    def test_history_in_append_order(self, repo):
+        for t in (1.0, 2.0, 3.0):
+            repo.append(record(7, t))
+        times = [rec.t for rec in repo.history_of(7)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_histories_are_per_object(self, repo):
+        repo.append(record(1, 1.0))
+        repo.append(record(2, 2.0))
+        repo.append(record(1, 3.0))
+        assert len(repo.history_of(1)) == 2
+        assert len(repo.history_of(2)) == 1
+        assert repo.history_of(99) == []
+
+    def test_trajectory_of(self, repo):
+        repo.append(record(5, 10.0))
+        repo.append(record(5, 20.0))
+        trajectory = repo.trajectory_of(5)
+        assert trajectory == [(10.0, 0.1, 0.5), (20.0, 0.2, 0.5)]
+
+    def test_counters(self, repo):
+        for i in range(30):
+            repo.append(record(i % 3, float(i)))
+        assert repo.appended_count == 30
+        assert repo.record_count() == 30
+        assert repo.tracked_objects() == {0, 1, 2}
+
+
+class TestRecovery:
+    def test_rebuild_index_recovers_everything(self, repo):
+        for i in range(50):
+            repo.append(record(i % 5, float(i)))
+        before = {oid: repo.trajectory_of(oid) for oid in repo.tracked_objects()}
+        repo.rebuild_index()
+        after = {oid: repo.trajectory_of(oid) for oid in repo.tracked_objects()}
+        assert before == after
+        assert repo.appended_count == 50

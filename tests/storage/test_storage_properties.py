@@ -1,0 +1,100 @@
+"""Model-based storage fuzzing (hypothesis).
+
+A slotted page and a heap file are each checked against a plain Python
+dict model under random interleavings of inserts, deletes, reads and
+compactions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import BufferPool, HeapFile, InMemoryDiskManager, Page
+from repro.storage.page import PageFullError
+
+payload_st = st.binary(min_size=1, max_size=200)
+
+page_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), payload_st),
+        st.tuples(st.just("delete"), st.integers(0, 500)),
+        st.tuples(st.just("compact"), st.just(b"")),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(page_ops)
+def test_page_matches_dict_model(ops):
+    page = Page(0)
+    model: dict[int, bytes] = {}
+    for op, payload in ops:
+        if op == "insert":
+            try:
+                slot = page.insert(payload)
+            except PageFullError:
+                continue
+            assert slot not in model
+            model[slot] = payload
+        elif op == "delete":
+            if not model:
+                continue
+            slot = sorted(model)[payload % len(model)]
+            page.delete(slot)
+            del model[slot]
+        else:
+            page.compact()
+        # Full cross-check after every operation.
+        assert sorted(page.live_slots()) == sorted(model)
+        for slot, expected in model.items():
+            assert page.read(slot) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(page_ops)
+def test_page_survives_serialization_roundtrip(ops):
+    page = Page(0)
+    model: dict[int, bytes] = {}
+    for op, payload in ops:
+        if op == "insert":
+            try:
+                model[page.insert(payload)] = payload
+            except PageFullError:
+                pass
+        elif op == "delete" and model:
+            slot = sorted(model)[payload % len(model)]
+            page.delete(slot)
+            del model[slot]
+        elif op == "compact":
+            page.compact()
+    reloaded = Page(0, bytes(page.data))
+    assert sorted(reloaded.live_slots()) == sorted(model)
+    for slot, expected in model.items():
+        assert reloaded.read(slot) == expected
+
+
+heap_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), payload_st),
+        st.tuples(st.just("delete"), st.integers(0, 500)),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(heap_ops, st.integers(2, 8))
+def test_heapfile_matches_dict_model(ops, capacity):
+    heap = HeapFile(BufferPool(InMemoryDiskManager(), capacity=capacity))
+    model = {}
+    for op, payload in ops:
+        if op == "insert":
+            rid = heap.insert(payload)
+            assert rid not in model
+            model[rid] = payload
+        elif model:
+            rid = sorted(model)[payload % len(model)]
+            heap.delete(rid)
+            del model[rid]
+    assert heap.record_count() == len(model)
+    scanned = dict(heap.scan())
+    assert scanned == model

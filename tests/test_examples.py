@@ -1,0 +1,27 @@
+"""Every example script must run to completion.
+
+The examples are the library's living documentation; this smoke suite
+executes each one in-process (so coverage and import errors surface
+here, not in a user's terminal).
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLE_SCRIPTS) >= 3, "the deliverable requires >= 3 examples"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[s.stem for s in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_to_completion(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"

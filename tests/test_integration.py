@@ -1,0 +1,192 @@
+"""End-to-end integration: the full system under one roof.
+
+One scenario exercises every subsystem together: a road network with
+object lifecycle, a mixed range/k-NN/predictive workload, the server
+with history persistence, client disconnections with recovery, an
+engine checkpoint in the middle, and final cross-checks of every
+answer against brute force.
+"""
+
+import pytest
+
+from repro.core import Client, LocationAwareServer
+from repro.core.checkpoint import restore_engine, save_engine
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.generator import (
+    MovingObjectSimulator,
+    WorkloadConfig,
+    manhattan_city,
+)
+from repro.geometry import LinearMotion, Point, Rect
+from repro.grid import Grid
+from repro.history import HistoricalQueryEngine, HistoryStore
+from repro.storage import BufferPool, InMemoryDiskManager
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """Run the full scenario once; individual tests assert on slices."""
+    world = Rect(0.0, 0.0, 1.0, 1.0)
+    store = HistoryStore(
+        BufferPool(InMemoryDiskManager(), capacity=64), Grid(world, 32)
+    )
+    server = LocationAwareServer(grid_size=32, history=store)
+    client = Client(client_id=1, server=server)
+    city = manhattan_city(blocks=8)
+    traffic = MovingObjectSimulator(
+        city, object_count=120, seed=7, route_mode="walk",
+        routes_per_life=40, arrivals_per_tick=1,
+    )
+
+    for report in traffic.initial_reports():
+        server.receive_object_report(
+            report.oid, report.location, report.t, report.velocity
+        )
+    # Mixed workload.
+    server.register_range_query(1, 500, Rect(0.4, 0.4, 0.6, 0.6))
+    server.register_range_query(1, 501, Rect(0.0, 0.0, 0.3, 0.3))
+    server.register_knn_query(1, 600, Point(0.5, 0.5), 5)
+    server.register_predictive_query(1, 700, Rect(0.7, 0.7, 0.9, 0.9), 30.0)
+    for qid in (500, 501, 600, 700):
+        client.track_query(qid)
+    server.evaluate_cycle(0.0)
+    client.pump()
+    for qid in (500, 501, 600, 700):
+        client.send_commit(qid)
+
+    outage_window = (4, 7)  # cycles the client misses
+    for cycle in range(1, 13):
+        if cycle == outage_window[0]:
+            client.disconnect()
+        reports = traffic.tick(5.0)
+        for oid in traffic.departed:
+            server.remove_object(oid)
+        for report in reports:
+            server.receive_object_report(
+                report.oid, report.location, report.t, report.velocity
+            )
+        server.evaluate_cycle(traffic.now)
+        if client.connected:
+            client.pump()
+        if cycle == outage_window[1]:
+            client.reconnect()
+        server.engine.check_invariants()
+
+    return server, client, traffic, store
+
+
+class TestAnswersAgainstBruteForce:
+    def test_range_answers(self, scenario):
+        server, __, __, __ = scenario
+        engine = server.engine
+        for qid in (500, 501):
+            region = engine.queries[qid].region
+            want = {
+                oid
+                for oid, state in engine.objects.items()
+                if region.contains_point(state.location)
+            }
+            assert set(engine.answer_of(qid)) == want
+
+    def test_knn_answer(self, scenario):
+        server, __, __, __ = scenario
+        engine = server.engine
+        center = engine.queries[600].center
+        ranked = sorted(
+            (state.location.distance_to(center), oid)
+            for oid, state in engine.objects.items()
+        )
+        want = {oid for __, oid in ranked[:5]}
+        assert set(engine.answer_of(600)) == want
+
+    def test_predictive_answer(self, scenario):
+        server, __, __, __ = scenario
+        engine = server.engine
+        query = engine.queries[700]
+        want = set()
+        for oid, state in engine.objects.items():
+            start = max(engine.now, state.t)
+            end = min(
+                engine.now + query.horizon,
+                state.t + engine.prediction_horizon,
+            )
+            if end < start:
+                continue
+            motion = LinearMotion(state.location, state.velocity, state.t)
+            if motion.time_in_rect(query.region, start, end) is not None:
+                want.add(oid)
+        assert set(engine.answer_of(700)) == want
+
+
+class TestClientConsistency:
+    def test_client_recovered_after_outage(self, scenario):
+        server, client, __, __ = scenario
+        for qid in (500, 501, 600, 700):
+            assert client.answer_of(qid) == server.engine.answer_of(qid), qid
+
+
+class TestLifecycle:
+    def test_population_evolved(self, scenario):
+        __, __, traffic, __ = scenario
+        # 12 arrival ticks happened; some retirements are possible too.
+        assert max(traffic.object_ids) >= 120
+        assert len(traffic.object_ids) > 0
+
+    def test_departed_objects_left_no_answer_residue(self, scenario):
+        server, __, traffic, __ = scenario
+        alive = set(traffic.object_ids)
+        for qid, query in server.engine.queries.items():
+            stale = set(query.answer) - set(server.engine.objects)
+            assert not stale, (qid, stale)
+
+
+class TestHistoryIntegration:
+    def test_archive_grew_and_answers_past_queries(self, scenario):
+        server, __, traffic, store = scenario
+        assert store.record_count() > 0
+        forensics = HistoricalQueryEngine(store)
+        visits = forensics.past_range(
+            Rect(0.0, 0.0, 1.0, 1.0), 0.0, traffic.now
+        )
+        assert len(visits) == store.record_count()
+
+    def test_archive_only_holds_superseded_reports(self, scenario):
+        server, __, traffic, store = scenario
+        # Each archived record predates the engine's current knowledge.
+        engine = server.engine
+        for oid in list(store.tracked_objects())[:20]:
+            history = store.history_of(oid)
+            current = engine.objects.get(oid)
+            if current is not None:
+                assert all(rec.t <= current.t for rec in history)
+
+
+class TestCheckpointMidFlight:
+    def test_checkpoint_of_live_system_round_trips(self, scenario):
+        server, __, __, __ = scenario
+        pool = BufferPool(InMemoryDiskManager(), capacity=32)
+        manifest = save_engine(server.engine, pool)
+        restored = restore_engine(manifest, pool)
+        for qid in server.engine.queries:
+            assert restored.answer_of(qid) == server.engine.answer_of(qid)
+
+
+class TestSimulationHarnessLifecycle:
+    def test_simulation_with_lifecycle_stays_consistent(self):
+        config = SimulationConfig(
+            object_count=100,
+            workload=WorkloadConfig(
+                range_queries=60, knn_queries=5, predictive_queries=5,
+                moving_fraction=0.5, seed=3,
+            ),
+            grid_size=16,
+            blocks=6,
+            seed=4,
+        )
+        sim = Simulation(config)
+        sim.sim.routes_per_life = 20
+        sim.sim.arrivals_per_tick = 2
+        sim.run(6)
+        sim.server.engine.check_invariants()
+        for qid in sim.workload.specs:
+            assert sim.client.answer_of(qid) == sim.server.engine.answer_of(qid)

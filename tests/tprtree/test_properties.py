@@ -1,0 +1,106 @@
+"""Property-based TPR-tree and TPBR tests (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import LinearMotion, Point, Rect, Velocity
+from repro.tprtree import TimeParameterizedRect, TprTree
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+speed = st.floats(
+    min_value=-0.0078125, max_value=0.0078125, allow_nan=False, width=32
+)
+times = st.floats(min_value=0.0, max_value=64.0, allow_nan=False, width=32)
+
+
+@st.composite
+def tpbrs(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    vx1, vx2 = sorted((draw(speed), draw(speed)))
+    vy1, vy2 = sorted((draw(speed), draw(speed)))
+    t_ref = draw(st.sampled_from([0.0, 4.0, 16.0]))
+    return TimeParameterizedRect(Rect(x1, y1, x2, y2), t_ref, vx1, vy1, vx2, vy2)
+
+
+class TestTpbrProperties:
+    @given(tpbrs(), tpbrs(), times)
+    def test_union_covers_operands(self, a, b, t):
+        u = a.union(b)
+        when = max(t, u.t_ref)
+        assert u.contains_tpbr_at(a, when)
+        assert u.contains_tpbr_at(b, when)
+
+    @given(tpbrs(), times, times)
+    def test_swept_rect_covers_every_instant(self, tpbr, t1, t2):
+        lo, hi = sorted((max(t1, tpbr.t_ref), max(t2, tpbr.t_ref)))
+        swept = tpbr.swept_rect(lo, hi)
+        for i in range(5):
+            t = lo + (hi - lo) * i / 4
+            assert swept.expanded(1e-9).contains_rect(tpbr.rect_at(t))
+
+    @given(tpbrs(), times)
+    def test_normalization_is_extent_preserving(self, tpbr, t):
+        anchor = max(t, tpbr.t_ref)
+        moved = tpbr.normalized_to(anchor)
+        for dt in (0.0, 3.0, 11.0):
+            a = moved.rect_at(anchor + dt)
+            b = tpbr.rect_at(anchor + dt)
+            assert abs(a.min_x - b.min_x) < 1e-9
+            assert abs(a.max_y - b.max_y) < 1e-9
+
+
+fleet_st = st.lists(
+    st.tuples(coord, coord, speed, speed), min_size=1, max_size=40
+)
+
+
+class TestTreeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(fleet_st, st.tuples(coord, coord, coord, coord), times)
+    def test_timeslice_matches_oracle(self, fleet, box, t):
+        x1, x2 = sorted(box[:2])
+        y1, y2 = sorted(box[2:])
+        region = Rect(x1, y1, x2, y2)
+        tree = TprTree(max_entries=4)
+        for oid, (x, y, vx, vy) in enumerate(fleet):
+            tree.insert(oid, Point(x, y), Velocity(vx, vy), 0.0)
+        tree.check_invariants()
+        got = {entry.key for entry in tree.search_at(region, t)}
+        want = set()
+        for oid, (x, y, vx, vy) in enumerate(fleet):
+            position = Velocity(vx, vy).displace(Point(x, y), t)
+            if region.contains_point(position):
+                want.add(oid)
+        assert got == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(fleet_st, st.tuples(coord, coord, coord, coord), times, times)
+    def test_window_matches_oracle(self, fleet, box, t1, t2):
+        x1, x2 = sorted(box[:2])
+        y1, y2 = sorted(box[2:])
+        region = Rect(x1, y1, x2, y2)
+        lo, hi = sorted((t1, t2))
+        tree = TprTree(max_entries=4)
+        for oid, (x, y, vx, vy) in enumerate(fleet):
+            tree.insert(oid, Point(x, y), Velocity(vx, vy), 0.0)
+        got = {entry.key for entry in tree.search_during(region, lo, hi)}
+        want = set()
+        for oid, (x, y, vx, vy) in enumerate(fleet):
+            motion = LinearMotion(Point(x, y), Velocity(vx, vy), 0.0)
+            if motion.time_in_rect(region, lo, hi) is not None:
+                want.add(oid)
+        assert got == want
+
+    @settings(max_examples=30, deadline=None)
+    @given(fleet_st, st.lists(st.integers(0, 39), max_size=20))
+    def test_deletions_preserve_invariants(self, fleet, victims):
+        tree = TprTree(max_entries=4)
+        for oid, (x, y, vx, vy) in enumerate(fleet):
+            tree.insert(oid, Point(x, y), Velocity(vx, vy), 0.0)
+        alive = set(range(len(fleet)))
+        for victim in victims:
+            if victim in alive:
+                tree.delete(victim)
+                alive.discard(victim)
+        tree.check_invariants()
+        assert len(tree) == len(alive)

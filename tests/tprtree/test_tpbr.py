@@ -1,0 +1,87 @@
+"""Time-parameterized bounding rectangles."""
+
+import pytest
+
+from repro.geometry import Point, Rect, Velocity
+from repro.tprtree import TimeParameterizedRect
+
+
+def tpbr(rect=Rect(0, 0, 1, 1), t_ref=0.0, vs=(-0.1, -0.1, 0.1, 0.1)):
+    return TimeParameterizedRect(rect, t_ref, *vs)
+
+
+class TestConstruction:
+    def test_inverted_velocity_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            TimeParameterizedRect(Rect(0, 0, 1, 1), 0.0, 0.2, 0.0, 0.1, 0.1)
+
+    def test_for_point_is_degenerate_and_exact(self):
+        p = TimeParameterizedRect.for_point(Point(0.5, 0.5), Velocity(0.1, -0.2), 3.0)
+        assert p.rect.area == 0.0
+        assert p.min_vx == p.max_vx == 0.1
+        at = p.rect_at(4.0)
+        assert at.min_x == pytest.approx(0.6)
+        assert at.min_y == pytest.approx(0.3)
+
+
+class TestEvaluation:
+    def test_rect_at_reference_time(self):
+        assert tpbr().rect_at(0.0) == Rect(0, 0, 1, 1)
+
+    def test_rect_grows_over_time(self):
+        grown = tpbr().rect_at(10.0)
+        assert grown == Rect(-1, -1, 2, 2)
+
+    def test_rect_before_reference_rejected(self):
+        with pytest.raises(ValueError):
+            tpbr(t_ref=5.0).rect_at(4.0)
+
+    def test_swept_rect_is_union_of_endpoints(self):
+        moving = tpbr(vs=(0.1, 0.0, 0.1, 0.0))  # rigid translation in x
+        swept = moving.swept_rect(0.0, 10.0)
+        assert swept == Rect(0, 0, 2, 1)
+
+    def test_swept_rect_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            tpbr().swept_rect(5.0, 4.0)
+
+    def test_intersects_at(self):
+        moving = tpbr(rect=Rect(0, 0, 0.1, 0.1), vs=(0.1, 0.0, 0.1, 0.0))
+        target = Rect(0.5, 0.0, 0.6, 0.1)
+        assert not moving.intersects_at(target, 0.0)
+        assert moving.intersects_at(target, 5.0)
+
+    def test_intersects_during_is_conservative(self):
+        moving = tpbr(rect=Rect(0, 0, 0.1, 0.1), vs=(0.1, 0.0, 0.1, 0.0))
+        target = Rect(0.5, 0.0, 0.6, 0.1)
+        assert moving.intersects_during(target, 0.0, 10.0)
+        assert not moving.intersects_during(target, 0.0, 1.0)
+
+
+class TestCombination:
+    def test_normalized_to_preserves_extents(self):
+        original = tpbr()
+        shifted = original.normalized_to(5.0)
+        for t in (5.0, 7.5, 10.0):
+            assert shifted.rect_at(t) == original.rect_at(t)
+
+    def test_union_covers_both_over_time(self):
+        a = tpbr(rect=Rect(0, 0, 0.2, 0.2), vs=(0.0, 0.0, 0.1, 0.1))
+        b = tpbr(rect=Rect(0.8, 0.8, 1.0, 1.0), vs=(-0.1, -0.1, 0.0, 0.0))
+        u = a.union(b)
+        for t in (0.0, 5.0, 20.0):
+            assert u.rect_at(t).contains_rect(a.rect_at(t))
+            assert u.rect_at(t).contains_rect(b.rect_at(t))
+
+    def test_union_of_different_reference_times(self):
+        a = tpbr(t_ref=0.0)
+        b = tpbr(t_ref=5.0)
+        u = a.union(b)
+        assert u.t_ref == 5.0
+        assert u.rect_at(5.0).contains_rect(a.rect_at(5.0))
+
+    def test_contains_tpbr_at(self):
+        outer = tpbr(rect=Rect(-1, -1, 2, 2))
+        inner = tpbr(vs=(0.0, 0.0, 0.0, 0.0))
+        assert outer.contains_tpbr_at(inner, 0.0)
+        assert outer.contains_tpbr_at(inner, 10.0)

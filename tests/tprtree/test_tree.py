@@ -1,0 +1,183 @@
+"""TPR-tree: inserts, updates, timeslice and window queries."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import LinearMotion, Point, Rect, Velocity
+from repro.tprtree import TprTree
+
+
+def random_fleet(count: int, seed: int):
+    rng = random.Random(seed)
+    fleet = {}
+    for oid in range(count):
+        heading = rng.uniform(0, 2 * math.pi)
+        speed = rng.uniform(0.0, 0.005)
+        fleet[oid] = (
+            Point(rng.random(), rng.random()),
+            Velocity(speed * math.cos(heading), speed * math.sin(heading)),
+        )
+    return fleet
+
+
+def build_tree(fleet, horizon=60.0, max_entries=8, t=0.0):
+    tree = TprTree(horizon=horizon, max_entries=max_entries)
+    for oid, (location, velocity) in fleet.items():
+        tree.insert(oid, location, velocity, t)
+    return tree
+
+
+def brute_at(fleet, region, t, t_report=0.0):
+    hits = set()
+    for oid, (location, velocity) in fleet.items():
+        position = velocity.displace(location, t - t_report)
+        if region.contains_point(position):
+            hits.add(oid)
+    return hits
+
+
+def brute_during(fleet, region, t_start, t_end, t_report=0.0):
+    hits = set()
+    for oid, (location, velocity) in fleet.items():
+        motion = LinearMotion(location, velocity, t_report)
+        if motion.time_in_rect(region, max(t_start, t_report), t_end) is not None:
+            hits.add(oid)
+    return hits
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TprTree(horizon=0.0)
+        with pytest.raises(ValueError):
+            TprTree(max_entries=2)
+
+    def test_empty_tree_searches(self):
+        tree = TprTree()
+        assert list(tree.search_at(Rect(0, 0, 1, 1), 0.0)) == []
+        assert list(tree.search_during(Rect(0, 0, 1, 1), 0.0, 10.0)) == []
+
+    def test_duplicate_key_rejected(self):
+        tree = TprTree()
+        tree.insert(1, Point(0, 0), Velocity.ZERO, 0.0)
+        with pytest.raises(KeyError):
+            tree.insert(1, Point(1, 1), Velocity.ZERO, 0.0)
+
+
+class TestTimesliceQueries:
+    @pytest.mark.parametrize("t", [0.0, 10.0, 30.0, 60.0])
+    def test_matches_brute_force(self, t):
+        fleet = random_fleet(200, seed=1)
+        tree = build_tree(fleet)
+        tree.check_invariants()
+        region = Rect(0.3, 0.3, 0.6, 0.6)
+        got = {entry.key for entry in tree.search_at(region, t)}
+        assert got == brute_at(fleet, region, t)
+
+    def test_past_query_rejected(self):
+        tree = TprTree()
+        tree.insert(1, Point(0, 0), Velocity.ZERO, 10.0)
+        with pytest.raises(ValueError):
+            list(tree.search_at(Rect(0, 0, 1, 1), 5.0))
+
+
+class TestWindowQueries:
+    @pytest.mark.parametrize("window", [(0.0, 10.0), (0.0, 60.0), (20.0, 40.0)])
+    def test_matches_brute_force(self, window):
+        fleet = random_fleet(200, seed=2)
+        tree = build_tree(fleet)
+        region = Rect(0.45, 0.45, 0.55, 0.55)
+        got = {entry.key for entry in tree.search_during(region, *window)}
+        assert got == brute_during(fleet, region, *window)
+
+    def test_object_crossing_region_found(self):
+        tree = TprTree(horizon=100.0)
+        tree.insert(1, Point(0.0, 0.5), Velocity(0.01, 0.0), 0.0)
+        region = Rect(0.45, 0.45, 0.55, 0.55)
+        assert list(tree.search_at(region, 10.0)) == []
+        got = {e.key for e in tree.search_during(region, 0.0, 100.0)}
+        assert got == {1}
+
+
+class TestUpdates:
+    def test_update_changes_prediction(self):
+        tree = TprTree(horizon=100.0)
+        tree.insert(1, Point(0.0, 0.5), Velocity(0.01, 0.0), 0.0)
+        region = Rect(0.45, 0.45, 0.55, 0.55)
+        assert {e.key for e in tree.search_during(region, 0.0, 100.0)} == {1}
+        # The object turns around at t=10.
+        tree.update(1, Point(0.1, 0.5), Velocity(-0.01, 0.0), 10.0)
+        assert list(tree.search_during(region, 10.0, 100.0)) == []
+
+    def test_delete(self):
+        fleet = random_fleet(50, seed=3)
+        tree = build_tree(fleet)
+        for oid in list(fleet):
+            tree.delete(oid)
+        assert len(tree) == 0
+
+    def test_churn_matches_brute_force(self):
+        rng = random.Random(4)
+        fleet = random_fleet(120, seed=5)
+        tree = build_tree(fleet, max_entries=6)
+        now = 0.0
+        for step in range(1, 6):
+            now = step * 5.0
+            for oid in rng.sample(sorted(fleet), 40):
+                location, velocity = fleet[oid]
+                position = velocity.displace(location, now - (step - 1) * 5.0)
+                heading = rng.uniform(0, 2 * math.pi)
+                speed = rng.uniform(0.0, 0.005)
+                new_velocity = Velocity(
+                    speed * math.cos(heading), speed * math.sin(heading)
+                )
+                fleet[oid] = (position, new_velocity)
+                tree.update(oid, position, new_velocity, now)
+            tree.check_invariants()
+        # Brute force needs a uniform report time; rebuild positions at now.
+        normalized = {}
+        for oid, (location, velocity) in fleet.items():
+            # Objects not updated this round were observed earlier; their
+            # TPBR still predicts exactly, so displace them to `now`.
+            normalized[oid] = (location, velocity)
+        region = Rect(0.4, 0.4, 0.7, 0.7)
+        got = {e.key for e in tree.search_during(region, now, now + 30.0)}
+        # Validate against per-object exact motion from each report time.
+        want = set()
+        for oid in fleet:
+            leaf_entry = next(
+                e for e in tree._leaf_of_key[oid].entries if e.key == oid
+            )
+            tpbr = leaf_entry.tpbr
+            motion = LinearMotion(
+                Point(tpbr.rect.min_x, tpbr.rect.min_y),
+                Velocity(tpbr.min_vx, tpbr.min_vy),
+                tpbr.t_ref,
+            )
+            if motion.time_in_rect(region, now, now + 30.0) is not None:
+                want.add(oid)
+        assert got == want
+
+    def test_stale_report_time_rejected(self):
+        tree = TprTree()
+        tree.insert(1, Point(0, 0), Velocity.ZERO, 10.0)
+        with pytest.raises(ValueError):
+            tree.insert(2, Point(0, 0), Velocity.ZERO, 5.0)
+
+
+class TestStructure:
+    def test_invariants_at_scale(self):
+        fleet = random_fleet(500, seed=6)
+        tree = build_tree(fleet, max_entries=6)
+        tree.check_invariants()
+
+    def test_condense_after_mass_deletion(self):
+        fleet = random_fleet(200, seed=7)
+        tree = build_tree(fleet, max_entries=6)
+        rng = random.Random(8)
+        for oid in rng.sample(sorted(fleet), 150):
+            tree.delete(oid)
+        tree.check_invariants()
+        assert len(tree) == 50
