@@ -1,0 +1,278 @@
+"""Cell-batched bulk-evaluation pipeline vs the per-object reference path.
+
+The paper's Section 3 argument is that buffered updates should be
+evaluated *in bulk* as a grid-partition spatial join rather than one at
+a time.  This benchmark measures exactly that trade on the engine's hot
+path: the same buffered batch of object reports is evaluated once by
+``pipeline="per-object"`` (per-report candidate resolution, the seed
+path) and once by ``pipeline="cell-batched"`` (per-cell-transition
+candidate resolution, cohort membership passes, churn-driven predictive
+refresh).  Both pipelines must emit the same update set per query —
+checked every round — and at full scale (100K objects / 10K queries)
+the batched pipeline must deliver at least 2x the report throughput.
+
+Runs two ways:
+
+* under pytest (with pytest-benchmark)::
+
+      PYTHONPATH=src pytest benchmarks/bench_bulk_pipeline.py --benchmark-only
+
+* as a plain script (used by CI's smoke job)::
+
+      PYTHONPATH=src python benchmarks/bench_bulk_pipeline.py --quick
+
+``--quick`` (or REPRO_BENCH_SCALE<1 under pytest) shrinks the workload
+and drops the 2x assertion, which is only meaningful at full scale.
+Both modes write ``BENCH_bulk_pipeline*.json`` summaries at the repo
+root via the shared reporter in ``conftest.py``.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import statistics
+import time
+
+from conftest import SCALE, scaled, write_bench_json
+
+from repro.core.engine import IncrementalEngine
+from repro.geometry import Point, Rect, Velocity
+from repro.stats import format_table
+
+SEED = 47
+GRID_SIZE = 64
+ROUNDS = 3
+# Full-scale targets (ISSUE: 100k-object / 10k-query batch).  The
+# default pytest run scales these down via REPRO_BENCH_SCALE; the 2x
+# assertion engages only at full populations.
+FULL_OBJECTS = 100_000
+FULL_QUERIES = 10_000
+QUICK_OBJECTS = 4_000
+QUICK_QUERIES = 400
+
+
+def build_workload(n_objects: int, n_queries: int, seed: int = SEED):
+    """Deterministic mixed workload: initial reports, queries, move rounds."""
+    rng = random.Random(seed)
+    initial = [
+        (oid, Point(rng.random(), rng.random()))
+        for oid in range(n_objects)
+    ]
+    queries = []
+    for qid in range(n_queries):
+        x, y = rng.random() * 0.9, rng.random() * 0.9
+        kind = rng.random()
+        if kind < 0.90:
+            side = rng.uniform(0.01, 0.08)
+            queries.append(("range", qid, Rect(x, y, x + side, y + side)))
+        elif kind < 0.98:
+            queries.append(("knn", qid, Point(x, y), rng.randint(4, 8)))
+        else:
+            side = rng.uniform(0.02, 0.08)
+            queries.append(
+                ("predictive", qid, Rect(x, y, x + side, y + side), 20.0)
+            )
+    move_rounds = []
+    for _ in range(ROUNDS):
+        move_rounds.append(
+            [
+                (oid, rng.uniform(-0.01, 0.01), rng.uniform(-0.01, 0.01))
+                for oid, __ in initial
+            ]
+        )
+    return initial, queries, move_rounds
+
+
+def build_engine(pipeline: str, initial, queries) -> IncrementalEngine:
+    engine = IncrementalEngine(
+        grid_size=GRID_SIZE, prediction_horizon=60.0, pipeline=pipeline
+    )
+    for oid, location in initial:
+        engine.report_object(oid, location, 0.0)
+    for spec in queries:
+        if spec[0] == "range":
+            engine.register_range_query(spec[1], spec[2])
+        elif spec[0] == "knn":
+            engine.register_knn_query(spec[1], spec[2], spec[3])
+        else:
+            engine.register_predictive_query(spec[1], spec[2], spec[3])
+    engine.evaluate(0.0)
+    return engine
+
+
+def buffer_round(engine: IncrementalEngine, moves, now: float) -> None:
+    world = engine.grid.world
+    report = engine.report_object
+    for oid, dx, dy in moves:
+        state = engine.objects[oid]
+        loc = state.location
+        report(
+            oid,
+            Point(
+                min(max(loc.x + dx, world.min_x), world.max_x),
+                min(max(loc.y + dy, world.min_y), world.max_y),
+            ),
+            now,
+            Velocity.ZERO if not state.is_predictive else state.velocity,
+        )
+
+
+def run_pipeline(pipeline: str, initial, queries, move_rounds):
+    """Evaluate every move round; return (per-round seconds, update keys).
+
+    Garbage collection is forced before and disabled during each timed
+    evaluation so a collection cycle landing inside one pipeline's
+    measurement cannot skew the comparison.
+    """
+    engine = build_engine(pipeline, initial, queries)
+    timings: list[float] = []
+    update_keys = []
+    now = 0.0
+    for moves in move_rounds:
+        now += 1.0
+        buffer_round(engine, moves, now)
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            updates = engine.evaluate(now)
+            timings.append(time.perf_counter() - started)
+        finally:
+            gc.enable()
+        update_keys.append(
+            frozenset((u.qid, u.oid, u.sign) for u in updates)
+        )
+    return engine, timings, update_keys
+
+
+def run_comparison(n_objects: int, n_queries: int, assert_speedup: bool):
+    initial, queries, move_rounds = build_workload(n_objects, n_queries)
+
+    batched_engine, batched_times, batched_updates = run_pipeline(
+        "cell-batched", initial, queries, move_rounds
+    )
+    __, perobject_times, perobject_updates = run_pipeline(
+        "per-object", initial, queries, move_rounds
+    )
+
+    # Golden cross-check: identical update sets, round for round.
+    for round_no, (got, want) in enumerate(
+        zip(batched_updates, perobject_updates)
+    ):
+        assert got == want, f"pipelines diverged in round {round_no}"
+
+    # Median round time is robust against a straggler round (OS jitter
+    # on shared runners); throughput is reports per median round.
+    batched_round = statistics.median(batched_times)
+    perobject_round = statistics.median(perobject_times)
+    batched_rps = n_objects / batched_round
+    perobject_rps = n_objects / perobject_round
+    speedup = batched_rps / perobject_rps
+
+    rows = [
+        ["per-object", perobject_round * 1e3, perobject_rps, 1.0],
+        ["cell-batched", batched_round * 1e3, batched_rps, speedup],
+    ]
+    table = format_table(
+        ["pipeline", "median round ms", "reports/s", "speedup"], rows
+    )
+
+    phase_rows = [
+        [name, seconds * 1e3]
+        for name, seconds in sorted(
+            batched_engine.stats.phase_seconds.items(),
+            key=lambda item: -item[1],
+        )
+    ]
+    phase_table = format_table(["phase", "cumulative ms"], phase_rows)
+
+    if assert_speedup:
+        assert speedup >= 2.0, (
+            f"cell-batched pipeline managed only {speedup:.2f}x over the "
+            f"per-object path at {n_objects} objects / {n_queries} queries"
+        )
+
+    return {
+        "table": table,
+        "phase_table": phase_table,
+        "speedup": speedup,
+        "batched_times": batched_times,
+        "perobject_times": perobject_times,
+        "batched_rps": batched_rps,
+        "perobject_rps": perobject_rps,
+    }
+
+
+def test_bulk_pipeline(benchmark, record_series):
+    n_objects = scaled(FULL_OBJECTS)
+    n_queries = scaled(FULL_QUERIES)
+    full_scale = n_objects >= FULL_OBJECTS and n_queries >= FULL_QUERIES
+    result = run_comparison(n_objects, n_queries, assert_speedup=full_scale)
+
+    record_series(
+        "bulk_pipeline",
+        result["table"] + "\n\n" + result["phase_table"],
+    )
+
+    # Hand one batched bulk evaluation to pytest-benchmark: each round
+    # re-buffers the same move batch, the measured call is evaluate().
+    initial, queries, move_rounds = build_workload(n_objects, n_queries)
+    engine = build_engine("cell-batched", initial, queries)
+    clock = [0.0]
+
+    def setup():
+        clock[0] += 1.0
+        buffer_round(engine, move_rounds[0], clock[0])
+        return (clock[0],), {}
+
+    benchmark.extra_info["seed"] = SEED
+    benchmark.extra_info["objects"] = n_objects
+    benchmark.extra_info["queries"] = n_queries
+    benchmark.extra_info["grid_size"] = GRID_SIZE
+    benchmark.extra_info["speedup_vs_per_object"] = round(
+        result["speedup"], 3
+    )
+    benchmark.pedantic(engine.evaluate, setup=setup, rounds=3)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    n_objects = QUICK_OBJECTS if quick else FULL_OBJECTS
+    n_queries = QUICK_QUERIES if quick else FULL_QUERIES
+    label = "quick" if quick else "full"
+    print(
+        f"bulk pipeline benchmark ({label}): "
+        f"{n_objects} objects, {n_queries} queries, {ROUNDS} rounds"
+    )
+    result = run_comparison(n_objects, n_queries, assert_speedup=not quick)
+    print()
+    print(result["table"])
+    print()
+    print(result["phase_table"])
+    path = write_bench_json(
+        "bulk_pipeline",
+        result["batched_times"],
+        seed=SEED,
+        params={
+            "mode": label,
+            "objects": n_objects,
+            "queries": n_queries,
+            "grid_size": GRID_SIZE,
+            "rounds": ROUNDS,
+        },
+        extra={
+            "reports_per_sec": result["batched_rps"],
+            "per_object_reports_per_sec": result["perobject_rps"],
+            "speedup_vs_per_object": result["speedup"],
+        },
+    )
+    print(f"\nwrote {path}")
+    print(f"speedup vs per-object path: {result['speedup']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

@@ -12,13 +12,17 @@ queries (not run by default: pure-Python minutes per sweep point).
 
 from __future__ import annotations
 
+import json
 import os
+import re
+import statistics
 from pathlib import Path
 
 import pytest
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def scaled(base: int) -> int:
@@ -38,3 +42,80 @@ def record_series():
         print(f"\n{body}")
 
     return _record
+
+
+def percentile(sorted_data: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_data:
+        return 0.0
+    rank = round(fraction * (len(sorted_data) - 1))
+    return sorted_data[min(len(sorted_data) - 1, max(0, rank))]
+
+
+def write_bench_json(
+    name: str,
+    timings: list[float],
+    *,
+    seed: object = None,
+    params: dict[str, object] | None = None,
+    extra: dict[str, object] | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root from raw round timings.
+
+    One machine-readable summary per benchmark — ops/sec, p50/p95
+    latency, the workload seed, and the workload parameters — so runs
+    can be diffed across commits without scraping console tables.
+    """
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name)
+    data = sorted(timings)
+    mean = statistics.fmean(data) if data else 0.0
+    payload: dict[str, object] = {
+        "name": name,
+        "scale": SCALE,
+        "seed": seed,
+        "params": params or {},
+        "rounds": len(data),
+        "ops_per_sec": (1.0 / mean) if mean > 0 else None,
+        "latency_seconds": {
+            "mean": mean,
+            "p50": percentile(data, 0.50),
+            "p95": percentile(data, 0.95),
+            "min": data[0] if data else 0.0,
+            "max": data[-1] if data else 0.0,
+        },
+    }
+    if extra:
+        payload.update(extra)
+    path = REPO_ROOT / f"BENCH_{safe}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture(autouse=True)
+def bench_json_report(request):
+    """Emit ``BENCH_<test>.json`` for every pytest-benchmark test.
+
+    Runs after the test body: if the test used the ``benchmark``
+    fixture and timing data exists (i.e. benchmarking was not
+    disabled), the raw per-round timings plus ``benchmark.extra_info``
+    (conventionally carrying ``seed`` and workload parameters) are
+    summarised to the repo root via :func:`write_bench_json`.
+    """
+    yield
+    # By teardown time the benchmark fixture may already be finalized,
+    # so request.getfixturevalue would refuse; the materialized fixture
+    # objects survive on the node's funcargs.
+    bench = getattr(request.node, "funcargs", {}).get("benchmark")
+    if bench is None:
+        return
+    meta = getattr(bench, "stats", None)
+    stats = getattr(meta, "stats", None)
+    data = list(getattr(stats, "data", None) or [])
+    if not data:
+        return  # --benchmark-disable, or the test never called benchmark()
+    extra_info = dict(getattr(bench, "extra_info", {}) or {})
+    seed = extra_info.pop("seed", None)
+    name = request.node.name
+    if name.startswith("test_"):
+        name = name[len("test_") :]
+    write_bench_json(name, data, seed=seed, params=extra_info)

@@ -23,8 +23,26 @@ Incrementality per query kind:
   by the grid footprint of their predicted trajectory; a predictive
   query's answer is the set of objects whose extrapolated motion enters
   its region within the query's horizon.  Because the horizon window
-  slides with evaluation time, predictive answers are re-filtered every
-  cycle from the query's (small) candidate cell set.
+  slides with evaluation time, predictive answers must be re-filtered
+  from the query's (small) candidate cell set — but only when either
+  the candidate set changed (report churn in the footprint cells) or
+  the sliding window actually reached the next membership flip time.
+
+Bulk evaluation itself runs as a **cell-batched pipeline** (the paper's
+Section 3 point: buffered updates are evaluated as a grid-partition
+spatial join, not one at a time).  The batch's object reports are
+grouped by their (old cell set → new cell set) transition; each affected
+cell's candidate query set is resolved exactly once per evaluation;
+range membership checks run over per-cell object cohorts with one sort
+per cohort; k-NN dirty-marking and predictive refresh are driven off the
+same cohorts.  The seed per-object path is retained as
+``pipeline="per-object"`` — it is the semantic reference the golden
+equivalence tests and ``benchmarks/bench_bulk_pipeline.py`` compare
+against.
+
+Every phase of ``evaluate()`` is wall-clock timed into
+``EngineStats.phase_seconds`` (see :class:`repro.stats.metrics.PhaseTimer`),
+so the cost of an evaluation is observable phase-by-phase.
 
 The engine is single-threaded and in-memory by design: persistence is
 layered on by :class:`repro.core.server.LocationAwareServer` through the
@@ -33,7 +51,8 @@ storage package, and transport by :mod:`repro.net`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 from repro.core.knn import knn_search
 from repro.core.state import (
@@ -47,18 +66,85 @@ from repro.core.state import (
 from repro.core.updates import Update
 from repro.geometry import Point, Rect, Velocity
 from repro.grid import Grid, GridIndex
+from repro.stats.metrics import PhaseTimer
 
 DEFAULT_WORLD = Rect(0.0, 0.0, 1.0, 1.0)
+
+#: Shared "object is new, no previous cells" sentinel for the batched
+#: pipeline's transition grouping.
+_NO_CELLS: frozenset[int] = frozenset()
+
+
+def _by_oid(state: ObjectState) -> int:
+    """Sort key for cohort determinism (module-level: no closure rebuild)."""
+    return state.oid
+
+
+class _CellCandidates:
+    """One cell's candidate queries, resolved once per evaluation.
+
+    Range queries are flattened to ``(qid, min_x, min_y, max_x, max_y,
+    answer)`` tuples (answer sets aliased, mutated in place) and split
+    by whether the region fully covers the cell: for a cohort of
+    objects that stayed inside the cell, a covering query's membership
+    provably cannot change (the member set already equals the cell's
+    residents), so ``covering_entries`` is skipped entirely for those
+    cohorts.  ``all_qids`` is a snapshot of every query id overlapping
+    the cell, used for candidate dedup across a transition's cells and
+    for the answered sweep's already-covered test.
+    """
+
+    __slots__ = (
+        "partial_entries",
+        "covering_entries",
+        "covering_qids",
+        "knn_qids",
+        "all_qids",
+    )
+
+    def __init__(
+        self,
+        partial_entries: list[tuple[int, float, float, float, float, set[int]]],
+        covering_entries: list[tuple[int, float, float, float, float, set[int]]],
+        knn_qids: list[int],
+        all_qids: frozenset[int],
+    ):
+        self.partial_entries = partial_entries
+        self.covering_entries = covering_entries
+        self.covering_qids = frozenset(entry[0] for entry in covering_entries)
+        self.knn_qids = knn_qids
+        self.all_qids = all_qids
+
+
+#: Shared instance for cells with no overlapping queries — in a sparse
+#: world most cells are query-free, and building per-cell candidate
+#: state for them would dominate small batches.
+_NO_CANDIDATES = _CellCandidates([], [], [], _NO_CELLS)
+
+#: The evaluation phases, in execution order.  Keys of
+#: ``EngineStats.phase_seconds`` after the first evaluation.
+EVALUATION_PHASES = (
+    "unregistrations",
+    "removals",
+    "registrations",
+    "query_moves",
+    "object_reports",
+    "knn_repair",
+    "predictive_refresh",
+)
 
 
 @dataclass(slots=True)
 class EngineStats:
     """Cumulative work counters — the engine's observability surface.
 
-    These are *work* measures, not wall-clock: how many buffered inputs
-    each evaluation consumed and how much repair they triggered.  The
-    benchmarks use them to explain where time goes; operators would use
-    them to spot hot queries and mis-sized grids.
+    The integer fields are *work* measures: how many buffered inputs
+    each evaluation consumed and how much repair they triggered.
+    ``phase_seconds`` adds wall-clock observability: cumulative seconds
+    spent in each evaluation phase (keys are ``EVALUATION_PHASES``),
+    populated from the first ``evaluate()`` on.  The benchmarks use both
+    to explain where time goes; operators would use them to spot hot
+    queries and mis-sized grids.
     """
 
     evaluations: int = 0
@@ -69,6 +155,7 @@ class EngineStats:
     query_unregistrations: int = 0
     knn_repairs: int = 0
     updates_emitted: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
 
 class IncrementalEngine:
@@ -84,6 +171,14 @@ class IncrementalEngine:
         How far (seconds) object trajectories are extrapolated when
         indexing predictive objects.  Every predictive query's horizon
         must fit inside it.
+    pipeline:
+        ``"cell-batched"`` (default) evaluates buffered object reports
+        as per-cell cohorts — candidate queries are resolved once per
+        cell transition and membership runs in bulk.  ``"per-object"``
+        is the reference path that walks one report at a time; it emits
+        the same update *set* per query (order within the object-report
+        and predictive phases may differ) and exists for equivalence
+        testing and benchmarking.
     """
 
     def __init__(
@@ -91,14 +186,20 @@ class IncrementalEngine:
         world: Rect = DEFAULT_WORLD,
         grid_size: int = 64,
         prediction_horizon: float = 60.0,
+        pipeline: str = "cell-batched",
     ):
         if prediction_horizon < 0:
             raise ValueError(
                 f"prediction_horizon must be >= 0, got {prediction_horizon}"
             )
+        if pipeline not in ("cell-batched", "per-object"):
+            raise ValueError(
+                f"pipeline must be 'cell-batched' or 'per-object', got {pipeline!r}"
+            )
         self.grid = Grid(world, grid_size)
         self.index = GridIndex(self.grid)
         self.prediction_horizon = prediction_horizon
+        self.pipeline = pipeline
         self.now = 0.0
         self.objects: dict[int, ObjectState] = {}
         self.queries: dict[int, QueryState] = {}
@@ -111,7 +212,11 @@ class IncrementalEngine:
         # k-NN queries holding fewer than k objects must watch for any
         # population growth, not just movement near their circle.
         self._underfull_knn: set[int] = set()
+        # Registered predictive query ids — the refresh phase consults
+        # this instead of scanning every query of every kind.
+        self._predictive_qids: set[int] = set()
         self.stats = EngineStats()
+        self._phases = PhaseTimer(self.stats.phase_seconds)
 
     # ------------------------------------------------------------------
     # Ingestion (buffered)
@@ -234,11 +339,17 @@ class IncrementalEngine:
         window refresh.  Applying the returned updates in order to the
         previously reported answers reproduces the current answers
         exactly (tested property).
+
+        All buffered input is validated *before* any phase mutates state
+        (a buffered move of an unknown query raises ``KeyError`` here,
+        with the engine left exactly as it was — buffers included — so a
+        bad move can never half-apply a batch).
         """
         if now is None:
             now = self.now
         if now < self.now:
             raise ValueError(f"time went backwards: {now} < {self.now}")
+        self._validate_pending_moves()
         self.now = now
 
         self.stats.evaluations += 1
@@ -250,16 +361,62 @@ class IncrementalEngine:
 
         updates: list[Update] = []
         knn_dirty: set[int] = set(self._underfull_knn)
+        # Cells whose object population (or a resident's motion state)
+        # changed this evaluation — drives the predictive refresh.
+        churned_cells: set[int] = set()
+        # Predictive queries that must refresh regardless of cell churn
+        # (registered or moved this batch).
+        dirty_predictive: set[int] = set()
+        batched = self.pipeline == "cell-batched"
+        phases = self._phases
 
-        self._apply_unregistrations(knn_dirty)
-        self._apply_removals(updates, knn_dirty)
-        self._apply_registrations(updates, knn_dirty)
-        self._apply_query_moves(updates, knn_dirty)
-        self._apply_object_reports(updates, knn_dirty)
-        self._repair_knn(knn_dirty, updates)
-        self._refresh_predictive(updates)
+        with phases.phase("unregistrations"):
+            self._apply_unregistrations(knn_dirty)
+        with phases.phase("removals"):
+            self._apply_removals(updates, knn_dirty, churned_cells)
+        with phases.phase("registrations"):
+            self._apply_registrations(updates, knn_dirty, dirty_predictive)
+        with phases.phase("query_moves"):
+            self._apply_query_moves(updates, knn_dirty, dirty_predictive)
+        with phases.phase("object_reports"):
+            if batched:
+                self._apply_object_reports_batched(
+                    updates, knn_dirty, churned_cells
+                )
+            else:
+                self._apply_object_reports(updates, knn_dirty)
+        with phases.phase("knn_repair"):
+            self._repair_knn(knn_dirty, updates)
+        with phases.phase("predictive_refresh"):
+            if batched:
+                self._refresh_predictive_batched(
+                    updates, churned_cells, dirty_predictive
+                )
+            else:
+                self._refresh_predictive(updates)
         self.stats.updates_emitted += len(updates)
         return updates
+
+    def _validate_pending_moves(self) -> None:
+        """Reject buffered moves that cannot resolve to a query.
+
+        Runs before any phase mutates state: a move is valid if its
+        target is currently registered (and not about to be
+        unregistered in this same batch) or is registered earlier in
+        this batch.  Raising here leaves every buffer intact, so the
+        caller can drop the bad move (``unregister_query``) and
+        re-evaluate.
+        """
+        if not self._pending_moves:
+            return
+        pending = None
+        for qid in self._pending_moves:
+            if qid in self.queries and qid not in self._pending_unregistrations:
+                continue
+            if pending is None:
+                pending = {q.qid for q in self._pending_registrations}
+            if qid not in pending:
+                raise KeyError(f"cannot move unknown query {qid}")
 
     # ------------------------------------------------------------------
     # Phase 1-2: departures
@@ -272,16 +429,20 @@ class IncrementalEngine:
                 continue
             self.index.remove_query(qid)
             self._underfull_knn.discard(qid)
+            self._predictive_qids.discard(qid)
             knn_dirty.discard(qid)
             for oid in query.answer:
                 self.objects[oid].answered.discard(qid)
         self._pending_unregistrations.clear()
 
-    def _apply_removals(self, updates: list[Update], knn_dirty: set[int]) -> None:
+    def _apply_removals(
+        self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
+    ) -> None:
         for oid in sorted(self._pending_removals):
             state = self.objects.pop(oid, None)
             if state is None:
                 continue
+            churned_cells.update(self.index.object_cells(oid))
             self.index.remove_object(oid)
             for qid in sorted(state.answered):
                 query = self.queries[qid]
@@ -296,7 +457,10 @@ class IncrementalEngine:
     # ------------------------------------------------------------------
 
     def _apply_registrations(
-        self, updates: list[Update], knn_dirty: set[int]
+        self,
+        updates: list[Update],
+        knn_dirty: set[int],
+        dirty_predictive: set[int],
     ) -> None:
         for query in self._pending_registrations:
             self.queries[query.qid] = query
@@ -314,6 +478,8 @@ class IncrementalEngine:
             else:
                 # Predictive: footprint now, answer in the refresh phase.
                 self.index.place_query_region(query.qid, query.region)
+                self._predictive_qids.add(query.qid)
+                dirty_predictive.add(query.qid)
         self._pending_registrations.clear()
 
     def _fill_range_answer(
@@ -331,11 +497,16 @@ class IncrementalEngine:
     # ------------------------------------------------------------------
 
     def _apply_query_moves(
-        self, updates: list[Update], knn_dirty: set[int]
+        self,
+        updates: list[Update],
+        knn_dirty: set[int],
+        dirty_predictive: set[int],
     ) -> None:
         for qid, (payload, t) in self._pending_moves.items():
             query = self.queries.get(qid)
             if query is None:
+                # Unreachable after _validate_pending_moves; kept as a
+                # defensive invariant.
                 raise KeyError(f"cannot move unknown query {qid}")
             query.t = t
             if query.kind is QueryKind.RANGE:
@@ -348,6 +519,7 @@ class IncrementalEngine:
                 # the footprint needs to move now.
                 query.region = payload  # type: ignore[assignment]
                 self.index.place_query_region(qid, payload)  # type: ignore[arg-type]
+                dirty_predictive.add(qid)
         self._pending_moves.clear()
 
     def _move_range(
@@ -383,6 +555,12 @@ class IncrementalEngine:
     def _apply_object_reports(
         self, updates: list[Update], knn_dirty: set[int]
     ) -> None:
+        """Reference path: one report at a time (``pipeline="per-object"``).
+
+        Re-derives the colocated candidate query set for every single
+        object; kept verbatim as the semantic baseline the cell-batched
+        pipeline is benchmarked and equivalence-tested against.
+        """
         for oid, (location, velocity, t) in self._pending_reports.items():
             state = self.objects.get(oid)
             if state is None:
@@ -396,7 +574,7 @@ class IncrementalEngine:
                 state.t = t
             self.index.place_object(oid, self._object_footprint(state))
 
-            candidates = self.index.queries_colocated_with_object(oid)
+            candidates = set(self.index.queries_colocated_with_object(oid))
             for cell in old_cells:
                 candidates |= self.index.queries_in_cell(cell)
             candidates |= state.answered
@@ -409,6 +587,333 @@ class IncrementalEngine:
                     knn_dirty.add(qid)
                 # Predictive membership is settled by the refresh phase.
         self._pending_reports.clear()
+
+    def _apply_object_reports_batched(
+        self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
+    ) -> None:
+        """Cell-batched pipeline: evaluate the whole batch as per-cell cohorts.
+
+        5a. Apply every report to object state and the grid, grouping
+            objects by their (old cells → new cells) transition.  The
+            overwhelmingly common case — a non-predictive object whose
+            footprint is one cell — is keyed by an int pair instead of
+            frozensets, and an object whose footprint did not change
+            skips the grid write entirely.
+        5b. For each distinct transition, resolve the candidate query
+            set **once** (zero-copy cell views, no per-object set
+            copies, no per-object sort) and evaluate each candidate
+            range query against the whole cohort in one inline pass
+            with the region bounds and answer set hoisted out of the
+            loop.  k-NN queries are dirty-marked per cohort.  A cohort
+            is sorted once (not once per object), so emissions stay
+            deterministically ordered.
+
+        Emits exactly the same update set per query as the per-object
+        path — each (query, object) pair is evaluated at most once per
+        batch because the report buffer is already last-report-wins —
+        but grouped by (transition, query) rather than by reporting
+        object.
+        """
+        reports = self._pending_reports
+        if not reports:
+            return
+        objects = self.objects
+        index = self.index
+        grid = self.grid
+        # Hoisted home-cell arithmetic: same expression as Grid.cell_of
+        # (division by the precomputed cell size), so cell assignment is
+        # bit-identical to the per-object path on boundary coordinates.
+        n = grid.n
+        n1 = n - 1
+        cell_w = grid.cell_width
+        cell_h = grid.cell_height
+        wmin_x = grid.world.min_x
+        wmin_y = grid.world.min_y
+        predictive_possible = self.prediction_horizon > 0
+
+        # --- 5a: state + index updates, grouped by cell transition.
+        # point_groups: (old_cell, new_cell) int pairs, -1 = new object.
+        # set_groups: frozenset pairs for multi-cell (predictive) footprints.
+        point_groups: dict[tuple[int, int], list[ObjectState]] = {}
+        set_groups: dict[
+            tuple[frozenset[int], frozenset[int]], list[ObjectState]
+        ] = {}
+        for oid, (location, velocity, t) in reports.items():
+            state = objects.get(oid)
+            if state is None:
+                state = ObjectState(oid, location, velocity, t)
+                objects[oid] = state
+                old_cells = None
+            else:
+                old_cells = index.object_cells(oid)
+                state.location = location
+                state.velocity = velocity
+                state.t = t
+            # Inlined `not state.is_predictive` (Velocity.is_zero).
+            if not predictive_possible or (
+                velocity.vx == 0.0 and velocity.vy == 0.0
+            ):
+                col = int((location.x - wmin_x) / cell_w)
+                if col < 0:
+                    col = 0
+                elif col > n1:
+                    col = n1
+                row = int((location.y - wmin_y) / cell_h)
+                if row < 0:
+                    row = 0
+                elif row > n1:
+                    row = n1
+                new_cell = row * n + col
+                if old_cells is None:
+                    index.place_object(oid, frozenset((new_cell,)))
+                    key = (-1, new_cell)
+                elif len(old_cells) == 1:
+                    old_cell = next(iter(old_cells))
+                    index.move_point_object(oid, old_cell, new_cell)
+                    key = (old_cell, new_cell)
+                else:
+                    # Was predictive (multi-cell), now stationary.
+                    new_cells = frozenset((new_cell,))
+                    index.place_object(oid, new_cells)
+                    self._group_into(set_groups, old_cells, new_cells, state)
+                    continue
+                cohort = point_groups.get(key)
+                if cohort is None:
+                    point_groups[key] = [state]
+                else:
+                    cohort.append(state)
+            else:
+                new_cells = self._object_footprint(state)
+                if old_cells != new_cells:
+                    index.place_object(oid, new_cells)
+                self._group_into(
+                    set_groups,
+                    _NO_CELLS if old_cells is None else old_cells,
+                    new_cells,
+                    state,
+                )
+        reports.clear()
+
+        # --- 5b: candidate queries once per transition, evaluated
+        # directly against the cohort.  The cell cache resolves each
+        # affected cell's candidate set exactly once per evaluation, no
+        # matter how many transitions touch the cell.
+        cell_cache: dict[int, _CellCandidates] = {}
+        for (old_cell, new_cell), states in point_groups.items():
+            churned_cells.add(new_cell)
+            if old_cell >= 0 and old_cell != new_cell:
+                churned_cells.add(old_cell)
+                self._evaluate_cohort(
+                    (old_cell, new_cell),
+                    states,
+                    updates,
+                    knn_dirty,
+                    cell_cache,
+                    False,
+                    point_pair=True,
+                )
+            else:
+                self._evaluate_cohort(
+                    (new_cell,),
+                    states,
+                    updates,
+                    knn_dirty,
+                    cell_cache,
+                    old_cell == new_cell,
+                )
+        for (old_cells, new_cells), states in set_groups.items():
+            churned_cells.update(new_cells)
+            if old_cells is not _NO_CELLS and old_cells != new_cells:
+                churned_cells.update(old_cells)
+            if old_cells is _NO_CELLS or old_cells == new_cells:
+                cells = new_cells
+            else:
+                cells = old_cells | new_cells
+            self._evaluate_cohort(
+                cells, states, updates, knn_dirty, cell_cache, False
+            )
+
+    @staticmethod
+    def _group_into(groups, old_cells, new_cells, state):
+        key = (old_cells, new_cells)
+        cohort = groups.get(key)
+        if cohort is None:
+            groups[key] = [state]
+        else:
+            cohort.append(state)
+
+    def _cell_candidates(self, cell: int) -> "_CellCandidates":
+        """Resolve one cell's candidate queries for the batched phase 5.
+
+        Range queries are flattened to ``(qid, bounds..., answer)``
+        tuples so the cohort loop needs no per-pair attribute chasing;
+        the region bounds are stable for the whole phase (query moves
+        happened in phase 4) and ``answer`` is aliased, so in-place
+        mutations stay visible.
+        """
+        cell_qids = self.index.queries_in_cell(cell)
+        if not cell_qids:
+            return _NO_CANDIDATES
+        queries = self.queries
+        # Inline Grid.cell_rect: same arithmetic, minus a Rect allocation
+        # and the repeated cell_width/cell_height property divisions.
+        grid = self.grid
+        world = grid.world
+        cell_w = grid.cell_width
+        cell_h = grid.cell_height
+        row, col = divmod(cell, grid.n)
+        c_min_x = world.min_x + col * cell_w
+        c_min_y = world.min_y + row * cell_h
+        c_max_x = world.min_x + (col + 1) * cell_w
+        c_max_y = world.min_y + (row + 1) * cell_h
+        partial_entries = []
+        covering_entries = []
+        knn_qids = []
+        for qid in cell_qids:
+            query = queries[qid]
+            kind = query.kind
+            if kind is QueryKind.RANGE:
+                region = query.region
+                entry = (
+                    qid,
+                    region.min_x,
+                    region.min_y,
+                    region.max_x,
+                    region.max_y,
+                    query.answer,
+                )
+                if (
+                    region.min_x <= c_min_x
+                    and region.min_y <= c_min_y
+                    and region.max_x >= c_max_x
+                    and region.max_y >= c_max_y
+                ):
+                    covering_entries.append(entry)
+                else:
+                    partial_entries.append(entry)
+            elif kind is QueryKind.KNN:
+                knn_qids.append(qid)
+        partial_entries.sort()
+        covering_entries.sort()
+        knn_qids.sort()
+        return _CellCandidates(
+            partial_entries,
+            covering_entries,
+            knn_qids,
+            frozenset(cell_qids),
+        )
+
+    def _evaluate_cohort(
+        self,
+        cells,
+        states: list[ObjectState],
+        updates: list[Update],
+        knn_dirty: set[int],
+        cell_cache: dict[int, "_CellCandidates"],
+        stay_put: bool,
+        point_pair: bool = False,
+    ) -> None:
+        """Check one transition cohort against its candidate queries.
+
+        ``cells`` is the union of the cohort's old and new cells; every
+        query whose membership can have changed for a cohort member
+        either overlaps one of those cells or already holds the member
+        in its answer (covered by the trailing answered sweep, which is
+        provably empty except for off-world clamping corner cases).
+
+        ``stay_put`` marks a single-cell cohort whose members did not
+        change home cell: range queries fully covering that cell are
+        then skipped — the old and new locations are both inside the
+        region, so each member already is (and stays) an answer member.
+        ``point_pair`` marks a two-cell cohort of single-cell objects;
+        for it the same argument skips queries covering *both* cells.
+        """
+        append = updates.append
+        make_update = Update
+        multi = len(cells) > 1
+        cached_cells = []
+        for cell in cells:
+            cached = cell_cache.get(cell)
+            if cached is None:
+                cached = cell_cache[cell] = self._cell_candidates(cell)
+            cached_cells.append(cached)
+            if cached.knn_qids:
+                knn_dirty.update(cached.knn_qids)
+        skip_cover: frozenset[int] = _NO_CELLS
+        if point_pair and len(cached_cells) == 2:
+            skip_cover = (
+                cached_cells[0].covering_qids & cached_cells[1].covering_qids
+            )
+        single = None
+        if len(states) == 1:
+            single = states[0]
+            location = single.location
+            sx = location.x
+            sy = location.y
+            soid = single.oid
+            answered = single.answered
+        else:
+            states.sort(key=_by_oid)
+            # Coordinates unpacked once per cohort, not once per
+            # (query, object) pair.
+            coords = [
+                (state.location.x, state.location.y, state.oid, state)
+                for state in states
+            ]
+        seen_qids: frozenset[int] | set[int] = _NO_CELLS
+        if multi:
+            seen_qids = set()
+        for cached in cached_cells:
+            if stay_put:
+                entry_lists = (cached.partial_entries,)
+            else:
+                entry_lists = (cached.partial_entries, cached.covering_entries)
+            for entries in entry_lists:
+                if single is not None:
+                    for qid, min_x, min_y, max_x, max_y, answer in entries:
+                        if multi and (qid in seen_qids or qid in skip_cover):
+                            continue
+                        if min_x <= sx <= max_x and min_y <= sy <= max_y:
+                            if soid not in answer:
+                                answer.add(soid)
+                                answered.add(qid)
+                                append(make_update(qid, soid, 1))
+                        elif soid in answer:
+                            answer.discard(soid)
+                            answered.discard(qid)
+                            append(make_update(qid, soid, -1))
+                else:
+                    for qid, min_x, min_y, max_x, max_y, answer in entries:
+                        if multi and (qid in seen_qids or qid in skip_cover):
+                            continue
+                        for x, y, oid, state in coords:
+                            if min_x <= x <= max_x and min_y <= y <= max_y:
+                                if oid not in answer:
+                                    answer.add(oid)
+                                    state.answered.add(qid)
+                                    append(make_update(qid, oid, 1))
+                            elif oid in answer:
+                                answer.discard(oid)
+                                state.answered.discard(qid)
+                                append(make_update(qid, oid, -1))
+            if multi:
+                seen_qids.update(cached.all_qids)  # type: ignore[union-attr]
+            else:
+                seen_qids = cached.all_qids
+        # Answered sweep: queries the object no longer shares a cell
+        # with (it left their footprint entirely) still owe a check.
+        queries = self.queries
+        for state in states:
+            answered = state.answered
+            if not answered or answered <= seen_qids:
+                continue
+            for qid in sorted(answered - seen_qids):
+                query = queries[qid]
+                kind = query.kind
+                if kind is QueryKind.RANGE:
+                    self._update_range_membership(query, state, updates)
+                elif kind is QueryKind.KNN:
+                    knn_dirty.add(qid)
 
     def _update_range_membership(
         self, query: RangeQueryState, state: ObjectState, updates: list[Update]
@@ -488,24 +993,131 @@ class IncrementalEngine:
     # ------------------------------------------------------------------
 
     def _refresh_predictive(self, updates: list[Update]) -> None:
+        """Reference path: re-filter every predictive query, every cycle."""
         for qid, query in self.queries.items():
             if query.kind is not QueryKind.PREDICTIVE_RANGE:
                 continue
-            candidates = set(query.answer)
-            for cell in self.index.query_cells(qid):
-                candidates |= self.index.objects_in_cell(cell)
-            for oid in sorted(candidates):
-                state = self.objects[oid]
-                inside = self._predicted_in_region(query, state)
-                was_member = oid in query.answer
-                if inside and not was_member:
-                    query.answer.add(oid)
-                    state.answered.add(qid)
-                    updates.append(Update.positive(qid, oid))
-                elif not inside and was_member:
-                    query.answer.discard(oid)
-                    state.answered.discard(qid)
-                    updates.append(Update.negative(qid, oid))
+            self._refresh_one_predictive(qid, query, updates, False)
+
+    def _refresh_predictive_batched(
+        self,
+        updates: list[Update],
+        churned_cells: set[int],
+        dirty_predictive: set[int],
+    ) -> None:
+        """Refresh only predictive queries that can actually change.
+
+        A predictive answer depends on (a) the query's region/horizon,
+        (b) the states of its candidate objects, and (c) the evaluation
+        time (the horizon window slides).  (a) is covered by
+        ``dirty_predictive`` (registered/moved this batch), (b) by cell
+        churn — every candidate's footprint intersects the query's
+        footprint, so any candidate change churns a footprint cell —
+        and (c) by the ``next_flip`` event time computed during the
+        previous refresh: the earliest time the sliding window can flip
+        some candidate's membership.  Anything else is provably a
+        no-op and is skipped.
+        """
+        predictive_qids = self._predictive_qids
+        if not predictive_qids:
+            return
+        need = dirty_predictive
+        if churned_cells:
+            index = self.index
+            for cell in churned_cells:
+                for qid in index.queries_in_cell(cell):
+                    if qid in predictive_qids:
+                        need.add(qid)
+        now = self.now
+        queries = self.queries
+        for qid in sorted(predictive_qids):
+            query = queries[qid]
+            if qid in need:
+                # Churn-driven refresh: under sustained churn a flip
+                # schedule would be recomputed every cycle and never
+                # consulted, so don't pay for one — the first quiet
+                # evaluation refreshes once more (next_flip == -inf)
+                # and computes the schedule then.
+                self._refresh_one_predictive(qid, query, updates, False)
+            elif query.next_flip <= now:
+                self._refresh_one_predictive(qid, query, updates, True)
+
+    def _refresh_one_predictive(
+        self,
+        qid: int,
+        query: PredictiveQueryState,
+        updates: list[Update],
+        compute_flip: bool,
+    ) -> None:
+        candidates = set(query.answer)
+        index = self.index
+        for cell in index.query_cells(qid):
+            candidates.update(index.objects_in_cell(cell))
+        objects = self.objects
+        answer = query.answer
+        next_flip = math.inf
+        for oid in sorted(candidates):
+            state = objects[oid]
+            inside = self._predicted_in_region(query, state)
+            was_member = oid in answer
+            if inside and not was_member:
+                answer.add(oid)
+                state.answered.add(qid)
+                updates.append(Update.positive(qid, oid))
+            elif not inside and was_member:
+                answer.discard(oid)
+                state.answered.discard(qid)
+                updates.append(Update.negative(qid, oid))
+            if compute_flip:
+                flip = self._membership_flip_time(query, state, inside)
+                if flip < next_flip:
+                    next_flip = flip
+        if not compute_flip:
+            query.next_flip = float("-inf")
+        elif math.isinf(next_flip):
+            query.next_flip = next_flip
+        else:
+            # Small relative safety margin: the flip time is derived
+            # from one trajectory clipping over the full trusted span,
+            # while membership itself is recomputed per-window; the
+            # margin absorbs any floating-point disagreement between
+            # the two so a refresh can only ever fire early, never
+            # late.
+            query.next_flip = next_flip - 1e-9 * (1.0 + abs(next_flip))
+
+    def _membership_flip_time(
+        self, query: PredictiveQueryState, state: ObjectState, inside: bool
+    ) -> float:
+        """The earliest evaluation time at which ``state``'s membership in
+        ``query`` can change with *no further reports* — i.e. purely
+        because the horizon window ``[now, now + horizon]`` slides.
+
+        For linear motion inside a convex region the in-region times
+        form one interval ``[enters, leaves]`` (within the object's
+        trusted extrapolation span).  A current member stays a member
+        until the window start passes ``leaves``; a non-member becomes
+        one when the window end reaches ``enters``.  ``inf`` means the
+        membership can never change without churn.
+        """
+        span_start = max(self.now, state.t)
+        span_end = state.t + self.prediction_horizon
+        if span_end < span_start:
+            # The trusted extrapolation span is entirely in the past:
+            # membership is False and stays False until a new report.
+            return math.inf
+        interval = state.motion().time_in_rect(
+            query.region, span_start, span_end
+        )
+        if interval is None:
+            # Never in the region within the trusted span.  If the
+            # windowed check nevertheless said "inside" (conceivable
+            # only through floating-point disagreement), stay safe by
+            # refreshing every evaluation.
+            return -math.inf if inside else math.inf
+        enters, leaves = interval
+        if inside:
+            return leaves
+        return enters - query.horizon
 
     def _predicted_in_region(
         self, query: PredictiveQueryState, state: ObjectState
@@ -545,3 +1157,5 @@ class IncrementalEngine:
             assert self.index.contains_query(qid)
         for oid in self.objects:
             assert self.index.contains_object(oid)
+        for qid in self._predictive_qids:
+            assert self.queries[qid].kind is QueryKind.PREDICTIVE_RANGE

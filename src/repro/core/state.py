@@ -81,6 +81,14 @@ class KnnQueryState:
 class PredictiveQueryState:
     """A predictive range query: who will be in ``region`` within ``horizon``
     seconds of the current evaluation time?
+
+    ``next_flip`` is derived scheduling state maintained by the engine's
+    cell-batched pipeline: the earliest evaluation time at which some
+    candidate object's predicted membership can change *purely because
+    the horizon window slid forward* (no report churn).  Until that
+    time, a refresh without churn in the query's footprint cells is
+    provably a no-op and is skipped.  ``-inf`` means "not yet computed:
+    always refresh".
     """
 
     qid: int
@@ -88,6 +96,7 @@ class PredictiveQueryState:
     horizon: float
     t: float
     answer: set[int] = field(default_factory=set)
+    next_flip: float = float("-inf")
 
     kind = QueryKind.PREDICTIVE_RANGE
 

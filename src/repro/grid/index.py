@@ -12,10 +12,16 @@ table).
 
 from __future__ import annotations
 
+from collections.abc import Set
 from dataclasses import dataclass, field
 
 from repro.geometry import Point, Rect
 from repro.grid.partition import Grid
+
+#: Shared sentinel returned for empty cells by the zero-copy retrieval
+#: methods.  Immutable, so accidental mutation of "no residents" fails
+#: loudly instead of corrupting a shared object.
+_EMPTY: frozenset[int] = frozenset()
 
 
 @dataclass(slots=True)
@@ -43,6 +49,10 @@ class GridIndex:
         self._cells: dict[int, CellBucket] = {}
         self._object_cells: dict[int, frozenset[int]] = {}
         self._query_cells: dict[int, frozenset[int]] = {}
+        # Reusable clipping buffer for the *_overlapping retrieval
+        # methods (see Grid.cells_overlapping_into); makes them
+        # allocation-free but non-reentrant.
+        self._scratch_cells: list[int] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -102,6 +112,17 @@ class GridIndex:
         """Convenience: place a point object at ``location``."""
         self.place_object(oid, frozenset((self.grid.cell_of(location),)))
 
+    def move_point_object(self, oid: int, old_cell: int, new_cell: int) -> None:
+        """Hot-path variant of :meth:`place_object` for the common
+        single-cell move.  The caller guarantees ``oid`` currently
+        occupies exactly ``{old_cell}``; no-op when the cell is unchanged.
+        """
+        if old_cell == new_cell:
+            return
+        self._remove_member(old_cell, oid, is_query=False)
+        self._cells.setdefault(new_cell, CellBucket()).objects.add(oid)
+        self._object_cells[oid] = frozenset((new_cell,))
+
     def remove_object(self, oid: int) -> None:
         """Remove object ``oid`` entirely (no-op details raise KeyError)."""
         for cell in self._object_cells.pop(oid):
@@ -143,32 +164,49 @@ class GridIndex:
     # Retrieval
     # ------------------------------------------------------------------
 
-    def objects_in_cell(self, cell: int) -> frozenset[int]:
-        bucket = self._cells.get(cell)
-        return frozenset(bucket.objects) if bucket else frozenset()
+    def objects_in_cell(self, cell: int) -> Set[int]:
+        """The objects resident in ``cell`` — a zero-copy live view.
 
-    def queries_in_cell(self, cell: int) -> frozenset[int]:
+        Aliasing contract: the returned set is the index's own bucket
+        storage (or a shared immutable empty sentinel).  It reflects
+        subsequent index mutations, MUST NOT be mutated by the caller,
+        and must be snapshotted (``set(...)``) before being retained
+        across any ``place_*`` / ``remove_*`` call.  The bulk-evaluation
+        hot path reads millions of these per batch; copying defensively
+        here is what the cell-batched pipeline removed.
+        """
         bucket = self._cells.get(cell)
-        return frozenset(bucket.queries) if bucket else frozenset()
+        return bucket.objects if bucket else _EMPTY
+
+    def queries_in_cell(self, cell: int) -> Set[int]:
+        """The queries overlapping ``cell`` — a zero-copy live view.
+
+        Same aliasing contract as :meth:`objects_in_cell`.
+        """
+        bucket = self._cells.get(cell)
+        return bucket.queries if bucket else _EMPTY
 
     def objects_overlapping(self, rect: Rect) -> set[int]:
         """Candidate objects: all objects registered in cells touching ``rect``.
 
         Candidates still need an exact geometric check by the caller —
-        a cell may extend well beyond ``rect``.
+        a cell may extend well beyond ``rect``.  The returned set is a
+        fresh copy (callers may mutate it freely).
         """
         found: set[int] = set()
-        for cell in self.grid.cells_overlapping(rect):
-            bucket = self._cells.get(cell)
+        cells = self._cells
+        for cell in self.grid.cells_overlapping_into(rect, self._scratch_cells):
+            bucket = cells.get(cell)
             if bucket:
                 found.update(bucket.objects)
         return found
 
     def queries_overlapping(self, rect: Rect) -> set[int]:
-        """Candidate queries whose clipped cells touch ``rect``."""
+        """Candidate queries whose clipped cells touch ``rect`` (fresh copy)."""
         found: set[int] = set()
-        for cell in self.grid.cells_overlapping(rect):
-            bucket = self._cells.get(cell)
+        cells = self._cells
+        for cell in self.grid.cells_overlapping_into(rect, self._scratch_cells):
+            bucket = cells.get(cell)
             if bucket:
                 found.update(bucket.queries)
         return found

@@ -101,6 +101,34 @@ class Grid:
         """Like :meth:`cells_overlapping` but materialised as a frozenset."""
         return frozenset(self.cells_overlapping(rect))
 
+    def cells_overlapping_into(self, rect: Rect, out: list[int]) -> list[int]:
+        """Scratch-buffer variant of :meth:`cells_overlapping`.
+
+        Clears ``out``, fills it with the overlapped cell ids, and
+        returns it.  Callers on hot paths keep one scratch list alive
+        and pass it to every call, so the per-invocation generator and
+        set allocations of the other variants disappear.
+
+        Contract: the returned list is ``out`` itself — it is only
+        valid until the next call that reuses the same buffer, and a
+        shared buffer makes this method non-reentrant (one in-flight
+        call per buffer).
+        """
+        out.clear()
+        clipped = rect.intersection(self.world)
+        if clipped is None:
+            return out
+        col_lo = self._col_of(clipped.min_x)
+        col_hi = self._col_of(clipped.max_x)
+        row_lo = self._row_of(clipped.min_y)
+        row_hi = self._row_of(clipped.max_y)
+        append = out.append
+        for row in range(row_lo, row_hi + 1):
+            base = row * self.n
+            for col in range(col_lo, col_hi + 1):
+                append(base + col)
+        return out
+
     def neighbors_of(self, cell: int) -> Iterator[int]:
         """The up-to-8 cells adjacent to ``cell`` (for expanding searches)."""
         row, col = divmod(cell, self.n)

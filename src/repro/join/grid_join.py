@@ -26,8 +26,9 @@ def grid_join(
         buckets[grid.cell_of(location)].append(oid)
 
     matches: set[tuple[int, int]] = set()
+    scratch: list[int] = []  # reused clip buffer; one allocation per join
     for qid, region in queries.items():
-        for cell in grid.cells_overlapping(region):
+        for cell in grid.cells_overlapping_into(region, scratch):
             residents = buckets.get(cell)
             if not residents:
                 continue

@@ -1,5 +1,5 @@
 """Measurement utilities shared by the benchmarks and examples."""
 
-from repro.stats.metrics import Series, StopWatch, format_table
+from repro.stats.metrics import PhaseTimer, Series, StopWatch, format_table
 
-__all__ = ["Series", "StopWatch", "format_table"]
+__all__ = ["PhaseTimer", "Series", "StopWatch", "format_table"]

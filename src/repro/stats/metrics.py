@@ -42,6 +42,50 @@ class StopWatch:
         return self.total / len(self.laps) if self.laps else 0.0
 
 
+class PhaseTimer:
+    """Accumulates named wall-clock phase durations into one dict.
+
+    The engine wraps each evaluation phase in :meth:`phase`; the backing
+    ``seconds`` dict (usually ``EngineStats.phase_seconds``) maps phase
+    name to cumulative seconds, making the cost of a bulk evaluation
+    observable phase-by-phase.
+
+    >>> timings: dict[str, float] = {}
+    >>> timer = PhaseTimer(timings)
+    >>> with timer.phase("join"):
+    ...     pass
+    >>> timings["join"] >= 0.0
+    True
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: dict[str, float] | None = None):
+        self.seconds: dict[str, float] = {} if seconds is None else seconds
+
+    def phase(self, name: str) -> "_PhaseLap":
+        return _PhaseLap(self.seconds, name)
+
+
+class _PhaseLap:
+    """One timed phase entry (context manager handed out by PhaseTimer)."""
+
+    __slots__ = ("_seconds", "_name", "_started")
+
+    def __init__(self, seconds: dict[str, float], name: str):
+        self._seconds = seconds
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_PhaseLap":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        lap = time.perf_counter() - self._started
+        self._seconds[self._name] = self._seconds.get(self._name, 0.0) + lap
+
+
 @dataclass(slots=True)
 class Series:
     """A named sequence of numeric observations."""

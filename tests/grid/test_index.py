@@ -50,6 +50,23 @@ class TestObjects:
         with pytest.raises(ValueError):
             index.place_object(1, frozenset())
 
+    def test_move_point_object_relocates(self, index):
+        index.place_object_at(1, Point(0.05, 0.05))
+        old_cell = index.grid.cell_of(Point(0.05, 0.05))
+        new_cell = index.grid.cell_of(Point(0.95, 0.95))
+        index.move_point_object(1, old_cell, new_cell)
+        assert index.object_cells(1) == frozenset({new_cell})
+        assert 1 not in index.objects_in_cell(old_cell)
+        assert 1 in index.objects_in_cell(new_cell)
+
+    def test_move_point_object_same_cell_is_noop(self, index):
+        index.place_object_at(1, Point(0.5, 0.5))
+        cell = index.grid.cell_of(Point(0.5, 0.5))
+        before = index.objects_in_cell(cell)
+        index.move_point_object(1, cell, cell)
+        assert index.object_cells(1) == frozenset({cell})
+        assert index.objects_in_cell(cell) is before  # bucket untouched
+
 
 class TestQueries:
     def test_place_query_region(self, index):
@@ -95,6 +112,34 @@ class TestRetrieval:
         index.place_query_region(8, Rect(0.0, 0.0, 0.05, 0.05))
         colocated = index.queries_colocated_with_object(1)
         assert 7 in colocated and 8 not in colocated
+
+
+class TestZeroCopyViews:
+    """The *_in_cell accessors return live bucket storage, not copies."""
+
+    def test_views_alias_bucket_storage(self, index):
+        index.place_object_at(1, Point(0.5, 0.5))
+        cell = index.grid.cell_of(Point(0.5, 0.5))
+        view = index.objects_in_cell(cell)
+        assert view == {1}
+        index.place_object_at(2, Point(0.5, 0.5))
+        assert view == {1, 2}  # reflects later mutations
+        index.remove_object(1)
+        assert view == {2}
+
+    def test_empty_cell_view_is_shared_and_immutable(self, index):
+        view = index.objects_in_cell(3)
+        assert view == frozenset()
+        assert view is index.queries_in_cell(5)  # one shared sentinel
+        with pytest.raises(AttributeError):
+            view.add(1)  # accidental mutation fails loudly
+
+    def test_snapshot_survives_index_mutation(self, index):
+        index.place_object_at(1, Point(0.5, 0.5))
+        cell = index.grid.cell_of(Point(0.5, 0.5))
+        snapshot = set(index.objects_in_cell(cell))
+        index.remove_object(1)
+        assert snapshot == {1}  # the copy, unlike the view, is stable
 
 
 class TestBuckets:

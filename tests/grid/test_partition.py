@@ -83,6 +83,24 @@ class TestClipping:
         )
         assert got == want
 
+    def test_cells_overlapping_into_matches_generator(self):
+        g = Grid(UNIT, 6)
+        scratch: list[int] = []
+        for region in (
+            UNIT,
+            Rect(0.1, 0.35, 0.62, 0.8),
+            Rect(0.26, 0.26, 0.49, 0.49),
+        ):
+            got = g.cells_overlapping_into(region, scratch)
+            assert got is scratch  # contract: returns the buffer itself
+            assert got == list(g.cells_overlapping(region))
+
+    def test_cells_overlapping_into_clears_stale_contents(self):
+        g = Grid(UNIT, 4)
+        scratch = [99, 98, 97]
+        assert g.cells_overlapping_into(Rect(2, 2, 3, 3), scratch) == []
+        assert scratch == []  # off-world region leaves an emptied buffer
+
 
 class TestRings:
     def test_ring_zero_is_center(self):

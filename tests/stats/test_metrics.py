@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.stats import Series, StopWatch, format_table
+from repro.stats import PhaseTimer, Series, StopWatch, format_table
 
 
 class TestStopWatch:
@@ -19,6 +19,33 @@ class TestStopWatch:
         watch = StopWatch()
         assert watch.total == 0.0
         assert watch.mean == 0.0
+
+
+class TestPhaseTimer:
+    def test_accumulates_into_named_slots(self):
+        timer = PhaseTimer()
+        for __ in range(3):
+            with timer.phase("join"):
+                pass
+        with timer.phase("repair"):
+            pass
+        assert set(timer.seconds) == {"join", "repair"}
+        assert all(t >= 0.0 for t in timer.seconds.values())
+
+    def test_shares_a_caller_supplied_dict(self):
+        slots: dict[str, float] = {"join": 1.0}
+        timer = PhaseTimer(slots)
+        with timer.phase("join"):
+            pass
+        assert timer.seconds is slots
+        assert slots["join"] >= 1.0  # added to, not overwritten
+
+    def test_records_even_when_the_phase_raises(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("broken"):
+                raise RuntimeError("boom")
+        assert "broken" in timer.seconds
 
 
 class TestSeries:
