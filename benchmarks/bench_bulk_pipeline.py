@@ -34,7 +34,7 @@ import random
 import statistics
 import time
 
-from conftest import SCALE, scaled, write_bench_json
+from conftest import scaled, write_bench_json
 
 from repro.core.engine import IncrementalEngine
 from repro.geometry import Point, Rect, Velocity
@@ -84,9 +84,15 @@ def build_workload(n_objects: int, n_queries: int, seed: int = SEED):
     return initial, queries, move_rounds
 
 
-def build_engine(pipeline: str, initial, queries) -> IncrementalEngine:
+def build_engine(
+    pipeline: str, initial, queries, registry=None, tracer=None
+) -> IncrementalEngine:
     engine = IncrementalEngine(
-        grid_size=GRID_SIZE, prediction_horizon=60.0, pipeline=pipeline
+        grid_size=GRID_SIZE,
+        prediction_horizon=60.0,
+        pipeline=pipeline,
+        registry=registry,
+        tracer=tracer,
     )
     for oid, location in initial:
         engine.report_object(oid, location, 0.0)
@@ -118,14 +124,16 @@ def buffer_round(engine: IncrementalEngine, moves, now: float) -> None:
         )
 
 
-def run_pipeline(pipeline: str, initial, queries, move_rounds):
+def run_pipeline(
+    pipeline: str, initial, queries, move_rounds, registry=None, tracer=None
+):
     """Evaluate every move round; return (per-round seconds, update keys).
 
     Garbage collection is forced before and disabled during each timed
     evaluation so a collection cycle landing inside one pipeline's
     measurement cannot skew the comparison.
     """
-    engine = build_engine(pipeline, initial, queries)
+    engine = build_engine(pipeline, initial, queries, registry, tracer)
     timings: list[float] = []
     update_keys = []
     now = 0.0
@@ -196,6 +204,7 @@ def run_comparison(n_objects: int, n_queries: int, assert_speedup: bool):
     return {
         "table": table,
         "phase_table": phase_table,
+        "registry": batched_engine.registry,
         "speedup": speedup,
         "batched_times": batched_times,
         "perobject_times": perobject_times,
@@ -204,7 +213,7 @@ def run_comparison(n_objects: int, n_queries: int, assert_speedup: bool):
     }
 
 
-def test_bulk_pipeline(benchmark, record_series):
+def test_bulk_pipeline(benchmark, record_series, request):
     n_objects = scaled(FULL_OBJECTS)
     n_queries = scaled(FULL_QUERIES)
     full_scale = n_objects >= FULL_OBJECTS and n_queries >= FULL_QUERIES
@@ -219,6 +228,8 @@ def test_bulk_pipeline(benchmark, record_series):
     # re-buffers the same move batch, the measured call is evaluate().
     initial, queries, move_rounds = build_workload(n_objects, n_queries)
     engine = build_engine("cell-batched", initial, queries)
+    # The engine's counters ride along in BENCH_bulk_pipeline.json.
+    request.node.bench_registry = engine.registry
     clock = [0.0]
 
     def setup():
@@ -266,6 +277,7 @@ def main(argv: list[str]) -> int:
             "per_object_reports_per_sec": result["perobject_rps"],
             "speedup_vs_per_object": result["speedup"],
         },
+        registry=result["registry"],
     )
     print(f"\nwrote {path}")
     print(f"speedup vs per-object path: {result['speedup']:.2f}x")

@@ -44,6 +44,15 @@ def record_series():
     return _record
 
 
+def _registry_snapshot(registry: object = None) -> dict:
+    """Snapshot ``registry`` (default: the process-wide default) as a dict."""
+    from repro.obs import default_registry
+
+    if registry is None:
+        registry = default_registry()
+    return registry.to_dict()
+
+
 def percentile(sorted_data: list[float], fraction: float) -> float:
     """Nearest-rank percentile over an already-sorted sample."""
     if not sorted_data:
@@ -59,12 +68,17 @@ def write_bench_json(
     seed: object = None,
     params: dict[str, object] | None = None,
     extra: dict[str, object] | None = None,
+    registry: object = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` at the repo root from raw round timings.
 
     One machine-readable summary per benchmark — ops/sec, p50/p95
     latency, the workload seed, and the workload parameters — so runs
     can be diffed across commits without scraping console tables.
+    Every summary also embeds a ``metrics`` snapshot: ``registry`` when
+    given (conventionally the registry of the engine under test),
+    otherwise the process-wide default registry, so the counters behind
+    a number travel with it.
     """
     safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name)
     data = sorted(timings)
@@ -86,6 +100,7 @@ def write_bench_json(
     }
     if extra:
         payload.update(extra)
+    payload["metrics"] = _registry_snapshot(registry)
     path = REPO_ROOT / f"BENCH_{safe}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
@@ -118,4 +133,8 @@ def bench_json_report(request):
     name = request.node.name
     if name.startswith("test_"):
         name = name[len("test_") :]
-    write_bench_json(name, data, seed=seed, params=extra_info)
+    # Tests that instrument a specific component can expose its registry
+    # as ``request.node.bench_registry``; otherwise the default registry
+    # snapshot is embedded.
+    registry = getattr(request.node, "bench_registry", None)
+    write_bench_json(name, data, seed=seed, params=extra_info, registry=registry)

@@ -10,7 +10,7 @@ vehicles were closest — the paper's "queries about the past".
 Run:  python examples/incident_forensics.py
 """
 
-from repro import Point, Rect
+from repro import Rect
 from repro.core import LocationAwareServer
 from repro.generator import MovingObjectSimulator, manhattan_city
 from repro.grid import Grid

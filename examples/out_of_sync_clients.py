@@ -51,7 +51,7 @@ def main() -> None:
     diff_bytes = server.stats.delivered_bytes - before
     assert client.answer_of(QUERY) == server.engine.answer_of(QUERY)
     print(f"committed-answer recovery: {diff_bytes} bytes "
-          f"(client verified consistent)")
+          "(client verified consistent)")
 
     # --- naive recovery on an identical world ------------------------
     server2, client2, rng2 = build_world(seed=1)

@@ -47,7 +47,7 @@ def main() -> None:
     print("\nafter MOVE QUERY downtown:")
     for update in updates:
         print(f"  {update}")
-    print(f"  downtown -> "
+    print("  downtown -> "
           f"{sorted(engine.answer_of(binder.qid_of('downtown')))}")
 
     binder.run_program("UNREGISTER QUERY harbor")

@@ -60,7 +60,7 @@ def main() -> None:
     client.reconnect()
     assert client.answer_of(500) == restored_server.engine.answer_of(500)
     print(f"answer after restore + resync: {len(client.answer_of(500))} objects "
-          f"(verified identical to the restored server's)")
+          "(verified identical to the restored server's)")
     recovery_updates = restored_server.stats.delivered_messages
     print(f"recovery cost: {recovery_updates} update messages "
           f"({restored_server.stats.delivered_bytes} bytes) — only the delta")

@@ -20,7 +20,8 @@ Quick start::
 Subpackages: :mod:`repro.core` (the engine, server, clients),
 :mod:`repro.grid`, :mod:`repro.rtree`, :mod:`repro.join`,
 :mod:`repro.generator`, :mod:`repro.storage`, :mod:`repro.net`,
-:mod:`repro.baselines`, :mod:`repro.lang`, :mod:`repro.stats`.
+:mod:`repro.baselines`, :mod:`repro.lang`, :mod:`repro.stats`,
+:mod:`repro.obs` (metrics registry, cycle tracer, exporters).
 """
 
 from repro.geometry import Circle, LinearMotion, Point, Rect, Segment, Velocity

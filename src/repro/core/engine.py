@@ -40,9 +40,13 @@ same cohorts.  The seed per-object path is retained as
 equivalence tests and ``benchmarks/bench_bulk_pipeline.py`` compare
 against.
 
-Every phase of ``evaluate()`` is wall-clock timed into
-``EngineStats.phase_seconds`` (see :class:`repro.stats.metrics.PhaseTimer`),
-so the cost of an evaluation is observable phase-by-phase.
+Every phase of ``evaluate()`` is wall-clock timed: each phase runs
+inside a :class:`repro.obs.Tracer` span (exported to Chrome trace JSON)
+whose duration also accumulates into the engine's
+``engine_phase_seconds_total{phase=...}`` counters on its
+:class:`repro.obs.MetricsRegistry`.  The public ``stats`` property
+still returns the familiar :class:`EngineStats` dataclass — now a
+snapshot view over those registry instruments.
 
 The engine is single-threaded and in-memory by design: persistence is
 layered on by :class:`repro.core.server.LocationAwareServer` through the
@@ -66,7 +70,7 @@ from repro.core.state import (
 from repro.core.updates import Update
 from repro.geometry import Point, Rect, Velocity
 from repro.grid import Grid, GridIndex
-from repro.stats.metrics import PhaseTimer
+from repro.obs import MetricsRegistry, Tracer
 
 DEFAULT_WORLD = Rect(0.0, 0.0, 1.0, 1.0)
 
@@ -136,7 +140,7 @@ EVALUATION_PHASES = (
 
 @dataclass(slots=True)
 class EngineStats:
-    """Cumulative work counters — the engine's observability surface.
+    """A snapshot of the engine's work counters.
 
     The integer fields are *work* measures: how many buffered inputs
     each evaluation consumed and how much repair they triggered.
@@ -145,6 +149,11 @@ class EngineStats:
     populated from the first ``evaluate()`` on.  The benchmarks use both
     to explain where time goes; operators would use them to spot hot
     queries and mis-sized grids.
+
+    The live values are registry instruments (``engine_*`` counters on
+    :attr:`IncrementalEngine.registry`); :attr:`IncrementalEngine.stats`
+    materialises this dataclass from them on every read, so the familiar
+    surface survives while exporters see the same numbers.
     """
 
     evaluations: int = 0
@@ -179,6 +188,19 @@ class IncrementalEngine:
         the same update *set* per query (order within the object-report
         and predictive phases may differ) and exists for equivalence
         testing and benchmarking.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` carrying the engine's
+        counters, phase-second series, and grid-occupancy samples.
+        Defaults to a private registry per engine (isolated stats);
+        inject one — e.g. :func:`repro.obs.default_registry` — to
+        aggregate several components into one exporter.  Pass
+        :data:`repro.obs.NULL_REGISTRY` to turn metrics off.
+    tracer:
+        The :class:`~repro.obs.Tracer` receiving one span per
+        evaluation phase.  Defaults to a private bounded tracer; the
+        server shares it so cycle/downlink spans nest around the
+        engine's.  Pass a :class:`repro.obs.NullTracer` to disable
+        trace recording (phase-second counters keep working).
     """
 
     def __init__(
@@ -187,6 +209,8 @@ class IncrementalEngine:
         grid_size: int = 64,
         prediction_horizon: float = 60.0,
         pipeline: str = "cell-batched",
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         if prediction_horizon < 0:
             raise ValueError(
@@ -215,8 +239,25 @@ class IncrementalEngine:
         # Registered predictive query ids — the refresh phase consults
         # this instead of scanning every query of every kind.
         self._predictive_qids: set[int] = set()
-        self.stats = EngineStats()
-        self._phases = PhaseTimer(self.stats.phase_seconds)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        counter = self.registry.counter
+        self._m_evaluations = counter("engine_evaluations_total")
+        self._m_object_reports = counter("engine_object_reports_total")
+        self._m_object_removals = counter("engine_object_removals_total")
+        self._m_query_registrations = counter("engine_query_registrations_total")
+        self._m_query_moves = counter("engine_query_moves_total")
+        self._m_query_unregistrations = counter(
+            "engine_query_unregistrations_total"
+        )
+        self._m_knn_repairs = counter("engine_knn_repairs_total")
+        self._m_updates_emitted = counter("engine_updates_emitted_total")
+        self._phase_counters = {
+            name: counter("engine_phase_seconds_total", labels={"phase": name})
+            for name in EVALUATION_PHASES
+        }
+        self._m_objects = self.registry.gauge("engine_objects")
+        self._m_queries = self.registry.gauge("engine_queries")
 
     # ------------------------------------------------------------------
     # Ingestion (buffered)
@@ -312,6 +353,28 @@ class IncrementalEngine:
     # ------------------------------------------------------------------
 
     @property
+    def stats(self) -> EngineStats:
+        """The registry-backed work counters as an :class:`EngineStats`
+        snapshot (the pre-telemetry public surface, unchanged)."""
+        evaluations = int(self._m_evaluations.value)
+        phase_seconds: dict[str, float] = {}
+        if evaluations:
+            phase_seconds = {
+                name: c.value for name, c in self._phase_counters.items()
+            }
+        return EngineStats(
+            evaluations=evaluations,
+            object_reports=int(self._m_object_reports.value),
+            object_removals=int(self._m_object_removals.value),
+            query_registrations=int(self._m_query_registrations.value),
+            query_moves=int(self._m_query_moves.value),
+            query_unregistrations=int(self._m_query_unregistrations.value),
+            knn_repairs=int(self._m_knn_repairs.value),
+            updates_emitted=int(self._m_updates_emitted.value),
+            phase_seconds=phase_seconds,
+        )
+
+    @property
     def object_count(self) -> int:
         return len(self.objects)
 
@@ -352,12 +415,12 @@ class IncrementalEngine:
         self._validate_pending_moves()
         self.now = now
 
-        self.stats.evaluations += 1
-        self.stats.object_reports += len(self._pending_reports)
-        self.stats.object_removals += len(self._pending_removals)
-        self.stats.query_registrations += len(self._pending_registrations)
-        self.stats.query_moves += len(self._pending_moves)
-        self.stats.query_unregistrations += len(self._pending_unregistrations)
+        self._m_evaluations.inc()
+        self._m_object_reports.inc(len(self._pending_reports))
+        self._m_object_removals.inc(len(self._pending_removals))
+        self._m_query_registrations.inc(len(self._pending_registrations))
+        self._m_query_moves.inc(len(self._pending_moves))
+        self._m_query_unregistrations.inc(len(self._pending_unregistrations))
 
         updates: list[Update] = []
         knn_dirty: set[int] = set(self._underfull_knn)
@@ -368,33 +431,42 @@ class IncrementalEngine:
         # (registered or moved this batch).
         dirty_predictive: set[int] = set()
         batched = self.pipeline == "cell-batched"
-        phases = self._phases
+        tracer = self.tracer
+        span = tracer.span
+        phase_counters = self._phase_counters
 
-        with phases.phase("unregistrations"):
-            self._apply_unregistrations(knn_dirty)
-        with phases.phase("removals"):
-            self._apply_removals(updates, knn_dirty, churned_cells)
-        with phases.phase("registrations"):
-            self._apply_registrations(updates, knn_dirty, dirty_predictive)
-        with phases.phase("query_moves"):
-            self._apply_query_moves(updates, knn_dirty, dirty_predictive)
-        with phases.phase("object_reports"):
-            if batched:
-                self._apply_object_reports_batched(
-                    updates, knn_dirty, churned_cells
-                )
-            else:
-                self._apply_object_reports(updates, knn_dirty)
-        with phases.phase("knn_repair"):
-            self._repair_knn(knn_dirty, updates)
-        with phases.phase("predictive_refresh"):
-            if batched:
-                self._refresh_predictive_batched(
-                    updates, churned_cells, dirty_predictive
-                )
-            else:
-                self._refresh_predictive(updates)
-        self.stats.updates_emitted += len(updates)
+        with span("evaluate"):
+            with span("unregistrations", phase_counters["unregistrations"]):
+                self._apply_unregistrations(knn_dirty)
+            with span("removals", phase_counters["removals"]):
+                self._apply_removals(updates, knn_dirty, churned_cells)
+            with span("registrations", phase_counters["registrations"]):
+                self._apply_registrations(updates, knn_dirty, dirty_predictive)
+            with span("query_moves", phase_counters["query_moves"]):
+                self._apply_query_moves(updates, knn_dirty, dirty_predictive)
+            with span("object_reports", phase_counters["object_reports"]):
+                if batched:
+                    self._apply_object_reports_batched(
+                        updates, knn_dirty, churned_cells
+                    )
+                else:
+                    self._apply_object_reports(updates, knn_dirty)
+            with span("knn_repair", phase_counters["knn_repair"]):
+                self._repair_knn(knn_dirty, updates)
+            with span(
+                "predictive_refresh", phase_counters["predictive_refresh"]
+            ):
+                if batched:
+                    self._refresh_predictive_batched(
+                        updates, churned_cells, dirty_predictive
+                    )
+                else:
+                    self._refresh_predictive(updates)
+            with span("occupancy_sample"):
+                self.index.sample_occupancy(self.registry)
+        self._m_updates_emitted.inc(len(updates))
+        self._m_objects.set(len(self.objects))
+        self._m_queries.set(len(self.queries))
         return updates
 
     def _validate_pending_moves(self) -> None:
@@ -951,7 +1023,7 @@ class IncrementalEngine:
             query = self.queries.get(qid)
             if query is None or query.kind is not QueryKind.KNN:
                 continue
-            self.stats.knn_repairs += 1
+            self._m_knn_repairs.inc()
             self._solve_knn(query, updates)
 
     def _solve_knn(self, query: KnnQueryState, updates: list[Update]) -> None:

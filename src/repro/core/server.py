@@ -21,7 +21,7 @@ or the completion of a wakeup resynchronisation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.commit import CommittedAnswerStore
 from repro.core.engine import DEFAULT_WORLD, IncrementalEngine
@@ -38,6 +38,7 @@ from repro.net import (
     UpdateMessage,
     WakeupMessage,
 )
+from repro.obs import MetricsRegistry
 from repro.storage import HistoryRepository, LocationRecord
 
 
@@ -80,21 +81,50 @@ class LocationAwareServer:
         prediction_horizon: float = 60.0,
         history: HistoryRepository | None = None,
         engine: IncrementalEngine | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         """``engine`` lets a restarted server adopt a checkpoint-restored
         engine instead of starting empty; bind its queries to clients
-        with :meth:`adopt_query`."""
+        with :meth:`adopt_query`.
+
+        ``registry`` is the telemetry sink for the whole stack; when
+        omitted the server shares the engine's registry, so server
+        cycle/network series and engine phase/work series export
+        together.  The server also shares the engine's tracer: its
+        ``cycle`` / ``downlink`` / ``recovery`` spans nest around the
+        engine's per-phase spans in one Chrome trace.
+        """
         self.engine = (
             engine
             if engine is not None
             else IncrementalEngine(world, grid_size, prediction_horizon)
         )
+        self.registry = registry if registry is not None else self.engine.registry
+        self.tracer = self.engine.tracer
         self.commits = CommittedAnswerStore()
-        self.stats = NetworkStats()
+        self.stats = NetworkStats(self.registry)
         self.history = history
         self._links: dict[int, ClientLink] = {}
         self._bindings: dict[int, _QueryBinding] = {}
         self._queries_of_client: dict[int, set[int]] = {}
+        self._m_cycle_seconds = self.registry.histogram("server_cycle_seconds")
+        self._m_updates_delivered = self.registry.counter(
+            "server_updates_delivered_total"
+        )
+        self._m_updates_dropped = self.registry.counter(
+            "server_updates_dropped_total"
+        )
+        self._m_incremental_bytes = self.registry.counter(
+            "server_incremental_bytes_total"
+        )
+        self._m_complete_bytes = self.registry.counter(
+            "server_complete_bytes_total"
+        )
+        self._m_savings_ratio = self.registry.gauge("server_savings_ratio")
+        self._m_wakeups = self.registry.counter("server_wakeups_total")
+        self._m_recovery_updates = self.registry.counter(
+            "server_recovery_updates_total"
+        )
 
     # ------------------------------------------------------------------
     # Client management
@@ -232,18 +262,23 @@ class LocationAwareServer:
         listening).  Returns the updates sent, for observability.
         """
         self.stats.record_uplink(WakeupMessage(client_id))
+        self._m_wakeups.inc()
         link = self._links[client_id]
         link.reconnect()
         if isinstance(link, ThrottledLink):
             # The recovery response gets a fresh cycle's worth of budget.
             link.new_cycle()
         sent: list[Update] = []
-        for qid in sorted(self._queries_of_client[client_id]):
-            current = self.engine.answer_of(qid)
-            for update in self.commits.recovery_updates(qid, current):
-                link.deliver(UpdateMessage(update.qid, update.oid, update.sign))
-                sent.append(update)
-            self.commits.commit(qid, current)
+        with self.tracer.span("recovery"):
+            for qid in sorted(self._queries_of_client[client_id]):
+                current = self.engine.answer_of(qid)
+                for update in self.commits.recovery_updates(qid, current):
+                    link.deliver(
+                        UpdateMessage(update.qid, update.oid, update.sign)
+                    )
+                    sent.append(update)
+                self.commits.commit(qid, current)
+        self._m_recovery_updates.inc(len(sent))
         return sent
 
     def recover_naive(self, client_id: int) -> int:
@@ -267,31 +302,56 @@ class LocationAwareServer:
     # ------------------------------------------------------------------
 
     def evaluate_cycle(self, now: float) -> CycleResult:
-        """Run one bulk evaluation and ship updates to owners."""
-        for link in self._links.values():
-            if isinstance(link, ThrottledLink):
-                link.new_cycle()
-        updates = self.engine.evaluate(now)
-        result = CycleResult(
-            now=now,
-            updates=updates,
-            incremental_bytes=0,
-            complete_bytes=self.complete_answer_bytes(),
-            answer_objects=sum(
-                len(q.answer) for q in self.engine.queries.values()
-            ),
-        )
-        for update in updates:
-            binding = self._bindings.get(update.qid)
-            if binding is None:
-                continue  # query was unregistered in this same batch
-            message = UpdateMessage(update.qid, update.oid, update.sign)
-            result.incremental_bytes += message.size_bytes
-            if self._links[binding.client_id].deliver(message):
-                result.delivered_updates += 1
-            else:
-                result.dropped_updates += 1
+        """Run one bulk evaluation and ship updates to owners.
+
+        The whole cycle runs inside a ``cycle`` tracer span (nesting
+        the engine's phase spans and the ``downlink`` ship span) whose
+        latency lands in the ``server_cycle_seconds`` histogram.
+        """
+        with self.tracer.span("cycle", histogram=self._m_cycle_seconds):
+            for link in self._links.values():
+                if isinstance(link, ThrottledLink):
+                    link.new_cycle()
+            updates = self.engine.evaluate(now)
+            result = CycleResult(
+                now=now,
+                updates=updates,
+                incremental_bytes=0,
+                complete_bytes=self.complete_answer_bytes(),
+                answer_objects=sum(
+                    len(q.answer) for q in self.engine.queries.values()
+                ),
+            )
+            with self.tracer.span("downlink"):
+                for update in updates:
+                    binding = self._bindings.get(update.qid)
+                    if binding is None:
+                        continue  # query was unregistered in this same batch
+                    message = UpdateMessage(update.qid, update.oid, update.sign)
+                    result.incremental_bytes += message.size_bytes
+                    if self._links[binding.client_id].deliver(message):
+                        result.delivered_updates += 1
+                    else:
+                        result.dropped_updates += 1
+        self._m_updates_delivered.inc(result.delivered_updates)
+        self._m_updates_dropped.inc(result.dropped_updates)
+        self._m_incremental_bytes.inc(result.incremental_bytes)
+        self._m_complete_bytes.inc(result.complete_bytes)
+        self._m_savings_ratio.set(result.savings_ratio)
         return result
+
+    def savings_ratio(self) -> float:
+        """Cumulative incremental bytes as a fraction of the complete
+        answers a snapshot server would have shipped instead.
+
+        0.0 before the first cycle and over cycles with no registered
+        queries (zero complete-answer bytes): an empty denominator
+        means "nothing to save yet", never a ``ZeroDivisionError``.
+        """
+        complete = self._m_complete_bytes.value
+        if complete == 0:
+            return 0.0
+        return self._m_incremental_bytes.value / complete
 
     def complete_answer_bytes(self) -> int:
         """Bytes a snapshot server would ship: every full answer, every cycle."""

@@ -15,7 +15,6 @@ road class that determines travel speed.  Two builders are provided:
 from __future__ import annotations
 
 import enum
-import math
 import random
 from dataclasses import dataclass, field
 

@@ -16,7 +16,7 @@ alongside the moving objects.  A :class:`WorkloadGenerator` produces:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geometry import Point, Rect
 from repro.generator.mobility import MovingObjectSimulator

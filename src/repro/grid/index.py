@@ -12,11 +12,18 @@ table).
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Set
 from dataclasses import dataclass, field
 
 from repro.geometry import Point, Rect
 from repro.grid.partition import Grid
+from repro.obs import MetricsRegistry
+
+#: Upper bounds for the cell-occupancy histogram (objects per cell).
+OCCUPANCY_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0
+)
 
 #: Shared sentinel returned for empty cells by the zero-copy retrieval
 #: methods.  Immutable, so accidental mutation of "no residents" fails
@@ -223,6 +230,60 @@ class GridIndex:
             if bucket:
                 found.update(bucket.queries)
         return found
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def sample_occupancy(
+        self, registry: MetricsRegistry, top_k: int = 5
+    ) -> None:
+        """Record the grid's occupancy shape into ``registry``.
+
+        Observes every populated cell's object count into the
+        ``grid_cell_occupancy`` histogram (cumulative across samples —
+        the engine samples once per evaluation), refreshes the
+        ``grid_populated_cells`` / ``grid_indexed_objects`` /
+        ``grid_indexed_queries`` gauges, and publishes the ``top_k``
+        hottest cells as ``grid_hot_cell_occupancy{rank=...}`` plus the
+        matching ``grid_hot_cell_id{rank=...}`` — the operator's view of
+        skew (a mis-sized grid shows up as a few enormous cells).
+
+        One pass over populated cells, no allocation beyond the top-k
+        heap; skipped entirely under a disabled (null) registry.
+        """
+        if not registry.enabled:
+            return
+        histogram = registry.histogram(
+            "grid_cell_occupancy", buckets=OCCUPANCY_BUCKETS
+        )
+        observe = histogram.observe
+        hottest: list[tuple[int, int]] = []  # min-heap of (count, cell)
+        heap_push = heapq.heappush
+        heap_replace = heapq.heapreplace
+        for cell, bucket in self._cells.items():
+            n = len(bucket.objects)
+            if not n:
+                continue
+            observe(n)
+            if len(hottest) < top_k:
+                heap_push(hottest, (n, cell))
+            elif n > hottest[0][0]:
+                heap_replace(hottest, (n, cell))
+        registry.gauge("grid_populated_cells").set(len(self._cells))
+        registry.gauge("grid_indexed_objects").set(len(self._object_cells))
+        registry.gauge("grid_indexed_queries").set(len(self._query_cells))
+        for rank, (n, cell) in enumerate(
+            sorted(hottest, key=lambda item: (-item[0], item[1]))
+        ):
+            labels = {"rank": str(rank)}
+            registry.gauge("grid_hot_cell_occupancy", labels=labels).set(n)
+            registry.gauge("grid_hot_cell_id", labels=labels).set(cell)
+        # Ranks beyond today's populated count must not show stale cells.
+        for rank in range(len(hottest), top_k):
+            labels = {"rank": str(rank)}
+            registry.gauge("grid_hot_cell_occupancy", labels=labels).set(0.0)
+            registry.gauge("grid_hot_cell_id", labels=labels).set(-1.0)
 
     # ------------------------------------------------------------------
     # Internals

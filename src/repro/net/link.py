@@ -1,41 +1,105 @@
-"""Per-client links and aggregate traffic statistics."""
+"""Per-client links and aggregate traffic statistics.
+
+Traffic accounting is registry-backed (:mod:`repro.obs`): the familiar
+:class:`NetworkStats` surface (``delivered_bytes``, ``by_type``, ...)
+is now a view over named counters in a :class:`~repro.obs.MetricsRegistry`,
+and every :class:`ClientLink` additionally maintains per-link series
+(``link_*_total{client="N"}``) in the same registry — so one Prometheus
+scrape shows both the aggregate downlink picture and which client is
+dropping messages.
+"""
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
+from collections import Counter as TallyCounter
 
 from repro.net.messages import Message
+from repro.obs import MetricsRegistry
 
 
-@dataclass(slots=True)
 class NetworkStats:
-    """Aggregate traffic counters (downstream delivery plus uplink)."""
+    """Aggregate traffic counters (downstream delivery plus uplink).
 
-    delivered_bytes: int = 0
-    dropped_bytes: int = 0
-    delivered_messages: int = 0
-    dropped_messages: int = 0
-    uplink_bytes: int = 0
-    uplink_messages: int = 0
-    by_type: Counter = field(default_factory=Counter)
+    Owns a private :class:`MetricsRegistry` unless one is injected —
+    each server stack keeps its own series, and callers that want one
+    process-wide pipe pass :func:`repro.obs.default_registry`.
+    """
+
+    __slots__ = (
+        "registry",
+        "_delivered_bytes",
+        "_dropped_bytes",
+        "_delivered_messages",
+        "_dropped_messages",
+        "_uplink_bytes",
+        "_uplink_messages",
+    )
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        counter = self.registry.counter
+        self._delivered_bytes = counter("net_delivered_bytes_total")
+        self._dropped_bytes = counter("net_dropped_bytes_total")
+        self._delivered_messages = counter("net_delivered_messages_total")
+        self._dropped_messages = counter("net_dropped_messages_total")
+        self._uplink_bytes = counter("net_uplink_bytes_total")
+        self._uplink_messages = counter("net_uplink_messages_total")
+
+    # -- recording -----------------------------------------------------
 
     def record(self, message: Message, delivered: bool) -> None:
         kind = type(message).__name__
         if delivered:
-            self.delivered_bytes += message.size_bytes
-            self.delivered_messages += 1
-            self.by_type[kind] += 1
+            self._delivered_bytes.inc(message.size_bytes)
+            self._delivered_messages.inc()
+            self._tally(kind)
         else:
-            self.dropped_bytes += message.size_bytes
-            self.dropped_messages += 1
-            self.by_type[f"dropped:{kind}"] += 1
+            self._dropped_bytes.inc(message.size_bytes)
+            self._dropped_messages.inc()
+            self._tally(f"dropped:{kind}")
 
     def record_uplink(self, message: Message) -> None:
         """Account one client-to-server message (reports, moves, commits)."""
-        self.uplink_bytes += message.size_bytes
-        self.uplink_messages += 1
-        self.by_type[f"uplink:{type(message).__name__}"] += 1
+        self._uplink_bytes.inc(message.size_bytes)
+        self._uplink_messages.inc()
+        self._tally(f"uplink:{type(message).__name__}")
+
+    def _tally(self, kind: str) -> None:
+        self.registry.counter("net_messages_total", labels={"type": kind}).inc()
+
+    # -- the legacy read surface (snapshot views over the counters) ----
+
+    @property
+    def delivered_bytes(self) -> int:
+        return int(self._delivered_bytes.value)
+
+    @property
+    def dropped_bytes(self) -> int:
+        return int(self._dropped_bytes.value)
+
+    @property
+    def delivered_messages(self) -> int:
+        return int(self._delivered_messages.value)
+
+    @property
+    def dropped_messages(self) -> int:
+        return int(self._dropped_messages.value)
+
+    @property
+    def uplink_bytes(self) -> int:
+        return int(self._uplink_bytes.value)
+
+    @property
+    def uplink_messages(self) -> int:
+        return int(self._uplink_messages.value)
+
+    @property
+    def by_type(self) -> TallyCounter:
+        """Per-message-kind tallies, rebuilt from the registry series."""
+        tally: TallyCounter = TallyCounter()
+        for instrument in self.registry.families().get("net_messages_total", []):
+            tally[instrument.labels["type"]] = int(instrument.value)
+        return tally
 
 
 class ClientLink:
@@ -44,7 +108,9 @@ class ClientLink:
     While disconnected, messages are *lost*, not queued — the paper's
     out-of-sync problem exists precisely because a cheap passive device
     misses whatever the server sent during the outage.  The link records
-    what was lost only for accounting.
+    what was lost only for accounting: per-link delivered/dropped
+    message and byte counters plus a queued-depth gauge, all labelled
+    ``client="<id>"`` in the owning stats registry.
     """
 
     def __init__(self, client_id: int, stats: NetworkStats | None = None):
@@ -52,23 +118,48 @@ class ClientLink:
         self.connected = True
         self.stats = stats if stats is not None else NetworkStats()
         self._inbox: list[Message] = []
+        registry = self.stats.registry
+        labels = {"client": str(client_id)}
+        self._m_delivered = registry.counter(
+            "link_delivered_messages_total", labels=labels
+        )
+        self._m_delivered_bytes = registry.counter(
+            "link_delivered_bytes_total", labels=labels
+        )
+        self._m_dropped = registry.counter(
+            "link_dropped_messages_total", labels=labels
+        )
+        self._m_dropped_bytes = registry.counter(
+            "link_dropped_bytes_total", labels=labels
+        )
+        self._m_queued = registry.gauge("link_queued_messages", labels=labels)
+        self._m_connected = registry.gauge("link_connected", labels=labels)
+        self._m_connected.set(1.0)
 
     def disconnect(self) -> None:
         self.connected = False
+        self._m_connected.set(0.0)
 
     def reconnect(self) -> None:
         self.connected = True
+        self._m_connected.set(1.0)
 
     def deliver(self, message: Message) -> bool:
         """Send ``message``; returns whether the client received it."""
         self.stats.record(message, delivered=self.connected)
         if self.connected:
             self._inbox.append(message)
+            self._m_delivered.inc()
+            self._m_delivered_bytes.inc(message.size_bytes)
+            self._m_queued.set(len(self._inbox))
             return True
+        self._m_dropped.inc()
+        self._m_dropped_bytes.inc(message.size_bytes)
         return False
 
     def drain(self) -> list[Message]:
         """Messages received since the last drain (the client's mailbox)."""
         received = self._inbox
         self._inbox = []
+        self._m_queued.set(0.0)
         return received

@@ -33,6 +33,13 @@ class ThrottledLink(ClientLink):
         self._spent_this_cycle = 0
         self.throttled_messages = 0
         self.throttled_bytes = 0
+        # Per-link throttle series next to the base link counters.
+        self._m_throttled = self.stats.registry.counter(
+            "link_throttled_messages_total", labels={"client": str(client_id)}
+        )
+        self._m_throttled_bytes = self.stats.registry.counter(
+            "link_throttled_bytes_total", labels={"client": str(client_id)}
+        )
 
     @property
     def remaining_budget(self) -> int:
@@ -51,6 +58,8 @@ class ThrottledLink(ClientLink):
         if message.size_bytes > self.remaining_budget:
             self.throttled_messages += 1
             self.throttled_bytes += message.size_bytes
+            self._m_throttled.inc()
+            self._m_throttled_bytes.inc(message.size_bytes)
             self.stats.record(message, delivered=False)
             return False
         self._spent_this_cycle += message.size_bytes

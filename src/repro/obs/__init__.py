@@ -1,0 +1,64 @@
+"""Unified telemetry: metrics registry, cycle tracing, exporters.
+
+The server side of the paper (SINA evaluating every ``T`` seconds,
+incremental +/- updates downstream) is only operable if you can see
+where cycles spend time, which grid cells run hot, and what the
+incremental protocol saves on the wire.  This package is that layer —
+dependency-free, cheap enough to leave on:
+
+* :class:`MetricsRegistry` — named counters, gauges, fixed-bucket
+  histograms; O(1)-ish hot path (attribute adds, one bisect for
+  histograms); get-or-create handles; a process-wide default via
+  :func:`default_registry`.
+* :class:`Tracer` — per-evaluation-cycle spans (phase by phase, plus
+  server downlink/recovery), nestable with ``with``, exception-safe.
+* Exporters — :meth:`MetricsRegistry.to_dict` / :class:`JsonlSink`,
+  :func:`prometheus_text`, and :func:`write_chrome_trace` for
+  ``chrome://tracing``.
+
+Telemetry-off mode is a type, not a flag check in every call site:
+:data:`NULL_REGISTRY` / :class:`NullTracer` hand out shared no-op
+instruments, which is what ``benchmarks/bench_obs_overhead.py`` gates
+the enabled path against (< 5% on the 100k-object bulk batch).
+"""
+
+from repro.obs.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
+from repro.obs.export import (
+    JsonlSink,
+    prometheus_text,
+    registry_to_dict,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NULL_INSTRUMENT",
+    "DEFAULT_SECONDS_BUCKETS",
+    "default_registry",
+    "set_default_registry",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "JsonlSink",
+    "prometheus_text",
+    "registry_to_dict",
+    "write_chrome_trace",
+]

@@ -1,0 +1,113 @@
+"""Exporters: dict/JSONL snapshots, Prometheus text, Chrome traces.
+
+Three ways out of the process, matched to three consumers:
+
+* :meth:`MetricsRegistry.to_dict` / :class:`JsonlSink` — machine-diffable
+  snapshots (the benchmark harness embeds one in every ``BENCH_*.json``).
+* :func:`prometheus_text` — the text exposition format, for eyeballing
+  or scraping.
+* :func:`write_chrome_trace` — the tracer's spans as trace-event JSON
+  for ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import time
+from pathlib import Path
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    name = _NAME_SANITIZER.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label_value(value: object) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = [*sorted(labels.items()), *extra]
+    if not items:
+        return ""
+    rendered = ",".join(
+        f'{_metric_name(k)}="{_escape_label_value(v)}"' for k, v in items
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for name, instruments in registry.families().items():
+        metric = _metric_name(name)
+        kind = registry.kind_of(name)
+        lines.append(f"# TYPE {metric} {kind}")
+        for instrument in instruments:
+            if isinstance(instrument, Histogram):
+                for bound, count in instrument.cumulative_buckets():
+                    le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                    lines.append(
+                        f"{metric}_bucket"
+                        f"{_label_text(instrument.labels, (('le', le),))} {count}"
+                    )
+                lines.append(
+                    f"{metric}_sum{_label_text(instrument.labels)} "
+                    f"{_format_value(instrument.sum)}"
+                )
+                lines.append(
+                    f"{metric}_count{_label_text(instrument.labels)} "
+                    f"{instrument.count}"
+                )
+            elif isinstance(instrument, (Counter, Gauge)):
+                lines.append(
+                    f"{metric}{_label_text(instrument.labels)} "
+                    f"{_format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def registry_to_dict(registry: MetricsRegistry) -> dict[str, object]:
+    """Alias for :meth:`MetricsRegistry.to_dict` (symmetry with the others)."""
+    return registry.to_dict()
+
+
+class JsonlSink:
+    """Appends one JSON object per snapshot to a file.
+
+    Each line is ``{"t": <unix seconds>, "metrics": {...}}`` — a cheap
+    time-series of the whole registry, greppable and pandas-loadable.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def write(self, registry: MetricsRegistry, timestamp: float | None = None) -> None:
+        record = {
+            "t": time.time() if timestamp is None else timestamp,
+            "metrics": registry.to_dict(),
+        }
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Write the tracer's spans as Chrome trace-event JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(tracer.to_chrome_trace()), encoding="utf-8")
+    return path

@@ -1,4 +1,11 @@
-"""An LRU buffer pool with pin/unpin semantics."""
+"""An LRU buffer pool with pin/unpin semantics.
+
+Cache behaviour is counted on a :class:`~repro.obs.MetricsRegistry`
+(``bufferpool_hits_total``, ``..._misses_total``, ``..._evictions_total``,
+``..._flushes_total``, plus a ``bufferpool_resident_pages`` gauge); the
+:class:`BufferPoolStats` dataclass remains the public read surface as a
+snapshot view built from those counters.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.obs import MetricsRegistry
 from repro.storage.page import Page
 
 
@@ -37,13 +45,33 @@ class BufferPool:
     dirty pages written back first.
     """
 
-    def __init__(self, disk, capacity: int = 128):
+    def __init__(
+        self,
+        disk,
+        capacity: int = 128,
+        registry: MetricsRegistry | None = None,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.disk = disk
         self.capacity = capacity
-        self.stats = BufferPoolStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_hits = self.registry.counter("bufferpool_hits_total")
+        self._m_misses = self.registry.counter("bufferpool_misses_total")
+        self._m_evictions = self.registry.counter("bufferpool_evictions_total")
+        self._m_flushes = self.registry.counter("bufferpool_flushes_total")
+        self._m_resident = self.registry.gauge("bufferpool_resident_pages")
         self._frames: OrderedDict[int, Page] = OrderedDict()
+
+    @property
+    def stats(self) -> BufferPoolStats:
+        """A snapshot of the registry counters in the legacy dataclass shape."""
+        return BufferPoolStats(
+            hits=int(self._m_hits.value),
+            misses=int(self._m_misses.value),
+            evictions=int(self._m_evictions.value),
+            flushes=int(self._m_flushes.value),
+        )
 
     # ------------------------------------------------------------------
     # Page lifecycle
@@ -57,19 +85,21 @@ class BufferPool:
         page.pin_count = 1
         page.dirty = True
         self._frames[page_id] = page
+        self._m_resident.set(len(self._frames))
         return page
 
     def fetch(self, page_id: int) -> Page:
         """Return the page pinned, reading from disk on a miss."""
         page = self._frames.get(page_id)
         if page is not None:
-            self.stats.hits += 1
+            self._m_hits.inc()
             self._frames.move_to_end(page_id)
         else:
-            self.stats.misses += 1
+            self._m_misses.inc()
             self._make_room()
             page = Page(page_id, self.disk.read_page(page_id))
             self._frames[page_id] = page
+            self._m_resident.set(len(self._frames))
         page.pin_count += 1
         return page
 
@@ -96,7 +126,7 @@ class BufferPool:
         if page is not None and page.dirty:
             self.disk.write_page(page.page_id, bytes(page.data))
             page.dirty = False
-            self.stats.flushes += 1
+            self._m_flushes.inc()
 
     def flush_all(self) -> None:
         for page_id in list(self._frames):
@@ -118,9 +148,10 @@ class BufferPool:
             if page.pin_count == 0:
                 if page.dirty:
                     self.disk.write_page(page.page_id, bytes(page.data))
-                    self.stats.flushes += 1
+                    self._m_flushes.inc()
                 del self._frames[page_id]
-                self.stats.evictions += 1
+                self._m_evictions.inc()
+                self._m_resident.set(len(self._frames))
                 return
         raise BufferPoolFullError(
             f"all {self.capacity} frames are pinned; cannot bring in a page"

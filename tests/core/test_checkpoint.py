@@ -3,7 +3,6 @@
 import os
 import random
 
-import pytest
 
 from repro.core import IncrementalEngine
 from repro.core.checkpoint import restore_engine, save_engine

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core import IncrementalEngine, Update
-from repro.geometry import Point, Rect
+from repro.geometry import Point
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ area authoritative for every engine: locations clamp into the world,
 regions clip to it.
 """
 
-import pytest
 
 from repro.baselines import (
     PerQueryEngine,

@@ -1,6 +1,5 @@
 """End-to-end simulation harness."""
 
-import pytest
 
 from repro.core.simulation import Simulation, SimulationConfig
 from repro.generator import WorkloadConfig

@@ -9,7 +9,7 @@ from repro.generator import (
     WorkloadGenerator,
     manhattan_city,
 )
-from repro.geometry import Point, Rect
+from repro.geometry import Point
 
 
 @pytest.fixture(scope="module")

@@ -160,3 +160,75 @@ class TestBuckets:
         assert index.bucket(cell) is not None  # query keeps it alive
         index.remove_query(9)
         assert index.bucket(cell) is None
+
+
+class TestOccupancySampling:
+    def populated_index(self):
+        index = GridIndex(Grid(UNIT, 4))
+        # Cell of (0.1, 0.1) gets 3 objects, two other cells get 1 each.
+        for oid, point in enumerate(
+            [
+                Point(0.1, 0.1),
+                Point(0.12, 0.12),
+                Point(0.15, 0.1),
+                Point(0.6, 0.6),
+                Point(0.9, 0.1),
+            ]
+        ):
+            index.place_object_at(oid, point)
+        index.place_query_region(100, Rect(0.0, 0.0, 0.3, 0.3))
+        return index
+
+    def test_population_gauges(self):
+        from repro.obs import MetricsRegistry
+
+        index, registry = self.populated_index(), MetricsRegistry()
+        index.sample_occupancy(registry)
+        assert registry.value_of("grid_indexed_objects") == 5.0
+        assert registry.value_of("grid_indexed_queries") == 1.0
+        # Object cells {3} plus the query's clipped cells (query-only
+        # cells are populated too): 4x4 grid, region (0,0)-(0.3,0.3)
+        # covers a 2x2 block.
+        assert registry.value_of("grid_populated_cells") == 6.0
+
+    def test_occupancy_histogram_counts_populated_cells(self):
+        from repro.obs import MetricsRegistry
+
+        index, registry = self.populated_index(), MetricsRegistry()
+        index.sample_occupancy(registry)
+        hist = registry.histogram("grid_cell_occupancy")
+        assert hist.count == 3           # one observation per populated cell
+        assert hist.sum == 5.0           # total objects across cells
+
+    def test_hot_cells_ranked_by_occupancy(self):
+        from repro.obs import MetricsRegistry
+
+        index, registry = self.populated_index(), MetricsRegistry()
+        index.sample_occupancy(registry, top_k=2)
+        top = registry.value_of("grid_hot_cell_occupancy", {"rank": "0"})
+        second = registry.value_of("grid_hot_cell_occupancy", {"rank": "1"})
+        assert top == 3.0 and second == 1.0
+        hot_id = registry.value_of("grid_hot_cell_id", {"rank": "0"})
+        assert hot_id == float(index.grid.cell_of(Point(0.1, 0.1)))
+
+    def test_stale_ranks_zeroed_when_world_shrinks(self):
+        from repro.obs import MetricsRegistry
+
+        index, registry = self.populated_index(), MetricsRegistry()
+        index.sample_occupancy(registry, top_k=5)
+        for oid in range(1, 5):
+            index.remove_object(oid)
+        index.sample_occupancy(registry, top_k=5)
+        assert registry.value_of("grid_hot_cell_occupancy", {"rank": "0"}) == 1.0
+        for rank in ("1", "2", "3", "4"):
+            assert (
+                registry.value_of("grid_hot_cell_occupancy", {"rank": rank}) == 0.0
+            )
+            assert registry.value_of("grid_hot_cell_id", {"rank": rank}) == -1.0
+
+    def test_null_registry_short_circuits(self):
+        from repro.obs import NULL_REGISTRY
+
+        index = self.populated_index()
+        index.sample_occupancy(NULL_REGISTRY)  # must not raise or record
+        assert NULL_REGISTRY.to_dict() == {}

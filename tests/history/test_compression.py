@@ -1,6 +1,5 @@
 """Douglas-Peucker trajectory compression."""
 
-import math
 import random
 
 import pytest

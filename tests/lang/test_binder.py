@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import IncrementalEngine
-from repro.geometry import Point, Rect
+from repro.geometry import Point
 from repro.lang import Binder, parse
 from repro.lang.binder import BindError
 

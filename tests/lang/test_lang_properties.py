@@ -10,7 +10,6 @@ from repro.lang import (
     RegisterRange,
     parse,
 )
-from repro.lang.binder import BindError
 
 
 @settings(max_examples=200, deadline=None)

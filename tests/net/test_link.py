@@ -59,3 +59,64 @@ class TestAccounting:
         for cid in range(3):
             ClientLink(cid, stats).deliver(update())
         assert stats.delivered_messages == 3
+
+
+class TestPerLinkTelemetry:
+    """Satellite: per-link counters labelled by client id."""
+
+    def link_value(self, stats, name, client):
+        return stats.registry.value_of(name, {"client": str(client)})
+
+    def test_delivered_counters_are_per_link(self):
+        stats = NetworkStats()
+        a, b = ClientLink(1, stats), ClientLink(2, stats)
+        a.deliver(update())
+        a.deliver(update())
+        b.deliver(update())
+        assert self.link_value(stats, "link_delivered_messages_total", 1) == 2.0
+        assert self.link_value(stats, "link_delivered_messages_total", 2) == 1.0
+        assert self.link_value(stats, "link_delivered_bytes_total", 1) == 34.0
+        assert stats.delivered_messages == 3  # aggregate view unchanged
+
+    def test_dropped_while_disconnected_counted_per_link(self):
+        stats = NetworkStats()
+        link = ClientLink(7, stats)
+        link.disconnect()
+        link.deliver(update())
+        link.deliver(update())
+        assert self.link_value(stats, "link_dropped_messages_total", 7) == 2.0
+        assert self.link_value(stats, "link_dropped_bytes_total", 7) == 34.0
+        assert self.link_value(stats, "link_delivered_messages_total", 7) == 0.0
+
+    def test_connected_gauge_follows_link_state(self):
+        stats = NetworkStats()
+        link = ClientLink(3, stats)
+        assert self.link_value(stats, "link_connected", 3) == 1.0
+        link.disconnect()
+        assert self.link_value(stats, "link_connected", 3) == 0.0
+        link.reconnect()
+        assert self.link_value(stats, "link_connected", 3) == 1.0
+
+    def test_queued_gauge_tracks_inbox_depth(self):
+        stats = NetworkStats()
+        link = ClientLink(4, stats)
+        for i in range(3):
+            link.deliver(update(i))
+        assert self.link_value(stats, "link_queued_messages", 4) == 3.0
+        link.drain()
+        assert self.link_value(stats, "link_queued_messages", 4) == 0.0
+
+    def test_reconnect_resumes_queueing_after_losses(self):
+        """Disconnect/reconnect: messages during the outage are lost
+        (never re-queued), delivery resumes cleanly afterwards."""
+        stats = NetworkStats()
+        link = ClientLink(5, stats)
+        link.deliver(update(0))
+        link.disconnect()
+        link.deliver(update(1))
+        link.reconnect()
+        link.deliver(update(2))
+        assert [m.qid for m in link.drain()] == [0, 2]
+        assert self.link_value(stats, "link_dropped_messages_total", 5) == 1.0
+        assert self.link_value(stats, "link_delivered_messages_total", 5) == 2.0
+        assert self.link_value(stats, "link_queued_messages", 5) == 0.0

@@ -51,6 +51,22 @@ class TestThrottledLink:
         assert stats.dropped_messages == 1
 
 
+    def test_throttled_counters_are_per_link(self):
+        stats = NetworkStats()
+        link = ThrottledLink(9, budget_bytes_per_cycle=20, stats=stats)
+        link.deliver(update())
+        link.deliver(update())
+        link.deliver(update())
+        labels = {"client": "9"}
+        assert stats.registry.value_of(
+            "link_throttled_messages_total", labels
+        ) == 2.0
+        assert stats.registry.value_of(
+            "link_throttled_bytes_total", labels
+        ) == 34.0
+        assert link.throttled_messages == 2  # legacy ints agree
+
+
 class TestServerUnderCongestion:
     def test_throttled_client_misses_updates(self):
         server = LocationAwareServer(grid_size=8)

@@ -1,0 +1,96 @@
+"""Exporter formats: Prometheus text, JSONL snapshots, Chrome traces."""
+
+import json
+
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    Tracer,
+    prometheus_text,
+    registry_to_dict,
+    write_chrome_trace,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("updates_total").inc(7)
+    reg.counter("net_messages_total", labels={"type": "UpdateMessage"}).inc(2)
+    reg.gauge("savings_ratio").set(0.25)
+    hist = reg.histogram("cycle_seconds", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(5.0)
+    return reg
+
+
+class TestPrometheusText:
+    def test_type_lines_and_values(self):
+        text = prometheus_text(populated_registry())
+        assert "# TYPE updates_total counter" in text
+        assert "updates_total 7.0" in text
+        assert "# TYPE savings_ratio gauge" in text
+        assert "savings_ratio 0.25" in text
+
+    def test_labels_rendered(self):
+        text = prometheus_text(populated_registry())
+        assert 'net_messages_total{type="UpdateMessage"} 2.0' in text
+
+    def test_histogram_exposition_is_cumulative(self):
+        text = prometheus_text(populated_registry())
+        assert 'cycle_seconds_bucket{le="0.1"} 1' in text
+        assert 'cycle_seconds_bucket{le="1.0"} 1' in text
+        assert 'cycle_seconds_bucket{le="+Inf"} 2' in text
+        assert "cycle_seconds_sum 5.05" in text
+        assert "cycle_seconds_count 2" in text
+
+    def test_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.phase-seconds").inc()
+        assert "engine_phase_seconds 1.0" in prometheus_text(reg)
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels={"k": 'a"b\\c'}).inc()
+        assert 'k="a\\"b\\\\c"' in prometheus_text(reg)
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestDictAndJsonl:
+    def test_registry_to_dict_matches_method(self):
+        reg = populated_registry()
+        assert registry_to_dict(reg) == reg.to_dict()
+
+    def test_jsonl_sink_appends_parseable_lines(self, tmp_path):
+        reg = populated_registry()
+        sink = JsonlSink(tmp_path / "metrics.jsonl")
+        sink.write(reg, timestamp=1.0)
+        reg.counter("updates_total").inc()
+        sink.write(reg, timestamp=2.0)
+
+        lines = (tmp_path / "metrics.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["t"] == 1.0
+        assert first["metrics"]["updates_total"]["series"][0]["value"] == 7.0
+        assert second["metrics"]["updates_total"]["series"][0]["value"] == 8.0
+
+    def test_jsonl_sink_stamps_wall_clock_by_default(self, tmp_path):
+        sink = JsonlSink(tmp_path / "m.jsonl")
+        sink.write(MetricsRegistry())
+        record = json.loads((tmp_path / "m.jsonl").read_text())
+        assert record["t"] > 0
+
+
+class TestChromeTraceFile:
+    def test_written_file_loads_in_trace_viewer_shape(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("cycle"):
+            with tracer.span("join"):
+                pass
+        path = write_chrome_trace(tracer, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert {e["name"] for e in payload["traceEvents"]} == {"cycle", "join"}
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+        assert payload["displayTimeUnit"] == "ms"

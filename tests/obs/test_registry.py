@@ -1,0 +1,151 @@
+"""Metric instruments and registry semantics."""
+
+import pytest
+
+from repro.obs import (
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(4.0)
+        assert c.value == 5.0
+
+    def test_rejects_negative(self):
+        c = Counter("requests_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("queue_depth")
+        g.set(10.0)
+        g.add(-3.0)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_buckets_and_summary(self):
+        h = Histogram("latency", bounds=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+        assert h.mean == pytest.approx(55.55 / 4)
+        # One observation per bucket, +Inf catches the overflow.
+        assert h.bucket_counts == [1, 1, 1, 1]
+        cumulative = h.cumulative_buckets()
+        assert [n for __, n in cumulative] == [1, 2, 3, 4]
+        assert cumulative[-1][0] == float("inf")
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        h = Histogram("latency", bounds=(1.0, 2.0))
+        h.observe(1.0)  # le="1.0" is inclusive
+        assert h.bucket_counts == [1, 0, 0]
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(2.0, 1.0))
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("empty").mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("msgs", labels={"client": "1"})
+        b = reg.counter("msgs", labels={"client": "2"})
+        assert a is not b
+        a.inc()
+        assert reg.value_of("msgs", {"client": "1"}) == 1.0
+        assert reg.value_of("msgs", {"client": "2"}) == 0.0
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", labels={"x": "1", "y": "2"})
+        b = reg.counter("m", labels={"y": "2", "x": "1"})
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(TypeError):
+            reg.gauge("thing")
+        with pytest.raises(TypeError):
+            reg.histogram("thing")
+
+    def test_to_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.to_dict()
+        assert snap["c"]["type"] == "counter"
+        assert snap["c"]["series"][0]["value"] == 3.0
+        assert snap["g"]["series"][0]["value"] == 1.5
+        assert snap["h"]["series"][0]["count"] == 1
+        assert snap["h"]["series"][0]["buckets"][0] == {"le": 1.0, "count": 1}
+
+    def test_value_of_missing_metric_is_zero(self):
+        assert MetricsRegistry().value_of("nope") == 0.0
+
+    def test_families_group_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels={"k": "a"})
+        reg.counter("m", labels={"k": "b"})
+        reg.gauge("other")
+        families = reg.families()
+        assert len(families["m"]) == 2
+        assert len(families["other"]) == 1
+
+
+class TestNullRegistry:
+    def test_returns_shared_noop_instrument(self):
+        reg = NullRegistry()
+        c = reg.counter("anything")
+        assert c is NULL_INSTRUMENT
+        assert reg.gauge("x") is c
+        assert reg.histogram("y") is c
+        c.inc(100)
+        c.set(5)
+        c.observe(1.0)
+        assert c.value == 0.0
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled
+        assert not NULL_REGISTRY.enabled
+
+    def test_null_registry_snapshot_is_empty(self):
+        assert NullRegistry().to_dict() == {}
+
+
+class TestDefaultRegistry:
+    def test_swap_and_restore(self):
+        original = default_registry()
+        mine = MetricsRegistry()
+        previous = set_default_registry(mine)
+        try:
+            assert previous is original
+            assert default_registry() is mine
+        finally:
+            set_default_registry(original)
+        assert default_registry() is original

@@ -1,0 +1,165 @@
+"""Span tracing: nesting, exception safety, bounds, metric attachment."""
+
+import pytest
+
+from repro.obs import Counter, Histogram, NullTracer, Tracer
+
+
+class FakeClock:
+    """Deterministic clock: every read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpans:
+    def test_records_name_and_duration(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("phase"):
+            pass
+        (record,) = tracer.events
+        assert record.name == "phase"
+        assert record.duration == 1.0
+        assert not record.error
+
+    def test_nested_spans_record_depth(self):
+        tracer = Tracer()
+        with tracer.span("cycle"):
+            with tracer.span("evaluate"):
+                with tracer.span("join"):
+                    pass
+        by_name = {r.name: r for r in tracer.events}
+        assert by_name["cycle"].depth == 0
+        assert by_name["evaluate"].depth == 1
+        assert by_name["join"].depth == 2
+
+    def test_inner_spans_close_before_outer(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [r.name for r in tracer.events] == ["inner", "outer"]
+
+    def test_span_records_when_body_raises(self):
+        """The regression the phase-timer fix guards: a raising phase
+        must not lose its lap."""
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken"):
+                raise RuntimeError("boom")
+        (record,) = tracer.events
+        assert record.name == "broken"
+        assert record.error
+        assert record.duration == 1.0
+
+    def test_depth_restored_after_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError
+        with tracer.span("after"):
+            pass
+        assert {r.name: r.depth for r in tracer.events}["after"] == 0
+
+
+class TestMetricAttachment:
+    def test_counter_accumulates_duration(self):
+        tracer = Tracer(clock=FakeClock())
+        seconds = Counter("phase_seconds")
+        for __ in range(3):
+            with tracer.span("phase", counter=seconds):
+                pass
+        assert seconds.value == 3.0
+
+    def test_histogram_observes_duration(self):
+        tracer = Tracer(clock=FakeClock())
+        latency = Histogram("cycle_seconds", bounds=(0.5, 2.0))
+        with tracer.span("cycle", histogram=latency):
+            pass
+        assert latency.count == 1
+        assert latency.sum == 1.0
+
+    def test_metrics_fed_even_on_exception(self):
+        tracer = Tracer(clock=FakeClock())
+        seconds = Counter("phase_seconds")
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken", counter=seconds):
+                raise RuntimeError
+        assert seconds.value == 1.0
+
+
+class TestBounds:
+    def test_max_events_cap_counts_drops(self):
+        tracer = Tracer(max_events=2)
+        for __ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+
+    def test_clear_resets(self):
+        tracer = Tracer(max_events=1)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        tracer.clear()
+        assert tracer.events == []
+        assert tracer.dropped == 0
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+
+class TestChromeExport:
+    def test_event_structure(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("cycle"):
+            pass
+        trace = tracer.to_chrome_trace()
+        (event,) = trace["traceEvents"]
+        assert event["name"] == "cycle"
+        assert event["ph"] == "X"
+        assert event["dur"] == pytest.approx(1e6)  # 1 s in microseconds
+        assert event["ts"] >= 0.0
+
+    def test_error_span_flagged_in_args(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken"):
+                raise RuntimeError
+        (event,) = tracer.to_chrome_trace()["traceEvents"]
+        assert event["args"] == {"error": True}
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("phase"):
+            pass
+        assert tracer.events == []
+        assert not tracer.enabled
+
+    def test_null_spans_are_reentrant(self):
+        tracer = NullTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.events == []
+
+    def test_attached_metrics_still_fed(self):
+        """Disabling tracing must not disable the metrics riding on spans."""
+        tracer = NullTracer()
+        seconds = Counter("phase_seconds")
+        with tracer.span("phase", counter=seconds):
+            pass
+        assert seconds.value > 0.0
+        assert tracer.events == []

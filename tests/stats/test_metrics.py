@@ -86,3 +86,16 @@ class TestFormatTable:
         table = format_table(["col"], [[1], [100]])
         lines = table.splitlines()
         assert len(lines[2]) == len(lines[3])
+
+    def test_stopwatch_records_lap_when_body_raises(self):
+        """Satellite regression: a raising body must still record a lap."""
+        watch = StopWatch()
+        with pytest.raises(RuntimeError):
+            with watch:
+                raise RuntimeError("body failed")
+        assert len(watch.laps) == 1
+        assert watch.total == pytest.approx(watch.laps[0])
+        # The watch is reusable after the exception.
+        with watch:
+            pass
+        assert len(watch.laps) == 2

@@ -97,3 +97,48 @@ class TestFlush:
         for __ in range(9):
             pool.unpin(pool.fetch(pid))
         assert pool.stats.hit_ratio == pytest.approx(1.0)
+
+
+class TestTelemetry:
+    def test_registry_counters_back_stats_snapshot(self, pool):
+        page = pool.new_page()
+        pool.unpin(page)
+        pool.fetch(page.page_id)          # hit
+        for __ in range(3):
+            p = pool.new_page()           # overflow capacity=3 -> evictions
+            pool.unpin(p)
+        reg = pool.registry
+        assert reg.value_of("bufferpool_hits_total") == float(pool.stats.hits)
+        assert reg.value_of("bufferpool_misses_total") == float(pool.stats.misses)
+        assert reg.value_of("bufferpool_evictions_total") == float(
+            pool.stats.evictions
+        )
+        assert reg.value_of("bufferpool_resident_pages") == float(
+            len(pool.resident_page_ids)
+        )
+
+    def test_miss_counted_on_cold_fetch(self, pool):
+        page = pool.new_page()
+        pool.unpin(page)
+        pool.flush_all()
+        for __ in range(3):  # evict the first page
+            pool.unpin(pool.new_page())
+        pool.fetch(page.page_id)
+        assert pool.registry.value_of("bufferpool_misses_total") >= 1.0
+
+    def test_empty_pool_hit_ratio_is_zero(self):
+        """Satellite: zero-denominator ratio returns 0.0, not ZeroDivisionError."""
+        pool = BufferPool(InMemoryDiskManager(), capacity=2)
+        assert pool.stats.hit_ratio == 0.0
+
+    def test_shared_registry_aggregates_two_pools(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        a = BufferPool(InMemoryDiskManager(), capacity=2, registry=reg)
+        b = BufferPool(InMemoryDiskManager(), capacity=2, registry=reg)
+        a.unpin(a.new_page())
+        b.unpin(b.new_page())
+        a.fetch(0)
+        b.fetch(0)
+        assert reg.value_of("bufferpool_hits_total") == 2.0

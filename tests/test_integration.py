@@ -134,7 +134,6 @@ class TestLifecycle:
 
     def test_departed_objects_left_no_answer_residue(self, scenario):
         server, __, traffic, __ = scenario
-        alive = set(traffic.object_ids)
         for qid, query in server.engine.queries.items():
             stale = set(query.answer) - set(server.engine.objects)
             assert not stale, (qid, stale)
