@@ -1,0 +1,283 @@
+"""Parallel sharded bulk evaluation vs the serial cell-batched pipeline.
+
+``pipeline="parallel"`` partitions the grid's cell space into K
+row-striped shards and fans the batch's cell-transition cohorts out to
+a persistent worker pool, merging the per-shard deltas back into the
+exact serial update stream.  This benchmark drives both pipelines over
+the same buffered move rounds and checks two things:
+
+* **golden equivalence** — the parallel pipeline's ordered update
+  stream must be byte-identical to the cell-batched stream, every
+  round, at every worker count;
+* **speedup** — at full scale (100K objects / 10K queries) with at
+  least 4 workers on a host with at least 4 cores, the parallel
+  pipeline must deliver >= 1.8x the cell-batched throughput.  On
+  smaller hosts the equivalence checks still run but the speedup gate
+  is informational (process parallelism cannot beat serial on one
+  core; the JSON records the curve either way).
+
+It also sweeps K = 1, 2, 4, 8 and writes the scaling curve to
+``BENCH_parallel.json``.
+
+Runs two ways:
+
+* under pytest (with pytest-benchmark)::
+
+      PYTHONPATH=src pytest benchmarks/bench_parallel.py --benchmark-only
+
+* as a plain script (used by CI's smoke job)::
+
+      PYTHONPATH=src python benchmarks/bench_parallel.py --quick --workers 2
+
+``--quick`` shrinks the workload and checks equivalence only.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import statistics
+import time
+
+from bench_bulk_pipeline import (
+    GRID_SIZE,
+    ROUNDS,
+    SEED,
+    buffer_round,
+    build_engine,
+    build_workload,
+)
+from conftest import scaled, write_bench_json
+
+from repro.core.engine import IncrementalEngine
+from repro.parallel import ParallelConfig
+from repro.stats import format_table
+
+FULL_OBJECTS = 100_000
+FULL_QUERIES = 10_000
+QUICK_OBJECTS = 3_000
+QUICK_QUERIES = 300
+SCALING_WORKERS = (1, 2, 4, 8)
+SPEEDUP_TARGET = 1.8
+MIN_CORES_FOR_GATE = 4
+
+
+def build_parallel_engine(
+    initial, queries, config: ParallelConfig
+) -> IncrementalEngine:
+    engine = IncrementalEngine(
+        grid_size=GRID_SIZE,
+        prediction_horizon=60.0,
+        pipeline="parallel",
+        parallelism=config,
+    )
+    for oid, location in initial:
+        engine.report_object(oid, location, 0.0)
+    for spec in queries:
+        if spec[0] == "range":
+            engine.register_range_query(spec[1], spec[2])
+        elif spec[0] == "knn":
+            engine.register_knn_query(spec[1], spec[2], spec[3])
+        else:
+            engine.register_predictive_query(spec[1], spec[2], spec[3])
+    engine.evaluate(0.0)
+    return engine
+
+
+def run_rounds(engine: IncrementalEngine, move_rounds):
+    """Evaluate every move round; return (per-round seconds, streams).
+
+    Streams are *ordered* update-key lists: the parallel pipeline's
+    contract is byte-for-byte stream identity, not just set equality.
+    """
+    timings: list[float] = []
+    streams: list[list[tuple[int, int, int]]] = []
+    now = 0.0
+    for moves in move_rounds:
+        now += 1.0
+        buffer_round(engine, moves, now)
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            updates = engine.evaluate(now)
+            timings.append(time.perf_counter() - started)
+        finally:
+            gc.enable()
+        streams.append([(u.qid, u.oid, u.sign) for u in updates])
+    return timings, streams
+
+
+def run_comparison(
+    n_objects: int,
+    n_queries: int,
+    workers_sweep,
+    assert_speedup: bool,
+):
+    initial, queries, move_rounds = build_workload(n_objects, n_queries)
+
+    serial_engine = build_engine("cell-batched", initial, queries)
+    serial_times, serial_streams = run_rounds(serial_engine, move_rounds)
+    serial_round = statistics.median(serial_times)
+
+    curve = []
+    best = None
+    for workers in workers_sweep:
+        config = ParallelConfig(workers=workers, min_batch=0)
+        engine = build_parallel_engine(initial, queries, config)
+        try:
+            times, streams = run_rounds(engine, move_rounds)
+            assert streams == serial_streams, (
+                f"parallel stream (K={workers}) diverged from the "
+                f"cell-batched stream"
+            )
+            registry = engine.registry
+        finally:
+            engine.close()
+        round_time = statistics.median(times)
+        point = {
+            "workers": workers,
+            "backend": config.resolved_backend,
+            "median_round_seconds": round_time,
+            "round_seconds": times,
+            "reports_per_sec": n_objects / round_time,
+            "speedup_vs_cell_batched": serial_round / round_time,
+        }
+        curve.append(point)
+        if best is None or round_time < best[1]:
+            best = (workers, round_time, times, registry)
+
+    rows = [["cell-batched", serial_round * 1e3, n_objects / serial_round, 1.0]]
+    for point in curve:
+        rows.append(
+            [
+                f"parallel K={point['workers']} ({point['backend']})",
+                point["median_round_seconds"] * 1e3,
+                point["reports_per_sec"],
+                point["speedup_vs_cell_batched"],
+            ]
+        )
+    table = format_table(
+        ["pipeline", "median round ms", "reports/s", "speedup"], rows
+    )
+
+    best_workers, best_round, best_times, best_registry = best
+    speedup = serial_round / best_round
+    if assert_speedup:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"parallel pipeline managed only {speedup:.2f}x over "
+            f"cell-batched at {n_objects} objects / {n_queries} queries "
+            f"(best K={best_workers})"
+        )
+
+    return {
+        "table": table,
+        "curve": curve,
+        "serial_times": serial_times,
+        "serial_round": serial_round,
+        "best_workers": best_workers,
+        "best_times": best_times,
+        "registry": best_registry,
+        "speedup": speedup,
+    }
+
+
+def gate_applies(n_objects: int, n_queries: int, workers_sweep) -> bool:
+    """The 1.8x gate engages only where it is physically meaningful:
+    full populations, a sweep reaching 4+ workers, and 4+ real cores."""
+    return (
+        n_objects >= FULL_OBJECTS
+        and n_queries >= FULL_QUERIES
+        and max(workers_sweep) >= 4
+        and (os.cpu_count() or 1) >= MIN_CORES_FOR_GATE
+    )
+
+
+def test_parallel_pipeline(benchmark, record_series, request):
+    n_objects = scaled(FULL_OBJECTS)
+    n_queries = scaled(FULL_QUERIES)
+    result = run_comparison(
+        n_objects,
+        n_queries,
+        SCALING_WORKERS,
+        assert_speedup=gate_applies(n_objects, n_queries, SCALING_WORKERS),
+    )
+    record_series("parallel_pipeline", result["table"])
+
+    initial, queries, move_rounds = build_workload(n_objects, n_queries)
+    config = ParallelConfig(workers=result["best_workers"], min_batch=0)
+    engine = build_parallel_engine(initial, queries, config)
+    request.addfinalizer(engine.close)
+    request.node.bench_registry = engine.registry
+    clock = [0.0]
+
+    def setup():
+        clock[0] += 1.0
+        buffer_round(engine, move_rounds[0], clock[0])
+        return (clock[0],), {}
+
+    benchmark.extra_info["seed"] = SEED
+    benchmark.extra_info["objects"] = n_objects
+    benchmark.extra_info["queries"] = n_queries
+    benchmark.extra_info["grid_size"] = GRID_SIZE
+    benchmark.extra_info["workers"] = result["best_workers"]
+    benchmark.extra_info["speedup_vs_cell_batched"] = round(
+        result["speedup"], 3
+    )
+    benchmark.pedantic(engine.evaluate, setup=setup, rounds=3)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    workers_sweep = SCALING_WORKERS
+    if "--workers" in argv:
+        workers_sweep = (int(argv[argv.index("--workers") + 1]),)
+    n_objects = QUICK_OBJECTS if quick else FULL_OBJECTS
+    n_queries = QUICK_QUERIES if quick else FULL_QUERIES
+    label = "quick" if quick else "full"
+    gated = not quick and gate_applies(n_objects, n_queries, workers_sweep)
+    print(
+        f"parallel pipeline benchmark ({label}): "
+        f"{n_objects} objects, {n_queries} queries, {ROUNDS} rounds, "
+        f"K sweep {list(workers_sweep)}, host cores {os.cpu_count()}"
+    )
+    result = run_comparison(
+        n_objects, n_queries, workers_sweep, assert_speedup=gated
+    )
+    print()
+    print(result["table"])
+    path = write_bench_json(
+        "parallel",
+        result["best_times"],
+        seed=SEED,
+        params={
+            "mode": label,
+            "objects": n_objects,
+            "queries": n_queries,
+            "grid_size": GRID_SIZE,
+            "rounds": ROUNDS,
+            "workers_sweep": list(workers_sweep),
+        },
+        extra={
+            "scaling_curve": result["curve"],
+            "cell_batched_round_seconds": result["serial_times"],
+            "cell_batched_median_round_seconds": result["serial_round"],
+            "best_workers": result["best_workers"],
+            "speedup_vs_cell_batched": result["speedup"],
+            "speedup_gate_applied": gated,
+        },
+        registry=result["registry"],
+    )
+    print(f"\nwrote {path}")
+    print(
+        f"golden equivalence held for every K; best K={result['best_workers']} "
+        f"at {result['speedup']:.2f}x vs cell-batched"
+        + ("" if gated else " (speedup gate not applicable on this host)")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

@@ -14,8 +14,11 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import re
 import statistics
+import subprocess
+from functools import lru_cache
 from pathlib import Path
 
 import pytest
@@ -23,6 +26,31 @@ import pytest
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@lru_cache(maxsize=1)
+def environment_info() -> dict:
+    """Provenance stamped into every ``BENCH_*.json``: the commit, the
+    interpreter, and the core count — without these a timing number
+    cannot be compared across runs."""
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        git_sha = None
+    return {
+        "git_sha": git_sha,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+    }
 
 
 def scaled(base: int) -> int:
@@ -78,7 +106,9 @@ def write_bench_json(
     Every summary also embeds a ``metrics`` snapshot: ``registry`` when
     given (conventionally the registry of the engine under test),
     otherwise the process-wide default registry, so the counters behind
-    a number travel with it.
+    a number travel with it — plus an ``environment`` block
+    (:func:`environment_info`) recording the git SHA, Python version
+    and core count the run came from.
     """
     safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name)
     data = sorted(timings)
@@ -100,6 +130,7 @@ def write_bench_json(
     }
     if extra:
         payload.update(extra)
+    payload["environment"] = environment_info()
     payload["metrics"] = _registry_snapshot(registry)
     path = REPO_ROOT / f"BENCH_{safe}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

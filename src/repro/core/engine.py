@@ -38,7 +38,10 @@ per cohort; k-NN dirty-marking and predictive refresh are driven off the
 same cohorts.  The seed per-object path is retained as
 ``pipeline="per-object"`` — it is the semantic reference the golden
 equivalence tests and ``benchmarks/bench_bulk_pipeline.py`` compare
-against.
+against.  ``pipeline="parallel"`` fans the cohort membership pass out
+over row-striped grid shards on a worker pool (:mod:`repro.parallel`)
+and merges per-shard deltas back in serial cohort order, emitting a
+stream byte-identical to ``"cell-batched"``.
 
 Every phase of ``evaluate()`` is wall-clock timed: each phase runs
 inside a :class:`repro.obs.Tracer` span (exported to Chrome trace JSON)
@@ -71,6 +74,10 @@ from repro.core.updates import Update
 from repro.geometry import Point, Rect, Velocity
 from repro.grid import Grid, GridIndex
 from repro.obs import MetricsRegistry, Tracer
+from repro.parallel.merge import merge_ordered
+from repro.parallel.planner import build_shard_payloads, plan_shards
+from repro.parallel.pool import ParallelConfig, WorkerPool
+from repro.parallel.worker import evaluate_shard
 
 DEFAULT_WORLD = Rect(0.0, 0.0, 1.0, 1.0)
 
@@ -187,7 +194,22 @@ class IncrementalEngine:
         is the reference path that walks one report at a time; it emits
         the same update *set* per query (order within the object-report
         and predictive phases may differ) and exists for equivalence
-        testing and benchmarking.
+        testing and benchmarking.  ``"parallel"`` is the cell-batched
+        pipeline with the cohort membership pass fanned out over a
+        worker pool: the grid is split into row-striped shards, each
+        shard's cohorts are shipped as flat snapshots, shard-boundary
+        cohorts run on the coordinator, and the per-shard deltas merge
+        back in serial cohort order — the emitted update stream is
+        byte-identical to ``"cell-batched"``.
+    parallelism:
+        Only meaningful with ``pipeline="parallel"``: the shard/worker
+        count as an int, or a full :class:`repro.parallel.ParallelConfig`
+        (worker count, process/thread backend, inline-evaluation
+        threshold).  ``None`` means ``ParallelConfig()`` —
+        ``os.cpu_count()`` workers, processes when more than one.
+        Engines running a parallel pipeline own a lazily-started
+        worker pool; call :meth:`close` (or use the engine as a
+        context manager) to release it.
     registry:
         The :class:`~repro.obs.MetricsRegistry` carrying the engine's
         counters, phase-second series, and grid-occupancy samples.
@@ -209,6 +231,7 @@ class IncrementalEngine:
         grid_size: int = 64,
         prediction_horizon: float = 60.0,
         pipeline: str = "cell-batched",
+        parallelism: "int | ParallelConfig | None" = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
     ):
@@ -216,10 +239,18 @@ class IncrementalEngine:
             raise ValueError(
                 f"prediction_horizon must be >= 0, got {prediction_horizon}"
             )
-        if pipeline not in ("cell-batched", "per-object"):
+        if pipeline not in ("cell-batched", "per-object", "parallel"):
             raise ValueError(
-                f"pipeline must be 'cell-batched' or 'per-object', got {pipeline!r}"
+                "pipeline must be 'cell-batched', 'per-object' or "
+                f"'parallel', got {pipeline!r}"
             )
+        if isinstance(parallelism, ParallelConfig):
+            self.parallel_config = parallelism
+        elif parallelism is None:
+            self.parallel_config = ParallelConfig()
+        else:
+            self.parallel_config = ParallelConfig(workers=int(parallelism))
+        self._worker_pool: WorkerPool | None = None
         self.grid = Grid(world, grid_size)
         self.index = GridIndex(self.grid)
         self.prediction_horizon = prediction_horizon
@@ -258,6 +289,20 @@ class IncrementalEngine:
         }
         self._m_objects = self.registry.gauge("engine_objects")
         self._m_queries = self.registry.gauge("engine_queries")
+        if pipeline == "parallel":
+            # Per-shard wall time as reported by the workers themselves,
+            # plus the operator's skew view: max/mean shard seconds of
+            # the last dispatched batch (1.0 = perfectly balanced).
+            self._m_shard_seconds = self.registry.histogram(
+                "engine_shard_seconds"
+            )
+            self._m_shard_imbalance = self.registry.gauge(
+                "engine_shard_imbalance"
+            )
+            self._m_sharded_cohorts = counter("engine_sharded_cohorts_total")
+            self._m_boundary_cohorts = counter(
+                "engine_boundary_cohorts_total"
+            )
 
     # ------------------------------------------------------------------
     # Ingestion (buffered)
@@ -283,7 +328,16 @@ class IncrementalEngine:
         self._pending_reports[oid] = (location, velocity, t)
 
     def remove_object(self, oid: int) -> None:
-        """Buffer an object's departure from the system."""
+        """Buffer an object's departure from the system.
+
+        The object must be tracked or have a report buffered in this
+        batch; removing an unknown id raises a ``KeyError`` naming it
+        immediately (nothing is buffered), so a caller's id-management
+        bug surfaces at the call site instead of as a silent no-op or
+        an opaque index lookup failure later.
+        """
+        if oid not in self.objects and oid not in self._pending_reports:
+            raise KeyError(f"cannot remove unknown object {oid}")
         self._pending_reports.pop(oid, None)
         self._pending_removals.add(oid)
 
@@ -338,15 +392,48 @@ class IncrementalEngine:
         """Buffer a query's removal; no further updates will be emitted.
 
         Unregistering a query that was registered earlier in the *same*
-        batch cancels the pending registration (arrival order wins).
+        batch cancels the pending registration (arrival order wins),
+        and unregistering a qid whose only trace is a buffered move
+        cancels that move — the documented recovery path after
+        ``evaluate()`` rejects a move targeting an unknown query.  A
+        qid with no registration, pending registration, or pending
+        move raises a ``KeyError`` naming it, with every buffer left
+        intact.
         """
-        self._pending_moves.pop(qid, None)
         if any(q.qid == qid for q in self._pending_registrations):
+            self._pending_moves.pop(qid, None)
             self._pending_registrations = [
                 q for q in self._pending_registrations if q.qid != qid
             ]
             return
-        self._pending_unregistrations.add(qid)
+        if qid in self.queries:
+            self._pending_moves.pop(qid, None)
+            self._pending_unregistrations.add(qid)
+            return
+        if self._pending_moves.pop(qid, None) is None:
+            raise KeyError(f"cannot unregister unknown query {qid}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the parallel worker pool, if one was ever started.
+
+        A no-op for serial pipelines and for parallel engines that only
+        ever evaluated inline; safe to call repeatedly.  The engine
+        stays usable afterwards — the next large parallel batch simply
+        starts a fresh pool.
+        """
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+
+    def __enter__(self) -> "IncrementalEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -430,7 +517,8 @@ class IncrementalEngine:
         # Predictive queries that must refresh regardless of cell churn
         # (registered or moved this batch).
         dirty_predictive: set[int] = set()
-        batched = self.pipeline == "cell-batched"
+        pipeline = self.pipeline
+        batched = pipeline != "per-object"
         tracer = self.tracer
         span = tracer.span
         phase_counters = self._phase_counters
@@ -445,7 +533,11 @@ class IncrementalEngine:
             with span("query_moves", phase_counters["query_moves"]):
                 self._apply_query_moves(updates, knn_dirty, dirty_predictive)
             with span("object_reports", phase_counters["object_reports"]):
-                if batched:
+                if pipeline == "parallel":
+                    self._apply_object_reports_parallel(
+                        updates, knn_dirty, churned_cells
+                    )
+                elif batched:
                     self._apply_object_reports_batched(
                         updates, knn_dirty, churned_cells
                     )
@@ -686,9 +778,34 @@ class IncrementalEngine:
         but grouped by (transition, query) rather than by reporting
         object.
         """
-        reports = self._pending_reports
-        if not reports:
+        if not self._pending_reports:
             return
+        point_groups, set_groups = self._group_reports()
+        cell_cache: dict[int, _CellCandidates] = {}
+        for cells, states, stay_put, point_pair in self._iter_cohorts(
+            point_groups, set_groups, churned_cells
+        ):
+            self._evaluate_cohort(
+                cells,
+                states,
+                updates,
+                knn_dirty,
+                cell_cache,
+                stay_put,
+                point_pair=point_pair,
+            )
+
+    def _group_reports(
+        self,
+    ) -> tuple[
+        dict[tuple[int, int], list[ObjectState]],
+        dict[tuple[frozenset[int], frozenset[int]], list[ObjectState]],
+    ]:
+        """Phase 5a: apply every buffered report to object state and the
+        grid index, grouping objects by their cell transition.  Shared
+        by the cell-batched and parallel pipelines; clears the report
+        buffer."""
+        reports = self._pending_reports
         objects = self.objects
         index = self.index
         grid = self.grid
@@ -765,34 +882,26 @@ class IncrementalEngine:
                     state,
                 )
         reports.clear()
+        return point_groups, set_groups
 
-        # --- 5b: candidate queries once per transition, evaluated
-        # directly against the cohort.  The cell cache resolves each
-        # affected cell's candidate set exactly once per evaluation, no
-        # matter how many transitions touch the cell.
-        cell_cache: dict[int, _CellCandidates] = {}
+    def _iter_cohorts(self, point_groups, set_groups, churned_cells: set[int]):
+        """Phase 5b's work list: yield ``(cells, states, stay_put,
+        point_pair)`` per transition cohort, in the exact order the
+        cell-batched pipeline evaluates (and therefore emits) them —
+        the parallel pipeline's sequence numbers come from this order.
+        Accumulates cell churn for the predictive refresh as a side
+        effect.  ``cells`` is always an ordered tuple: the parallel
+        planner ships it to workers verbatim, and tuple-izing a
+        frozenset here preserves the iteration order the serial pass
+        would have used.
+        """
         for (old_cell, new_cell), states in point_groups.items():
             churned_cells.add(new_cell)
             if old_cell >= 0 and old_cell != new_cell:
                 churned_cells.add(old_cell)
-                self._evaluate_cohort(
-                    (old_cell, new_cell),
-                    states,
-                    updates,
-                    knn_dirty,
-                    cell_cache,
-                    False,
-                    point_pair=True,
-                )
+                yield (old_cell, new_cell), states, False, True
             else:
-                self._evaluate_cohort(
-                    (new_cell,),
-                    states,
-                    updates,
-                    knn_dirty,
-                    cell_cache,
-                    old_cell == new_cell,
-                )
+                yield (new_cell,), states, old_cell == new_cell, False
         for (old_cells, new_cells), states in set_groups.items():
             churned_cells.update(new_cells)
             if old_cells is not _NO_CELLS and old_cells != new_cells:
@@ -801,8 +910,119 @@ class IncrementalEngine:
                 cells = new_cells
             else:
                 cells = old_cells | new_cells
-            self._evaluate_cohort(
-                cells, states, updates, knn_dirty, cell_cache, False
+            yield tuple(cells), states, False, False
+
+    def _apply_object_reports_parallel(
+        self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
+    ) -> None:
+        """Parallel pipeline: fan the cohort membership pass out over
+        row-striped grid shards.
+
+        Phase 5a (state + index updates, transition grouping) runs on
+        the coordinator exactly as in the cell-batched pipeline — it
+        mutates shared structures and is cheap relative to the join.
+        The planner then assigns every cohort either to the single
+        shard owning all its cells or to the boundary set; shard work
+        ships to the pool as flat snapshots, boundary cohorts run here
+        while the workers chew, and the merge re-emits everything in
+        serial cohort order so the update stream is byte-identical to
+        ``pipeline="cell-batched"``.
+
+        Small batches (fewer than ``parallel_config.min_batch``
+        buffered reports), single-worker configs, and single-cohort
+        batches skip the dispatch entirely and run the serial cohort
+        loop — same output, none of the snapshot overhead.
+        """
+        n_reports = len(self._pending_reports)
+        if not n_reports:
+            return
+        point_groups, set_groups = self._group_reports()
+        cohorts = list(
+            self._iter_cohorts(point_groups, set_groups, churned_cells)
+        )
+        config = self.parallel_config
+        cell_cache: dict[int, _CellCandidates] = {}
+        if (
+            config.workers <= 1
+            or n_reports < config.min_batch
+            or len(cohorts) < 2
+        ):
+            for cells, states, stay_put, point_pair in cohorts:
+                self._evaluate_cohort(
+                    cells,
+                    states,
+                    updates,
+                    knn_dirty,
+                    cell_cache,
+                    stay_put,
+                    point_pair=point_pair,
+                )
+            return
+
+        tracer = self.tracer
+        with tracer.span("shard_plan"):
+            plan = plan_shards(cohorts, self.grid, config.workers)
+            payloads = build_shard_payloads(
+                plan, self.grid, self.index, self.queries
+            )
+        self._m_sharded_cohorts.inc(plan.dispatched)
+        self._m_boundary_cohorts.inc(len(plan.boundary))
+        if self._worker_pool is None:
+            self._worker_pool = WorkerPool(config)
+        pool = self._worker_pool
+        futures = pool.submit(evaluate_shard, payloads)
+
+        # Boundary cohorts overlap with the in-flight shard work: they
+        # touch only their own objects, and per-pair outcomes are
+        # independent of the snapshot-isolated workers.
+        boundary_updates: dict[int, list[Update]] = {}
+        with tracer.span("boundary_cohorts"):
+            for seq, cells, states, stay_put, point_pair in plan.boundary:
+                cohort_updates: list[Update] = []
+                self._evaluate_cohort(
+                    cells,
+                    states,
+                    cohort_updates,
+                    knn_dirty,
+                    cell_cache,
+                    stay_put,
+                    point_pair=point_pair,
+                )
+                boundary_updates[seq] = cohort_updates
+
+        shard_deltas: dict[int, list[tuple[int, int, int]]] = {}
+        shard_seconds: list[float] = []
+        for payload, future in zip(payloads, futures):
+            with tracer.span(f"shard-{payload[0]}"):
+                try:
+                    __, elapsed, results = future.result()
+                except Exception:
+                    # A dying worker cannot have corrupted anything —
+                    # payloads are pure snapshots — so reset the pool
+                    # and run this shard's snapshot inline.
+                    pool.reset()
+                    __, elapsed, results = evaluate_shard(payload)
+            shard_seconds.append(elapsed)
+            self._m_shard_seconds.observe(elapsed)
+            for seq, deltas, knn_qids in results:
+                if deltas:
+                    shard_deltas[seq] = deltas
+                if knn_qids:
+                    knn_dirty.update(knn_qids)
+        if shard_seconds:
+            mean = sum(shard_seconds) / len(shard_seconds)
+            self._m_shard_imbalance.set(
+                max(shard_seconds) / mean if mean > 0.0 else 1.0
+            )
+        with tracer.span("shard_merge"):
+            merge_ordered(
+                plan.total,
+                boundary_updates,
+                shard_deltas,
+                self.queries,
+                self.objects,
+                updates,
+                Update,
             )
 
     @staticmethod

@@ -82,10 +82,19 @@ class LocationAwareServer:
         history: HistoryRepository | None = None,
         engine: IncrementalEngine | None = None,
         registry: MetricsRegistry | None = None,
+        pipeline: str = "cell-batched",
+        parallelism: object = None,
     ):
         """``engine`` lets a restarted server adopt a checkpoint-restored
         engine instead of starting empty; bind its queries to clients
         with :meth:`adopt_query`.
+
+        ``pipeline`` / ``parallelism`` configure the constructed
+        engine's bulk-evaluation strategy (ignored when ``engine`` is
+        supplied): ``pipeline="parallel"`` with ``parallelism=K`` (an
+        int, or a :class:`repro.parallel.ParallelConfig`) shards each
+        evaluation cycle across K workers.  A server running a parallel
+        engine should be :meth:`close`\\ d to release the pool.
 
         ``registry`` is the telemetry sink for the whole stack; when
         omitted the server shares the engine's registry, so server
@@ -97,7 +106,13 @@ class LocationAwareServer:
         self.engine = (
             engine
             if engine is not None
-            else IncrementalEngine(world, grid_size, prediction_horizon)
+            else IncrementalEngine(
+                world,
+                grid_size,
+                prediction_horizon,
+                pipeline=pipeline,
+                parallelism=parallelism,  # type: ignore[arg-type]
+            )
         )
         self.registry = registry if registry is not None else self.engine.registry
         self.tracer = self.engine.tracer
@@ -125,6 +140,23 @@ class LocationAwareServer:
         self._m_recovery_updates = self.registry.counter(
             "server_recovery_updates_total"
         )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release engine-owned resources (the parallel worker pool).
+
+        A no-op for serial pipelines; safe to call repeatedly.
+        """
+        self.engine.close()
+
+    def __enter__(self) -> "LocationAwareServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Client management

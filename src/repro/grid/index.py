@@ -131,8 +131,11 @@ class GridIndex:
         self._object_cells[oid] = frozenset((new_cell,))
 
     def remove_object(self, oid: int) -> None:
-        """Remove object ``oid`` entirely (no-op details raise KeyError)."""
-        for cell in self._object_cells.pop(oid):
+        """Remove object ``oid`` entirely; unknown ids raise ``KeyError``."""
+        cells = self._object_cells.pop(oid, None)
+        if cells is None:
+            raise KeyError(f"object {oid} is not indexed")
+        for cell in cells:
             self._remove_member(cell, oid, is_query=False)
 
     # ------------------------------------------------------------------
@@ -163,8 +166,11 @@ class GridIndex:
         self.place_query(qid, cells)
 
     def remove_query(self, qid: int) -> None:
-        """Remove query ``qid`` entirely."""
-        for cell in self._query_cells.pop(qid):
+        """Remove query ``qid`` entirely; unknown ids raise ``KeyError``."""
+        cells = self._query_cells.pop(qid, None)
+        if cells is None:
+            raise KeyError(f"query {qid} is not indexed")
+        for cell in cells:
             self._remove_member(cell, qid, is_query=True)
 
     # ------------------------------------------------------------------
@@ -230,6 +236,29 @@ class GridIndex:
             if bucket:
                 found.update(bucket.queries)
         return found
+
+    def snapshot_cell_queries(
+        self, cells: "list[int] | tuple[int, ...] | Set[int]"
+    ) -> dict[int, tuple[int, ...]]:
+        """Flat, picklable ``{cell: (qid, ...)}`` snapshot of ``cells``.
+
+        The struct-of-arrays export the parallel pipeline ships to
+        worker processes: plain ints in plain tuples, no live bucket
+        aliases crossing a process boundary, no object graphs to
+        pickle.  Empty cells map to an empty tuple so workers can
+        distinguish "no queries here" from "cell not shipped".  Qid
+        order within a tuple is unspecified — workers sort the derived
+        candidate entries themselves, exactly like the serial
+        pipeline's per-cell candidate resolution.
+        """
+        buckets = self._cells
+        snapshot: dict[int, tuple[int, ...]] = {}
+        for cell in cells:
+            bucket = buckets.get(cell)
+            snapshot[cell] = (
+                tuple(bucket.queries) if bucket is not None else ()
+            )
+        return snapshot
 
     # ------------------------------------------------------------------
     # Telemetry

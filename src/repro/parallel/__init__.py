@@ -1,0 +1,34 @@
+"""Multi-core bulk evaluation: shard planning, worker pool, merge.
+
+The engine's bulk-evaluation step — join all buffered object moves
+against all resident queries on the shared grid — is embarrassingly
+parallel by spatial region.  ``IncrementalEngine(pipeline="parallel")``
+partitions the grid's cell space into K contiguous row-striped shards,
+dispatches each shard's cell-transition cohorts to a persistent worker
+pool as flat struct-of-arrays snapshots, evaluates shard-boundary
+cohorts on the coordinator while the workers run, and merges the
+per-shard delta lists back into one stream ordered identically to the
+serial pipelines (golden equivalence, byte for byte).
+
+Pieces:
+
+* :mod:`repro.parallel.planner` — shard assignment + payload building;
+* :mod:`repro.parallel.worker`  — the pure per-shard membership pass;
+* :mod:`repro.parallel.pool`    — executor lifecycle (process/thread);
+* :mod:`repro.parallel.merge`   — deterministic seq-ordered merge.
+"""
+
+from repro.parallel.merge import merge_ordered
+from repro.parallel.planner import ShardPlan, build_shard_payloads, plan_shards
+from repro.parallel.pool import ParallelConfig, WorkerPool
+from repro.parallel.worker import evaluate_shard
+
+__all__ = [
+    "ParallelConfig",
+    "ShardPlan",
+    "WorkerPool",
+    "build_shard_payloads",
+    "evaluate_shard",
+    "merge_ordered",
+    "plan_shards",
+]

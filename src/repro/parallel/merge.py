@@ -1,0 +1,52 @@
+"""Deterministic merge of per-shard deltas into the serial update stream.
+
+Workers return ``(seq, deltas, knn_qids)`` per cohort, where ``deltas``
+are ``(qid, oid, sign)`` triples in exact serial emission order for
+that cohort; boundary cohorts were evaluated on the coordinator and
+already carry real ``Update`` lists.  The merge walks sequence numbers
+``0..total-1`` and emits each cohort's contribution verbatim, so the
+final stream is byte-identical to the one the serial cell-batched
+pipeline would have produced.
+
+Applying a worker delta mutates the authoritative state the worker
+could not touch: the query's answer set and the object's reverse
+``answered`` set.  Pair outcomes are independent (each (query, object)
+pair is evaluated at most once per batch), so applying strictly in
+sequence order is both deterministic and correct.
+
+The ``Update`` class arrives as the ``make_update`` parameter instead
+of being imported: the engine imports this module, so importing
+:mod:`repro.core` from here would be circular.
+"""
+
+from __future__ import annotations
+
+
+def merge_ordered(
+    total: int,
+    boundary_updates: dict[int, list],
+    shard_deltas: dict[int, list[tuple[int, int, int]]],
+    queries,
+    objects,
+    updates: list,
+    make_update,
+) -> None:
+    """Append every cohort's updates to ``updates`` in sequence order,
+    applying worker deltas to engine state as they are emitted."""
+    append = updates.append
+    for seq in range(total):
+        ready = boundary_updates.get(seq)
+        if ready is not None:
+            updates.extend(ready)
+            continue
+        deltas = shard_deltas.get(seq)
+        if not deltas:
+            continue
+        for qid, oid, sign in deltas:
+            if sign > 0:
+                queries[qid].answer.add(oid)
+                objects[oid].answered.add(qid)
+            else:
+                queries[qid].answer.discard(oid)
+                objects[oid].answered.discard(qid)
+            append(make_update(qid, oid, sign))

@@ -1,0 +1,133 @@
+"""Worker-pool lifecycle for the parallel pipeline.
+
+One :class:`WorkerPool` lives for the lifetime of its engine: the
+executor is created lazily on the first dispatched batch (an engine
+configured with ``pipeline="parallel"`` that only ever sees small
+batches never pays for a pool) and persists across evaluations so
+process startup is amortised over the run.
+
+Backends:
+
+* ``"process"`` — ``concurrent.futures.ProcessPoolExecutor``; true
+  multi-core execution, payloads cross by pickling.  The default for
+  ``workers > 1``.
+* ``"thread"`` — ``concurrent.futures.ThreadPoolExecutor``; no pickling
+  and no extra interpreters, used as the fallback for single-core
+  hosts and as the deterministic low-overhead backend in tests.  Under
+  the GIL it adds no speedup, but it exercises the identical plan /
+  worker / merge path.
+* ``"auto"`` — ``"process"`` when more than one worker is configured,
+  else ``"thread"``.
+
+A broken pool (a worker killed mid-batch) never corrupts an
+evaluation: payloads are pure snapshots, so the coordinator re-runs a
+failed shard inline and resets the executor for the next batch.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+_BACKENDS = ("auto", "process", "thread")
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelConfig:
+    """Tuning knobs for ``IncrementalEngine(pipeline="parallel")``.
+
+    ``workers`` defaults to ``os.cpu_count()``; ``min_batch`` is the
+    buffered-report count below which dispatch overhead cannot pay for
+    itself and the batch is evaluated inline on the coordinator (the
+    serial cell-batched code path, still byte-identical output).
+    """
+
+    workers: int = 0  # 0 -> os.cpu_count()
+    backend: str = "auto"
+    min_batch: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.workers == 0:
+            object.__setattr__(self, "workers", os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
+        if self.min_batch < 0:
+            raise ValueError(f"min_batch must be >= 0, got {self.min_batch}")
+
+    @property
+    def resolved_backend(self) -> str:
+        """The backend actually used: ``auto`` picks processes when more
+        than one worker is configured, threads otherwise."""
+        if self.backend != "auto":
+            return self.backend
+        return "process" if self.workers > 1 else "thread"
+
+
+class WorkerPool:
+    """A lazily-started, restartable executor bound to one config."""
+
+    def __init__(self, config: ParallelConfig):
+        self.config = config
+        self._executor: Executor | None = None
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    def _ensure(self) -> Executor:
+        if self._executor is None:
+            if self.config.resolved_backend == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.config.workers
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="repro-shard",
+                )
+        return self._executor
+
+    def submit(self, fn, payloads: list) -> list[Future]:
+        """Submit one task per payload; on a dead executor, fall back to
+        inline execution wrapped in completed futures (the caller's
+        gather path stays uniform)."""
+        try:
+            executor = self._ensure()
+            return [executor.submit(fn, payload) for payload in payloads]
+        except (RuntimeError, OSError):
+            self.reset()
+            futures = []
+            for payload in payloads:
+                future: Future = Future()
+                try:
+                    future.set_result(fn(payload))
+                except BaseException as exc:  # pragma: no cover - defensive
+                    future.set_exception(exc)
+                futures.append(future)
+            return futures
+
+    def reset(self) -> None:
+        """Tear down a (possibly broken) executor; the next submit
+        builds a fresh one."""
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the pool down and wait for workers to exit."""
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,175 @@
+"""The shard worker: a pure function over a flat snapshot.
+
+:func:`evaluate_shard` is the code that runs inside pool workers.  It
+re-implements the engine's per-cohort membership pass
+(:meth:`IncrementalEngine._evaluate_cohort`) over the planner's
+struct-of-arrays payload instead of live engine state, and it MUST
+mirror that method's iteration order exactly — cells in cohort order,
+partial entries before covering entries, entries sorted, objects
+sorted by oid, then the answered sweep in sorted qid order — because
+the coordinator merge concatenates per-cohort delta lists verbatim and
+the golden-equivalence contract is a byte-identical update stream.
+
+Membership is tested through the object side of the bookkeeping
+invariant: ``oid in query.answer`` if and only if ``qid in
+state.answered`` (checked by ``IncrementalEngine.check_invariants``),
+so a worker only needs each object's answered-qid set, never any
+query's (potentially huge) answer set.  Each (query, object) pair is
+evaluated at most once per batch — objects belong to exactly one
+cohort and the seen-qid dedup mirrors the serial pass — so pair
+outcomes are independent and the coordinator can apply the returned
+deltas in any state order as long as it *emits* them in cohort
+sequence order.
+
+This module deliberately imports nothing from the rest of ``repro``:
+everything a worker needs travels inside the payload, which keeps the
+pickled closure tiny and the module importable in spawn-started
+interpreters without dragging the full package graph in.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+#: Query-kind codes used in payload descriptors (enum members would
+#: pickle fine but cost more and say less on the wire).
+KIND_RANGE = 0
+KIND_KNN = 1
+KIND_PREDICTIVE = 2
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+def _by_oid(row):
+    return row[0]
+
+#: Resolved candidate split for a cell with no queries (shared).
+_NO_CANDIDATES = ((), (), _EMPTY, (), _EMPTY)
+
+
+def _resolve_cell(cell, cell_qids, qdesc, grid_n, wmin_x, wmin_y, cell_w, cell_h):
+    """Split one cell's queries into (partial, covering, covering_qids,
+    knn_qids, all_qids) — the worker-side mirror of the engine's
+    ``_cell_candidates`` minus the aliased answer sets."""
+    qids = cell_qids.get(cell, ())
+    if not qids:
+        return _NO_CANDIDATES
+    row, col = divmod(cell, grid_n)
+    c_min_x = wmin_x + col * cell_w
+    c_min_y = wmin_y + row * cell_h
+    c_max_x = wmin_x + (col + 1) * cell_w
+    c_max_y = wmin_y + (row + 1) * cell_h
+    partial = []
+    covering = []
+    knn_qids = []
+    for qid in qids:
+        kind, min_x, min_y, max_x, max_y = qdesc[qid]
+        if kind == KIND_RANGE:
+            entry = (qid, min_x, min_y, max_x, max_y)
+            if (
+                min_x <= c_min_x
+                and min_y <= c_min_y
+                and max_x >= c_max_x
+                and max_y >= c_max_y
+            ):
+                covering.append(entry)
+            else:
+                partial.append(entry)
+        elif kind == KIND_KNN:
+            knn_qids.append(qid)
+    partial.sort()
+    covering.sort()
+    knn_qids.sort()
+    return (
+        partial,
+        covering,
+        frozenset(entry[0] for entry in covering),
+        knn_qids,
+        frozenset(qids),
+    )
+
+
+def evaluate_shard(payload):
+    """Evaluate one shard's cohorts against its candidate snapshot.
+
+    ``payload`` is the tuple built by
+    :func:`repro.parallel.planner.build_shard_payloads`::
+
+        (shard_id,
+         (grid_n, world_min_x, world_min_y, cell_w, cell_h),
+         {cell: (qid, ...)},                    # cell query snapshot
+         {qid: (kind, min_x, min_y, max_x, max_y)},  # descriptors
+         [(seq, cells, rows, stay_put, point_pair), ...])
+
+    where ``rows`` is the cohort's object SoA: ``(oid, x, y,
+    answered_qids)`` tuples.  Returns ``(shard_id, elapsed_seconds,
+    [(seq, deltas, knn_qids), ...])`` with ``deltas`` being ``(qid,
+    oid, sign)`` triples in exact serial emission order.
+    """
+    shard_id, grid_params, cell_qids, qdesc, cohorts = payload
+    grid_n, wmin_x, wmin_y, cell_w, cell_h = grid_params
+    started = perf_counter()
+    cache: dict[int, tuple] = {}
+    results = []
+    for seq, cells, rows, stay_put, point_pair in cohorts:
+        deltas: list[tuple[int, int, int]] = []
+        append = deltas.append
+        knn_dirty: set[int] = set()
+        cached_cells = []
+        for cell in cells:
+            cached = cache.get(cell)
+            if cached is None:
+                cached = cache[cell] = _resolve_cell(
+                    cell, cell_qids, qdesc,
+                    grid_n, wmin_x, wmin_y, cell_w, cell_h,
+                )
+            cached_cells.append(cached)
+            if cached[3]:
+                knn_dirty.update(cached[3])
+        skip_cover: frozenset[int] = _EMPTY
+        if point_pair and len(cached_cells) == 2:
+            skip_cover = cached_cells[0][2] & cached_cells[1][2]
+        multi = len(cells) > 1
+        # answered ships as a tuple; build the mutable working sets here
+        # so the payload stays immutable and a shard is re-runnable
+        # (the coordinator re-executes payloads inline on pool failure).
+        work = [(oid, x, y, set(answered)) for oid, x, y, answered in rows]
+        work.sort(key=_by_oid)
+        seen_qids: frozenset[int] | set[int] = _EMPTY
+        if multi:
+            seen_qids = set()
+        for cached in cached_cells:
+            if stay_put:
+                entry_lists = (cached[0],)
+            else:
+                entry_lists = (cached[0], cached[1])
+            for entries in entry_lists:
+                for qid, min_x, min_y, max_x, max_y in entries:
+                    if multi and (qid in seen_qids or qid in skip_cover):
+                        continue
+                    for oid, x, y, answered in work:
+                        if min_x <= x <= max_x and min_y <= y <= max_y:
+                            if qid not in answered:
+                                answered.add(qid)
+                                append((qid, oid, 1))
+                        elif qid in answered:
+                            answered.discard(qid)
+                            append((qid, oid, -1))
+            if multi:
+                seen_qids.update(cached[4])  # type: ignore[union-attr]
+            else:
+                seen_qids = cached[4]
+        # Answered sweep: queries the object left entirely behind.
+        for oid, x, y, answered in work:
+            if not answered or answered <= seen_qids:
+                continue
+            for qid in sorted(answered - seen_qids):
+                kind, min_x, min_y, max_x, max_y = qdesc[qid]
+                if kind == KIND_RANGE:
+                    if not (min_x <= x <= max_x and min_y <= y <= max_y):
+                        answered.discard(qid)
+                        append((qid, oid, -1))
+                elif kind == KIND_KNN:
+                    knn_dirty.add(qid)
+        results.append((seq, deltas, tuple(knn_dirty)))
+    return shard_id, perf_counter() - started, results

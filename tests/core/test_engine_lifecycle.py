@@ -29,9 +29,17 @@ class TestObjectRemoval:
         engine.remove_object(1)
         assert engine.evaluate(1.0) == []
 
-    def test_removal_of_unknown_object_is_tolerated(self, engine):
-        engine.remove_object(999)
+    def test_removal_of_unknown_object_raises_keyerror_naming_id(self, engine):
+        with pytest.raises(KeyError, match="999"):
+            engine.remove_object(999)
+        # Nothing was buffered by the failed call.
         assert engine.evaluate(0.0) == []
+
+    def test_removal_of_pending_report_same_batch_is_allowed(self, engine):
+        engine.report_object(7, Point(0.1, 0.1), 0.0)
+        engine.remove_object(7)
+        assert engine.evaluate(0.0) == []
+        assert engine.object_count == 0
 
     def test_report_then_remove_in_same_batch(self, engine):
         engine.register_range_query(100, Rect(0.5, 0.5, 0.6, 0.6))
@@ -77,9 +85,17 @@ class TestQueryLifecycle:
         with pytest.raises(KeyError):
             engine.register_knn_query(100, Point(0, 0), 1)
 
-    def test_unregister_unknown_query_is_tolerated(self, engine):
-        engine.unregister_query(999)
+    def test_unregister_unknown_query_raises_keyerror_naming_id(self, engine):
+        with pytest.raises(KeyError, match="999"):
+            engine.unregister_query(999)
+        # Nothing was buffered by the failed call.
         assert engine.evaluate(0.0) == []
+
+    def test_unregister_pending_registration_same_batch_is_allowed(self, engine):
+        engine.register_range_query(100, Rect(0, 0, 1, 1))
+        engine.unregister_query(100)
+        assert engine.evaluate(0.0) == []
+        assert engine.query_count == 0
 
     def test_reregister_after_unregister(self, engine):
         engine.report_object(1, Point(0.55, 0.55), 0.0)

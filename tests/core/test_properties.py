@@ -10,6 +10,7 @@ Two properties carry the whole design:
    arrives at exactly the new answers.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import IncrementalEngine, apply_updates
@@ -59,7 +60,13 @@ def test_range_answers_match_oracle_and_streams_are_consistent(run, grid_size):
                 __, oid, x, y = action
                 engine.report_object(oid, Point(x, y), now)
             elif action[0] == "remove":
-                engine.remove_object(action[1])
+                oid = action[1]
+                if oid in engine.objects or oid in engine._pending_reports:
+                    engine.remove_object(oid)
+                else:
+                    # Unknown ids now fail fast with a KeyError.
+                    with pytest.raises(KeyError, match=str(oid)):
+                        engine.remove_object(oid)
             else:
                 __, qid, x, y = action
                 engine.move_range_query(qid, Rect.square(Point(x, y), 0.3), now)

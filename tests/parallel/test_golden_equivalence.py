@@ -1,0 +1,231 @@
+"""Golden equivalence of the parallel pipeline vs the cell-batched one.
+
+The parallel pipeline is specified as byte-for-byte equivalent to the
+serial cell-batched pipeline: identical update streams in identical
+order, every round, for every workload.  These tests drive both
+pipelines through the same randomized mixed workloads (all three query
+kinds, query moves, unregistrations, object removals) and compare the
+*ordered* streams — set equality is not enough here.
+
+A deliberately small grid (8x8) with four shards makes shard-boundary
+crossings common, exercising the coordinator's boundary-cohort pass;
+``min_batch=0`` forces every batch through the pool instead of the
+small-batch inline fallback.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import IncrementalEngine
+from repro.core.server import LocationAwareServer
+from repro.geometry import Point, Rect, Velocity
+from repro.parallel import ParallelConfig
+
+
+def ordered_stream(updates) -> list[tuple[int, int, int]]:
+    return [(u.qid, u.oid, u.sign) for u in updates]
+
+
+def make_pair(parallelism, grid_size=8, horizon=30.0):
+    parallel = IncrementalEngine(
+        grid_size=grid_size,
+        prediction_horizon=horizon,
+        pipeline="parallel",
+        parallelism=parallelism,
+    )
+    serial = IncrementalEngine(
+        grid_size=grid_size,
+        prediction_horizon=horizon,
+        pipeline="cell-batched",
+    )
+    return parallel, serial
+
+
+class PairDriver:
+    """Feed both engines one random mixed workload, round by round."""
+
+    def __init__(self, seed: int, parallelism, grid_size: int = 8):
+        self.rng = random.Random(seed)
+        self.parallel, self.serial = make_pair(
+            parallelism, grid_size=grid_size
+        )
+        self.live_objects: set[int] = set()
+        self.live_queries: dict[int, str] = {}
+        self.next_oid = 0
+        self.next_qid = 1000
+
+    def both(self, method: str, *args) -> None:
+        getattr(self.parallel, method)(*args)
+        getattr(self.serial, method)(*args)
+
+    def random_rect(self, max_side: float = 0.3) -> Rect:
+        rng = self.rng
+        x, y = rng.random(), rng.random()
+        return Rect(
+            x, y, x + rng.uniform(0.01, max_side), y + rng.uniform(0.01, max_side)
+        )
+
+    def register_random_query(self) -> None:
+        rng = self.rng
+        qid = self.next_qid
+        self.next_qid += 1
+        kind = rng.random()
+        if kind < 0.55:
+            self.both("register_range_query", qid, self.random_rect())
+            self.live_queries[qid] = "range"
+        elif kind < 0.8:
+            self.both(
+                "register_knn_query",
+                qid,
+                Point(rng.random(), rng.random()),
+                rng.randint(1, 4),
+            )
+            self.live_queries[qid] = "knn"
+        else:
+            self.both(
+                "register_predictive_query", qid, self.random_rect(), 10.0
+            )
+            self.live_queries[qid] = "predictive"
+
+    def move_random_query(self, now: float) -> None:
+        rng = self.rng
+        qid = rng.choice(sorted(self.live_queries))
+        kind = self.live_queries[qid]
+        if kind == "range":
+            self.both("move_range_query", qid, self.random_rect(), now)
+        elif kind == "knn":
+            self.both(
+                "move_knn_query", qid, Point(rng.random(), rng.random()), now
+            )
+        else:
+            self.both("move_predictive_query", qid, self.random_rect(), now)
+
+    def report_random_object(self, now: float) -> None:
+        rng = self.rng
+        if self.live_objects and rng.random() < 0.7:
+            oid = rng.choice(sorted(self.live_objects))
+        else:
+            oid = self.next_oid
+            self.next_oid += 1
+            self.live_objects.add(oid)
+        velocity = Velocity.ZERO
+        if rng.random() < 0.3:
+            velocity = Velocity(rng.uniform(-0.05, 0.05), rng.uniform(-0.05, 0.05))
+        self.both(
+            "report_object",
+            oid,
+            Point(rng.uniform(-0.05, 1.05), rng.uniform(-0.05, 1.05)),
+            now,
+            velocity,
+        )
+
+    def run_round(self, now: float) -> None:
+        rng = self.rng
+        for _ in range(rng.randint(10, 50)):
+            self.report_random_object(now)
+        if rng.random() < 0.6:
+            self.register_random_query()
+        if self.live_queries and rng.random() < 0.4:
+            self.move_random_query(now)
+        if self.live_queries and rng.random() < 0.2:
+            qid = rng.choice(sorted(self.live_queries))
+            del self.live_queries[qid]
+            self.both("unregister_query", qid)
+        if self.live_objects and rng.random() < 0.2:
+            oid = rng.choice(sorted(self.live_objects))
+            self.live_objects.discard(oid)
+            self.both("remove_object", oid)
+
+    def evaluate_and_compare(self, now: float, round_no: int) -> None:
+        got = ordered_stream(self.parallel.evaluate(now))
+        want = ordered_stream(self.serial.evaluate(now))
+        assert got == want, f"ordered streams diverged in round {round_no}"
+        assert (
+            self.parallel.complete_answers() == self.serial.complete_answers()
+        ), f"answers diverged after round {round_no}"
+        self.parallel.check_invariants()
+        self.serial.check_invariants()
+
+    def run(self, rounds: int = 10) -> None:
+        now = 0.0
+        try:
+            for round_no in range(rounds):
+                now += 1.0
+                self.run_round(now)
+                self.evaluate_and_compare(now, round_no)
+            # A pure time advance: only predictive windows slide.
+            self.evaluate_and_compare(now + 1.0, rounds)
+        finally:
+            self.parallel.close()
+
+
+FORCED_POOL = ParallelConfig(workers=4, backend="thread", min_batch=0)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_workloads_match_serial_stream_byte_for_byte(seed):
+    PairDriver(seed, FORCED_POOL).run()
+
+
+def test_process_backend_matches_serial_stream():
+    config = ParallelConfig(workers=2, backend="process", min_batch=0)
+    PairDriver(99, config).run(rounds=4)
+
+
+def test_single_worker_matches_serial_stream():
+    config = ParallelConfig(workers=1, backend="thread", min_batch=0)
+    PairDriver(7, config).run(rounds=6)
+
+
+def test_small_batches_fall_back_inline_and_match():
+    # min_batch far above any round's report count: the pool is never
+    # started and everything runs on the coordinator's serial path.
+    config = ParallelConfig(workers=4, backend="thread", min_batch=10**6)
+    driver = PairDriver(3, config)
+    driver.run(rounds=6)
+    assert driver.parallel._worker_pool is None
+
+
+def test_integer_parallelism_shorthand():
+    engine = IncrementalEngine(
+        grid_size=8, pipeline="parallel", parallelism=2
+    )
+    assert engine.parallel_config.workers == 2
+    engine.report_object(1, Point(0.5, 0.5), 0.0)
+    engine.register_range_query(100, Rect(0.25, 0.25, 0.75, 0.75))
+    assert ordered_stream(engine.evaluate(0.0)) == [(100, 1, 1)]
+    engine.close()
+
+
+def test_engine_is_reusable_after_close():
+    config = ParallelConfig(workers=2, backend="thread", min_batch=0)
+    engine = IncrementalEngine(
+        grid_size=8, pipeline="parallel", parallelism=config
+    )
+    with engine:
+        for step in range(3):
+            engine.report_object(step, Point(0.1 * step, 0.1 * step), 0.0)
+        engine.register_range_query(100, Rect(0.0, 0.0, 1.0, 1.0))
+        engine.evaluate(0.0)
+    # close() tore the pool down; the engine still evaluates.
+    engine.report_object(50, Point(0.5, 0.5), 1.0)
+    updates = engine.evaluate(1.0)
+    assert (100, 50, 1) in ordered_stream(updates)
+    engine.close()
+
+
+def test_server_parallel_cycle():
+    server = LocationAwareServer(
+        grid_size=8,
+        pipeline="parallel",
+        parallelism=ParallelConfig(workers=2, backend="thread", min_batch=0),
+    )
+    with server:
+        server.register_client(1)
+        server.receive_object_report(1, Point(0.5, 0.5), 0.0)
+        server.register_range_query(1, 100, Rect(0.25, 0.25, 0.75, 0.75))
+        result = server.evaluate_cycle(0.0)
+        assert ordered_stream(result.updates) == [(100, 1, 1)]

@@ -1,0 +1,118 @@
+"""Shard geometry and cohort planning for the parallel pipeline."""
+
+import pytest
+
+from repro.grid import Grid
+from repro.geometry import Rect
+from repro.parallel import plan_shards
+
+
+@pytest.fixture
+def grid():
+    return Grid(Rect(0.0, 0.0, 1.0, 1.0), n=8)
+
+
+class TestShardOfCell:
+    def test_every_cell_maps_to_a_valid_shard(self, grid):
+        for shards in (1, 2, 3, 4, 8):
+            for cell in range(grid.n * grid.n):
+                assert 0 <= grid.shard_of_cell(cell, shards) < shards
+
+    def test_cells_in_same_row_share_a_shard(self, grid):
+        for shards in (2, 3, 4):
+            for row in range(grid.n):
+                base = row * grid.n
+                owners = {
+                    grid.shard_of_cell(base + col, shards)
+                    for col in range(grid.n)
+                }
+                assert len(owners) == 1
+
+    def test_shard_ids_are_monotone_in_row(self, grid):
+        for shards in (2, 4, 8):
+            owners = [
+                grid.shard_of_cell(row * grid.n, shards)
+                for row in range(grid.n)
+            ]
+            assert owners == sorted(owners)
+            assert owners[0] == 0
+            assert owners[-1] == shards - 1
+
+    def test_single_shard_owns_everything(self, grid):
+        assert {
+            grid.shard_of_cell(c, 1) for c in range(grid.n * grid.n)
+        } == {0}
+
+    def test_invalid_shard_count_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.shard_of_cell(0, 0)
+
+
+class TestShardRowBands:
+    def test_bands_tile_the_rows(self, grid):
+        for shards in (1, 2, 3, 4, 8):
+            bands = grid.shard_row_bands(shards)
+            assert len(bands) == shards
+            covered = []
+            for lo, hi in bands:
+                covered.extend(range(lo, hi))
+            assert covered == list(range(grid.n))
+
+    def test_bands_agree_with_shard_of_cell(self, grid):
+        for shards in (2, 3, 4):
+            bands = grid.shard_row_bands(shards)
+            for shard, (lo, hi) in enumerate(bands):
+                for row in range(lo, hi):
+                    assert grid.shard_of_cell(row * grid.n, shards) == shard
+
+    def test_more_shards_than_rows_yields_empty_bands(self, grid):
+        bands = grid.shard_row_bands(grid.n * 2)
+        assert len(bands) == grid.n * 2
+        nonempty = [b for b in bands if b[0] < b[1]]
+        assert len(nonempty) == grid.n
+
+
+class TestPlanShards:
+    def _cohort(self, cells):
+        return (tuple(cells), [], False, False)
+
+    def test_in_band_cohort_goes_to_its_shard(self, grid):
+        # Row 0 cells with 2 shards -> shard 0; row 7 -> shard 1.
+        cohorts = [
+            self._cohort([0, 1]),
+            self._cohort([7 * grid.n, 7 * grid.n + 3]),
+        ]
+        plan = plan_shards(cohorts, grid, shards=2)
+        assert plan.total == 2
+        assert plan.boundary == []
+        assert sorted(plan.shard_cohorts) == [0, 1]
+        assert plan.shard_cohorts[0][0][0] == 0  # seq of first cohort
+        assert plan.shard_cohorts[1][0][0] == 1
+
+    def test_cross_band_cohort_lands_on_the_boundary(self, grid):
+        # A transition from row 0 to row 7 straddles both shards.
+        cohorts = [self._cohort([0, 7 * grid.n])]
+        plan = plan_shards(cohorts, grid, shards=2)
+        assert plan.shard_cohorts == {}
+        assert len(plan.boundary) == 1
+        assert plan.dispatched == 0
+
+    def test_sequence_numbers_match_input_order(self, grid):
+        cohorts = [
+            self._cohort([0]),
+            self._cohort([0, 7 * grid.n]),
+            self._cohort([grid.n]),
+        ]
+        plan = plan_shards(cohorts, grid, shards=2)
+        seqs = sorted(
+            [seq for items in plan.shard_cohorts.values() for seq, *_ in items]
+            + [seq for seq, *_ in plan.boundary]
+        )
+        assert seqs == [0, 1, 2]
+        assert plan.boundary[0][0] == 1
+
+    def test_single_shard_never_produces_boundary(self, grid):
+        cohorts = [self._cohort([0, grid.n * grid.n - 1])]
+        plan = plan_shards(cohorts, grid, shards=1)
+        assert plan.boundary == []
+        assert plan.dispatched == 1

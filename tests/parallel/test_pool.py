@@ -1,0 +1,67 @@
+"""Worker-pool configuration and lifecycle."""
+
+import os
+
+import pytest
+
+from repro.parallel import ParallelConfig, WorkerPool
+
+
+def _double(payload):
+    return payload * 2
+
+
+class TestParallelConfig:
+    def test_zero_workers_resolves_to_cpu_count(self):
+        config = ParallelConfig(workers=0)
+        assert config.workers == (os.cpu_count() or 1)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelConfig(workers=-2)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ParallelConfig(backend="fibers")
+
+    def test_negative_min_batch_rejected(self):
+        with pytest.raises(ValueError, match="min_batch"):
+            ParallelConfig(min_batch=-1)
+
+    def test_auto_backend_resolution(self):
+        assert ParallelConfig(workers=1).resolved_backend == "thread"
+        assert ParallelConfig(workers=4).resolved_backend == "process"
+        assert (
+            ParallelConfig(workers=4, backend="thread").resolved_backend
+            == "thread"
+        )
+
+
+class TestWorkerPool:
+    def test_pool_starts_lazily(self):
+        pool = WorkerPool(ParallelConfig(workers=2, backend="thread"))
+        assert not pool.started
+        futures = pool.submit(_double, [1, 2, 3])
+        assert pool.started
+        assert [f.result() for f in futures] == [2, 4, 6]
+        pool.close()
+        assert not pool.started
+
+    def test_reset_recovers_for_next_submit(self):
+        pool = WorkerPool(ParallelConfig(workers=2, backend="thread"))
+        pool.submit(_double, [1])
+        pool.reset()
+        assert not pool.started
+        futures = pool.submit(_double, [5])
+        assert futures[0].result() == 10
+        pool.close()
+
+    def test_context_manager_closes(self):
+        with WorkerPool(ParallelConfig(workers=2, backend="thread")) as pool:
+            assert [f.result() for f in pool.submit(_double, [7])] == [14]
+        assert not pool.started
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(ParallelConfig(workers=1, backend="thread"))
+        pool.close()
+        pool.close()
