@@ -19,10 +19,18 @@ from repro.net.messages import Message, UpdateMessage
 class Client:
     """A query-owning client mirroring its answers from update messages."""
 
-    def __init__(self, client_id: int, server: LocationAwareServer):
+    def __init__(
+        self,
+        client_id: int,
+        server: LocationAwareServer,
+        downlink_budget: int | None = None,
+    ):
+        """``downlink_budget`` (bytes per evaluation cycle) registers the
+        client behind a :class:`~repro.net.ThrottledLink` — the congested
+        downstream channel of the recovery-under-throttle scenarios."""
         self.client_id = client_id
         self.server = server
-        self.link = server.register_client(client_id)
+        self.link = server.register_client(client_id, downlink_budget)
         self.answers: dict[int, set[int]] = {}
         self._committed: dict[int, frozenset[int]] = {}
 

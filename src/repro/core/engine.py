@@ -251,6 +251,10 @@ class IncrementalEngine:
         else:
             self.parallel_config = ParallelConfig(workers=int(parallelism))
         self._worker_pool: WorkerPool | None = None
+        # Fault injection: forwarded to the worker pool on creation
+        # (``hook(payload) -> bool``; True crashes that shard's future).
+        # Exercises the reset-and-rerun-inline recovery path.
+        self.worker_crash_hook = None
         self.grid = Grid(world, grid_size)
         self.index = GridIndex(self.grid)
         self.prediction_horizon = prediction_horizon
@@ -970,6 +974,7 @@ class IncrementalEngine:
         if self._worker_pool is None:
             self._worker_pool = WorkerPool(config)
         pool = self._worker_pool
+        pool.crash_hook = self.worker_crash_hook
         futures = pool.submit(evaluate_shard, payloads)
 
         # Boundary cohorts overlap with the in-flight shard work: they

@@ -17,6 +17,20 @@ disconnected client are simply lost, which is exactly why the commit
 protocol exists.  Commits happen only on uplink evidence: any message
 from a moving query, an explicit commit message from a stationary one,
 or the completion of a wakeup resynchronisation.
+
+**Commit invariant (committed ⊆ delivered).**  The committed-answer
+repository must never get *ahead* of what a client actually received:
+a committed answer the client does not hold poisons every future
+recovery diff (the server diffs against a base the client never
+reached, so stale members are never retracted).  The server therefore
+tracks, per query, the answer state proven delivered — the committed
+base plus every update ``link.deliver`` accepted since — and commits
+only that.  A throttled or re-dropped recovery update simply leaves
+the query behind the live answer; the next wakeup re-sends the missing
+delta, and repeated wakeups converge because each one advances the
+committed base by whatever did fit.  The
+:class:`repro.check.ConsistencyOracle` enforces this invariant under
+the :mod:`repro.faults` chaos schedules.
 """
 
 from __future__ import annotations
@@ -31,7 +45,9 @@ from repro.net import (
     ClientLink,
     CommitMessage,
     FullAnswerMessage,
+    KnnMoveMessage,
     NetworkStats,
+    ObjectRemovalMessage,
     ObjectReportMessage,
     QueryRegionMessage,
     ThrottledLink,
@@ -122,6 +138,19 @@ class LocationAwareServer:
         self._links: dict[int, ClientLink] = {}
         self._bindings: dict[int, _QueryBinding] = {}
         self._queries_of_client: dict[int, set[int]] = {}
+        # Per-query answer state proven delivered to the owning client:
+        # the committed base plus every update deliver() accepted since.
+        # This — never the live engine answer — is what commits record.
+        self._delivered_answers: dict[int, set[int]] = {}
+        # Fault-injection gate for uplink traffic: ``gate(kind) -> bool``
+        # where False defers the uplink call to the start of the next
+        # evaluation cycle (a slow/congested uplink path).  ``None``
+        # means every uplink is processed immediately.
+        self.uplink_gate = None
+        self._delayed_uplinks: list[tuple[object, tuple]] = []
+        # Protocol observers (the consistency oracle): duck-typed
+        # objects with on_wakeup_begin/on_wakeup_end/on_commit.
+        self._observers: list[object] = []
         self._m_cycle_seconds = self.registry.histogram("server_cycle_seconds")
         self._m_updates_delivered = self.registry.counter(
             "server_updates_delivered_total"
@@ -159,6 +188,48 @@ class LocationAwareServer:
         self.close()
 
     # ------------------------------------------------------------------
+    # Protocol observers and fault hooks
+    # ------------------------------------------------------------------
+
+    def add_observer(self, observer: object) -> None:
+        """Subscribe a protocol observer (e.g. the consistency oracle).
+
+        Observers receive ``on_wakeup_begin(client_id)`` /
+        ``on_wakeup_end(client_id)`` around each wakeup
+        resynchronisation and ``on_commit(qid)`` after every commit, so
+        an external checker can mirror the client-side protocol state
+        without being in the delivery path.
+        """
+        self._observers.append(observer)
+
+    def _notify(self, event: str, ident: int) -> None:
+        for observer in self._observers:
+            getattr(observer, event)(ident)
+
+    def _gate(self, kind: str, method, args: tuple) -> bool:
+        """Apply the uplink fault gate; True means "process now"."""
+        if self.uplink_gate is None or self.uplink_gate(kind):
+            return True
+        self._delayed_uplinks.append((method, args))
+        return False
+
+    def _replay_delayed_uplinks(self) -> None:
+        """Deliver uplinks a fault schedule delayed into this cycle.
+
+        Replays bypass the gate — a delayed message arrives at the next
+        cycle boundary, it is not re-rolled into oblivion.
+        """
+        if not self._delayed_uplinks:
+            return
+        pending, self._delayed_uplinks = self._delayed_uplinks, []
+        gate, self.uplink_gate = self.uplink_gate, None
+        try:
+            for method, args in pending:
+                method(*args)
+        finally:
+            self.uplink_gate = gate
+
+    # ------------------------------------------------------------------
     # Client management
     # ------------------------------------------------------------------
 
@@ -181,8 +252,16 @@ class LocationAwareServer:
     def link_of(self, client_id: int) -> ClientLink:
         return self._links[client_id]
 
+    def client_ids(self) -> list[int]:
+        return sorted(self._links)
+
     def queries_of(self, client_id: int) -> frozenset[int]:
         return frozenset(self._queries_of_client[client_id])
+
+    def client_of(self, qid: int) -> int:
+        """The client that owns query ``qid``."""
+        self._require_binding(qid)
+        return self._bindings[qid].client_id
 
     # ------------------------------------------------------------------
     # Uplink: object reports
@@ -196,6 +275,12 @@ class LocationAwareServer:
         velocity: Velocity = Velocity.ZERO,
     ) -> None:
         """Ingest a location report, persisting the superseded location."""
+        if not self._gate(
+            "object_report",
+            self.receive_object_report,
+            (oid, location, t, velocity),
+        ):
+            return
         self.stats.record_uplink(
             ObjectReportMessage(oid, location, velocity, t)
         )
@@ -210,6 +295,11 @@ class LocationAwareServer:
         self.engine.report_object(oid, location, t, velocity)
 
     def remove_object(self, oid: int) -> None:
+        """An object leaves the system — an uplink message like any
+        report, and accounted as one (8 identifier bytes)."""
+        if not self._gate("object_removal", self.remove_object, (oid,)):
+            return
+        self.stats.record_uplink(ObjectRemovalMessage(oid))
         self.engine.remove_object(oid)
 
     # ------------------------------------------------------------------
@@ -242,29 +332,54 @@ class LocationAwareServer:
         everything sent so far (clients always wake up before resuming
         uplink after an outage).
         """
+        if not self._gate(
+            "query_move", self.receive_range_query_move, (qid, region, t)
+        ):
+            return
         self.stats.record_uplink(QueryRegionMessage(qid, region, t))
         self.engine.move_range_query(qid, region, t)
         self._commit_on_uplink(qid)
 
     def receive_knn_query_move(self, qid: int, center: Point, t: float) -> None:
-        self.stats.record_uplink(
-            QueryRegionMessage(qid, Rect(center.x, center.y, center.x, center.y), t)
-        )
+        """A moving k-NN query reports its new center (a
+        :class:`~repro.net.KnnMoveMessage` — 32 bytes on the wire, not
+        a degenerate zero-area rectangle shoehorned into the 48-byte
+        range-move encoding)."""
+        if not self._gate(
+            "query_move", self.receive_knn_query_move, (qid, center, t)
+        ):
+            return
+        self.stats.record_uplink(KnnMoveMessage(qid, center, t))
         self.engine.move_knn_query(qid, center, t)
         self._commit_on_uplink(qid)
 
     def receive_predictive_query_move(
         self, qid: int, region: Rect, t: float
     ) -> None:
+        if not self._gate(
+            "query_move", self.receive_predictive_query_move, (qid, region, t)
+        ):
+            return
         self.stats.record_uplink(QueryRegionMessage(qid, region, t))
         self.engine.move_predictive_query(qid, region, t)
         self._commit_on_uplink(qid)
 
     def receive_commit(self, qid: int) -> None:
-        """Explicit commit from a stationary query's client."""
+        """Explicit commit from a stationary query's client.
+
+        Commits the *delivered* answer state, not the live engine
+        answer: the client is acknowledging what it holds, and what it
+        holds is exactly the updates the link accepted.  The two only
+        differ when downlink messages were dropped (throttling, an
+        unnoticed outage) — precisely when committing the live answer
+        would violate the commit invariant.
+        """
+        if not self._gate("commit", self.receive_commit, (qid,)):
+            return
         self.stats.record_uplink(CommitMessage(qid))
         self._require_binding(qid)
-        self.commits.commit(qid, self.engine.answer_of(qid))
+        self.commits.commit(qid, frozenset(self._delivered_answers[qid]))
+        self._notify("on_commit", qid)
 
     def adopt_query(self, qid: int, client_id: int) -> None:
         """Bind an engine query that already exists (restored from a
@@ -278,6 +393,7 @@ class LocationAwareServer:
         if binding is None:
             raise KeyError(f"unknown query {qid}")
         self._queries_of_client[binding.client_id].discard(qid)
+        self._delivered_answers.pop(qid, None)
         self.commits.forget(qid)
         self.engine.unregister_query(qid)
 
@@ -289,9 +405,17 @@ class LocationAwareServer:
         """Resynchronise a reconnecting client (Section 3.3).
 
         For every query the client owns, diff the current answer against
-        the committed one and ship only that delta; the post-recovery
-        answer is then committed (the client just proved it is
-        listening).  Returns the updates sent, for observability.
+        the committed one and ship only that delta.  Only the answer
+        state *actually delivered* is then committed: each recovery
+        update the link accepts advances the committed base, while a
+        throttled or re-dropped one leaves its object out of the commit
+        — the query stays partially committed and the next wakeup
+        re-sends exactly the missing delta.  (Committing the full
+        current answer here regardless of delivery would desync a
+        congested client forever: the server would diff future
+        recoveries against a base the client never reached.)
+
+        Returns the updates delivered, for observability.
         """
         self.stats.record_uplink(WakeupMessage(client_id))
         self._m_wakeups.inc()
@@ -300,33 +424,56 @@ class LocationAwareServer:
         if isinstance(link, ThrottledLink):
             # The recovery response gets a fresh cycle's worth of budget.
             link.new_cycle()
+        self._notify("on_wakeup_begin", client_id)
         sent: list[Update] = []
         with self.tracer.span("recovery"):
             for qid in sorted(self._queries_of_client[client_id]):
                 current = self.engine.answer_of(qid)
+                # The client rolled back to the committed answer; every
+                # delivered update moves this base toward `current`.
+                reached = set(self.commits.committed_answer(qid))
                 for update in self.commits.recovery_updates(qid, current):
-                    link.deliver(
+                    if link.deliver(
                         UpdateMessage(update.qid, update.oid, update.sign)
-                    )
-                    sent.append(update)
-                self.commits.commit(qid, current)
+                    ):
+                        if update.is_positive:
+                            reached.add(update.oid)
+                        else:
+                            reached.discard(update.oid)
+                        sent.append(update)
+                self._delivered_answers[qid] = reached
+                self.commits.commit(qid, frozenset(reached))
+        self._notify("on_wakeup_end", client_id)
         self._m_recovery_updates.inc(len(sent))
         return sent
 
     def recover_naive(self, client_id: int) -> int:
         """The naive wakeup alternative: retransmit every full answer.
 
-        Returns the bytes sent; used by the recovery ablation benchmark.
+        Returns the bytes delivered; used by the recovery ablation
+        benchmark.  Mirrors :meth:`receive_wakeup`'s accounting — the
+        wakeup uplink is recorded in :class:`NetworkStats` and a
+        throttled link gets a fresh cycle budget — so the ablation
+        compares recovery strategies, not bookkeeping asymmetries.  A
+        full answer the link rejects leaves the query uncommitted; the
+        next recovery attempt retries it.
         """
+        self.stats.record_uplink(WakeupMessage(client_id))
+        self._m_wakeups.inc()
         link = self._links[client_id]
         link.reconnect()
+        if isinstance(link, ThrottledLink):
+            link.new_cycle()
+        self._notify("on_wakeup_begin", client_id)
         total = 0
         for qid in sorted(self._queries_of_client[client_id]):
             answer = self.engine.answer_of(qid)
             message = FullAnswerMessage(qid, answer)
-            link.deliver(message)
-            total += message.size_bytes
-            self.commits.commit(qid, answer)
+            if link.deliver(message):
+                total += message.size_bytes
+                self._delivered_answers[qid] = set(answer)
+                self.commits.commit(qid, answer)
+        self._notify("on_wakeup_end", client_id)
         return total
 
     # ------------------------------------------------------------------
@@ -340,6 +487,7 @@ class LocationAwareServer:
         the engine's phase spans and the ``downlink`` ship span) whose
         latency lands in the ``server_cycle_seconds`` histogram.
         """
+        self._replay_delayed_uplinks()
         with self.tracer.span("cycle", histogram=self._m_cycle_seconds):
             for link in self._links.values():
                 if isinstance(link, ThrottledLink):
@@ -363,6 +511,14 @@ class LocationAwareServer:
                     result.incremental_bytes += message.size_bytes
                     if self._links[binding.client_id].deliver(message):
                         result.delivered_updates += 1
+                        # Advance the proven-delivered view so the next
+                        # uplink-triggered commit records what the client
+                        # actually holds.
+                        delivered = self._delivered_answers[update.qid]
+                        if update.is_positive:
+                            delivered.add(update.oid)
+                        else:
+                            delivered.discard(update.oid)
                     else:
                         result.dropped_updates += 1
         self._m_updates_delivered.inc(result.delivered_updates)
@@ -401,11 +557,15 @@ class LocationAwareServer:
             raise KeyError(f"unknown client {client_id}")
         self._bindings[qid] = _QueryBinding(qid, client_id)
         self._queries_of_client[client_id].add(qid)
+        # A checkpoint-adopted query starts from its committed answer
+        # (the client held it before the restart); a fresh one from ∅.
+        self._delivered_answers[qid] = set(self.commits.committed_answer(qid))
 
     def _commit_on_uplink(self, qid: int) -> None:
         self._require_binding(qid)
         self._bindings[qid].moving = True
-        self.commits.commit(qid, self.engine.answer_of(qid))
+        self.commits.commit(qid, frozenset(self._delivered_answers[qid]))
+        self._notify("on_commit", qid)
 
     def _require_binding(self, qid: int) -> None:
         if qid not in self._bindings:

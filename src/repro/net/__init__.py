@@ -7,18 +7,32 @@ pins down a concrete wire encoding for every message type, models
 per-client links that can disconnect and reconnect (the out-of-sync
 scenario of Section 3.3), and aggregates byte counters for the
 benchmarks.
+
+Links carry injectable fault hooks (:data:`FAULT_ACTIONS`) and a
+delivery observer so :mod:`repro.faults` can perturb the wire and
+:mod:`repro.check` can watch it without changing what clients see.
 """
 
 from repro.net.messages import (
     CommitMessage,
     FullAnswerMessage,
+    KnnMoveMessage,
     Message,
+    ObjectRemovalMessage,
     ObjectReportMessage,
     QueryRegionMessage,
     UpdateMessage,
     WakeupMessage,
 )
-from repro.net.link import ClientLink, NetworkStats
+from repro.net.link import (
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    FAULT_ACTIONS,
+    REORDER,
+    ClientLink,
+    NetworkStats,
+)
 from repro.net.throttle import ThrottledLink
 
 __all__ = [
@@ -26,10 +40,17 @@ __all__ = [
     "UpdateMessage",
     "FullAnswerMessage",
     "ObjectReportMessage",
+    "ObjectRemovalMessage",
     "QueryRegionMessage",
+    "KnnMoveMessage",
     "WakeupMessage",
     "CommitMessage",
     "ClientLink",
     "NetworkStats",
     "ThrottledLink",
+    "DELIVER",
+    "DROP",
+    "DUPLICATE",
+    "REORDER",
+    "FAULT_ACTIONS",
 ]

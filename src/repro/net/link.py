@@ -16,6 +16,21 @@ from collections import Counter as TallyCounter
 from repro.net.messages import Message
 from repro.obs import MetricsRegistry
 
+#: Fault-hook verdicts for one delivery attempt (see
+#: :attr:`ClientLink.fault_hook`).  ``DELIVER`` is the no-fault path;
+#: ``DROP`` loses the message on the wire; ``DUPLICATE`` delivers it
+#: twice back to back; ``REORDER`` lets it overtake the previous inbox
+#: message *if* they belong to different queries (per-query FIFO is a
+#: protocol requirement — the commit/recovery machinery assumes a
+#: client applies one query's updates in emission order — so same-qid
+#: reordering is never injected).
+DELIVER = "deliver"
+DROP = "drop"
+DUPLICATE = "duplicate"
+REORDER = "reorder"
+
+FAULT_ACTIONS = (DELIVER, DROP, DUPLICATE, REORDER)
+
 
 class NetworkStats:
     """Aggregate traffic counters (downstream delivery plus uplink).
@@ -111,12 +126,25 @@ class ClientLink:
     what was lost only for accounting: per-link delivered/dropped
     message and byte counters plus a queued-depth gauge, all labelled
     ``client="<id>"`` in the owning stats registry.
+
+    Two injectable hooks support the fault/consistency tooling:
+
+    * ``fault_hook(link, message) -> action`` decides the fate of each
+      delivery attempt (one of :data:`FAULT_ACTIONS`); ``None`` means
+      no faults.  Faults apply only while connected — a disconnected
+      link loses everything regardless.
+    * ``delivery_observer(client_id, message, delivered)`` is called
+      once per wire outcome (including each duplicate copy), letting
+      the consistency oracle mirror exactly what the client will see
+      without draining the inbox.
     """
 
     def __init__(self, client_id: int, stats: NetworkStats | None = None):
         self.client_id = client_id
         self.connected = True
         self.stats = stats if stats is not None else NetworkStats()
+        self.fault_hook = None
+        self.delivery_observer = None
         self._inbox: list[Message] = []
         registry = self.stats.registry
         labels = {"client": str(client_id)}
@@ -146,16 +174,43 @@ class ClientLink:
 
     def deliver(self, message: Message) -> bool:
         """Send ``message``; returns whether the client received it."""
-        self.stats.record(message, delivered=self.connected)
-        if self.connected:
-            self._inbox.append(message)
-            self._m_delivered.inc()
-            self._m_delivered_bytes.inc(message.size_bytes)
-            self._m_queued.set(len(self._inbox))
-            return True
-        self._m_dropped.inc()
-        self._m_dropped_bytes.inc(message.size_bytes)
-        return False
+        action = DELIVER
+        if self.connected and self.fault_hook is not None:
+            action = self.fault_hook(self, message)
+        if not self.connected or action == DROP:
+            self.stats.record(message, delivered=False)
+            self._m_dropped.inc()
+            self._m_dropped_bytes.inc(message.size_bytes)
+            self._notify(message, False)
+            return False
+        self._accept(message, reorder=(action == REORDER))
+        if action == DUPLICATE:
+            self._accept(message, reorder=False)
+        self._m_queued.set(len(self._inbox))
+        return True
+
+    def _accept(self, message: Message, reorder: bool) -> None:
+        """Put one delivered copy in the inbox, with full accounting."""
+        self.stats.record(message, delivered=True)
+        self._m_delivered.inc()
+        self._m_delivered_bytes.inc(message.size_bytes)
+        inbox = self._inbox
+        if reorder and inbox and self._reorderable(inbox[-1], message):
+            inbox.insert(len(inbox) - 1, message)
+        else:
+            inbox.append(message)
+        self._notify(message, True)
+
+    @staticmethod
+    def _reorderable(previous: Message, message: Message) -> bool:
+        """Cross-query overtaking only: per-query FIFO is load-bearing."""
+        prev_qid = getattr(previous, "qid", None)
+        qid = getattr(message, "qid", None)
+        return prev_qid is not None and qid is not None and prev_qid != qid
+
+    def _notify(self, message: Message, delivered: bool) -> None:
+        if self.delivery_observer is not None:
+            self.delivery_observer(self.client_id, message, delivered)
 
     def drain(self) -> list[Message]:
         """Messages received since the last drain (the client's mailbox)."""

@@ -83,6 +83,36 @@ class QueryRegionMessage(Message):
 
 
 @dataclass(frozen=True, slots=True)
+class KnnMoveMessage(Message):
+    """Uplink: a moving k-NN query reports its new focal point.
+
+    A k-NN move carries a center and a timestamp — not a rectangle —
+    so its wire cost is 3 doubles plus the identifier, not the 5-double
+    :class:`QueryRegionMessage` a range move pays.  (``k`` itself never
+    changes after registration and is not re-sent.)
+    """
+
+    qid: int
+    center: Point
+    t: float
+
+    @property
+    def size_bytes(self) -> int:
+        return _ID_BYTES + 3 * _FLOAT_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectRemovalMessage(Message):
+    """Uplink: an object announces it is leaving the system."""
+
+    oid: int
+
+    @property
+    def size_bytes(self) -> int:
+        return _ID_BYTES
+
+
+@dataclass(frozen=True, slots=True)
 class WakeupMessage(Message):
     """Uplink: an out-of-sync client announces it reconnected."""
 

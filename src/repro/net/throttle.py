@@ -61,6 +61,7 @@ class ThrottledLink(ClientLink):
             self._m_throttled.inc()
             self._m_throttled_bytes.inc(message.size_bytes)
             self.stats.record(message, delivered=False)
+            self._notify(message, False)
             return False
         self._spent_this_cycle += message.size_bytes
         return super().deliver(message)

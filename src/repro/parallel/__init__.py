@@ -20,12 +20,13 @@ Pieces:
 
 from repro.parallel.merge import merge_ordered
 from repro.parallel.planner import ShardPlan, build_shard_payloads, plan_shards
-from repro.parallel.pool import ParallelConfig, WorkerPool
+from repro.parallel.pool import ParallelConfig, SimulatedWorkerCrash, WorkerPool
 from repro.parallel.worker import evaluate_shard
 
 __all__ = [
     "ParallelConfig",
     "ShardPlan",
+    "SimulatedWorkerCrash",
     "WorkerPool",
     "build_shard_payloads",
     "evaluate_shard",

@@ -33,6 +33,15 @@ from dataclasses import dataclass
 _BACKENDS = ("auto", "process", "thread")
 
 
+class SimulatedWorkerCrash(RuntimeError):
+    """Raised inside a shard future by an injected crash hook.
+
+    Stands in for a worker process killed mid-batch; the coordinator's
+    recovery path (reset the pool, re-run the shard inline) must treat
+    it exactly like the real thing.
+    """
+
+
 @dataclass(frozen=True, slots=True)
 class ParallelConfig:
     """Tuning knobs for ``IncrementalEngine(pipeline="parallel")``.
@@ -74,6 +83,11 @@ class WorkerPool:
     def __init__(self, config: ParallelConfig):
         self.config = config
         self._executor: Executor | None = None
+        # Fault injection: ``crash_hook(payload) -> bool``; True makes
+        # that shard's future fail with SimulatedWorkerCrash instead of
+        # reaching a worker, exercising the coordinator's recovery path
+        # without actually killing an executor.  ``None`` disables.
+        self.crash_hook = None
 
     @property
     def started(self) -> bool:
@@ -96,6 +110,8 @@ class WorkerPool:
         """Submit one task per payload; on a dead executor, fall back to
         inline execution wrapped in completed futures (the caller's
         gather path stays uniform)."""
+        if self.crash_hook is not None:
+            return [self._submit_one(fn, payload) for payload in payloads]
         try:
             executor = self._ensure()
             return [executor.submit(fn, payload) for payload in payloads]
@@ -110,6 +126,27 @@ class WorkerPool:
                     future.set_exception(exc)
                 futures.append(future)
             return futures
+
+    def _submit_one(self, fn, payload) -> Future:
+        """Crash-hook-aware single submission (injection path only)."""
+        if self.crash_hook(payload):
+            future: Future = Future()
+            future.set_exception(
+                SimulatedWorkerCrash(
+                    "fault injection killed the worker for this shard"
+                )
+            )
+            return future
+        try:
+            return self._ensure().submit(fn, payload)
+        except (RuntimeError, OSError):
+            self.reset()
+            future = Future()
+            try:
+                future.set_result(fn(payload))
+            except BaseException as exc:  # pragma: no cover - defensive
+                future.set_exception(exc)
+            return future
 
     def reset(self) -> None:
         """Tear down a (possibly broken) executor; the next submit

@@ -1,0 +1,144 @@
+"""Property tests: link gauges track true link state under any
+interleaving of deliveries, outages, faults and drains."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    FAULT_ACTIONS,
+    REORDER,
+    ClientLink,
+    NetworkStats,
+    UpdateMessage,
+)
+
+#: One step of link usage: an operation name, plus a payload qid for
+#: deliveries (distinct qids make REORDER actually reorder).
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("deliver"), st.integers(min_value=1, max_value=3)),
+        st.tuples(st.just("disconnect"), st.just(0)),
+        st.tuples(st.just("reconnect"), st.just(0)),
+        st.tuples(st.just("drain"), st.just(0)),
+    ),
+    max_size=60,
+)
+
+ACTIONS = st.lists(st.sampled_from(FAULT_ACTIONS), min_size=1, max_size=16)
+
+
+def run_ops(link: ClientLink, ops) -> list:
+    inbox_copy = []
+    for op, qid in ops:
+        if op == "deliver":
+            link.deliver(UpdateMessage(qid, 1, 1))
+        elif op == "disconnect":
+            link.disconnect()
+        elif op == "reconnect":
+            link.reconnect()
+        else:
+            inbox_copy.extend(link.drain())
+    return inbox_copy
+
+
+def gauge(stats: NetworkStats, name: str, client: int) -> float:
+    return stats.registry.value_of(name, {"client": str(client)})
+
+
+class TestQueuedGaugeProperty:
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_queued_gauge_equals_inbox_depth(self, ops):
+        stats = NetworkStats()
+        link = ClientLink(1, stats)
+        run_ops(link, ops)
+        assert gauge(stats, "link_queued_messages", 1) == len(link._inbox)
+
+    @given(ops=OPS, actions=ACTIONS)
+    @settings(max_examples=60, deadline=None)
+    def test_queued_gauge_holds_under_faults(self, ops, actions):
+        stats = NetworkStats()
+        link = ClientLink(1, stats)
+        cursor = iter(actions * 100)
+        link.fault_hook = lambda _link, _msg: next(cursor)
+        run_ops(link, ops)
+        assert gauge(stats, "link_queued_messages", 1) == len(link._inbox)
+
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_drain_always_zeroes_the_gauge(self, ops):
+        stats = NetworkStats()
+        link = ClientLink(1, stats)
+        run_ops(link, ops)
+        link.drain()
+        assert gauge(stats, "link_queued_messages", 1) == 0.0
+
+
+class TestConnectedGaugeProperty:
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_connected_gauge_mirrors_link_state(self, ops):
+        stats = NetworkStats()
+        link = ClientLink(1, stats)
+        run_ops(link, ops)
+        assert gauge(stats, "link_connected", 1) == (
+            1.0 if link.connected else 0.0
+        )
+
+
+class TestFaultActionProperties:
+    @given(ops=OPS, actions=ACTIONS)
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_matches_inbox_and_drops(self, ops, actions):
+        """delivered counter == everything that entered the inbox
+        (duplicates included); dropped counter == everything lost."""
+        stats = NetworkStats()
+        link = ClientLink(1, stats)
+        cursor = iter(actions * 100)
+        link.fault_hook = lambda _link, _msg: next(cursor)
+        drained = run_ops(link, ops)
+        total_in = len(drained) + len(link._inbox)
+        assert gauge(stats, "link_delivered_messages_total", 1) == total_in
+        attempts = sum(1 for op, _ in ops if op == "deliver")
+        duplicates = total_in - (
+            attempts - int(gauge(stats, "link_dropped_messages_total", 1))
+        )
+        assert duplicates >= 0
+
+    @given(actions=ACTIONS)
+    @settings(max_examples=60, deadline=None)
+    def test_per_query_fifo_is_preserved(self, actions):
+        """Whatever the fault schedule does, one query's updates are
+        never reordered against each other."""
+        link = ClientLink(1)
+        cursor = iter(actions * 100)
+        link.fault_hook = lambda _link, _msg: next(cursor)
+        for i in range(20):
+            link.deliver(UpdateMessage(qid=1 + (i % 2), oid=i, sign=1))
+        for qid in (1, 2):
+            oids = [m.oid for m in link._inbox if m.qid == qid]
+            assert oids == sorted(oids)
+
+    def test_duplicate_is_adjacent(self):
+        link = ClientLink(1)
+        link.fault_hook = lambda _link, _msg: DUPLICATE
+        link.deliver(UpdateMessage(1, 7, 1))
+        assert [m.oid for m in link._inbox] == [7, 7]
+
+    def test_reorder_never_crosses_same_query(self):
+        link = ClientLink(1)
+        actions = iter([DELIVER, REORDER])
+        link.fault_hook = lambda _link, _msg: next(actions)
+        link.deliver(UpdateMessage(1, 1, 1))
+        link.deliver(UpdateMessage(1, 2, 1))  # same qid: stays in order
+        assert [m.oid for m in link._inbox] == [1, 2]
+
+    def test_drop_returns_false_and_counts(self):
+        stats = NetworkStats()
+        link = ClientLink(1, stats)
+        link.fault_hook = lambda _link, _msg: DROP
+        assert not link.deliver(UpdateMessage(1, 1, 1))
+        assert gauge(stats, "link_dropped_messages_total", 1) == 1.0

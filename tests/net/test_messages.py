@@ -6,6 +6,8 @@ from repro.geometry import Point, Rect, Velocity
 from repro.net import (
     CommitMessage,
     FullAnswerMessage,
+    KnnMoveMessage,
+    ObjectRemovalMessage,
     ObjectReportMessage,
     QueryRegionMessage,
     UpdateMessage,
@@ -55,3 +57,13 @@ class TestUplinkMessages:
     def test_control_message_sizes(self):
         assert WakeupMessage(1).size_bytes == 8
         assert CommitMessage(1).size_bytes == 8
+        assert ObjectRemovalMessage(1).size_bytes == 8
+
+    def test_knn_move_size(self):
+        """A k-NN move ships a center and a timestamp (3 doubles + id),
+        not the 5-double rectangle encoding a range move pays."""
+        msg = KnnMoveMessage(1, Point(0.5, 0.5), 1.0)
+        assert msg.size_bytes == 32
+        assert msg.size_bytes < QueryRegionMessage(
+            1, Rect(0, 0, 1, 1), 1.0
+        ).size_bytes
