@@ -1,0 +1,46 @@
+"""Columnar (struct-of-arrays) stores and batch kernels.
+
+The ``pipeline="columnar"`` evaluation core: object and query state
+mirrored into parallel arrays (:mod:`repro.columnar.store`), batch
+kernels for the cell-range join and cohort membership classification
+(:mod:`repro.columnar.kernels`) and k-NN candidate distance filtering
+(:mod:`repro.columnar.knn`), orchestrated per evaluation by
+:class:`~repro.columnar.evaluate.ColumnarEvaluator`.  Kernels run on
+numpy when available and on pure-Python ``array`` columns otherwise
+(:mod:`repro.columnar.backend` — the stdlib-only guarantee holds).
+"""
+
+from repro.columnar.backend import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    numpy_available,
+    numpy_or_none,
+    resolve_backend,
+)
+from repro.columnar.evaluate import ColumnarEvaluator
+from repro.columnar.kernels import PairPlan, classify_transitions
+from repro.columnar.knn import knn_search_columnar
+from repro.columnar.store import (
+    KIND_KNN,
+    KIND_PREDICTIVE,
+    KIND_RANGE,
+    ColumnarObjectStore,
+    ColumnarQueryStore,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "ColumnarEvaluator",
+    "ColumnarObjectStore",
+    "ColumnarQueryStore",
+    "KIND_KNN",
+    "KIND_PREDICTIVE",
+    "KIND_RANGE",
+    "PairPlan",
+    "classify_transitions",
+    "knn_search_columnar",
+    "numpy_available",
+    "numpy_or_none",
+    "resolve_backend",
+]

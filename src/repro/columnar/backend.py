@@ -1,0 +1,73 @@
+"""Kernel backend selection for the columnar evaluation core.
+
+The columnar pipeline has exactly two kernel implementations per batch
+operation: a vectorized one on numpy arrays and a pure-Python one over
+``array``-module columns.  The dispatch rule is deliberately simple —
+**one decision per engine, never per call**:
+
+* ``"auto"`` (the default) resolves to ``"numpy"`` when numpy imports,
+  otherwise ``"python"``.  The environment variable
+  ``REPRO_COLUMNAR_BACKEND`` overrides ``"auto"`` (CI's no-numpy leg
+  exports ``REPRO_COLUMNAR_BACKEND=python`` to exercise the fallback
+  even where numpy happens to be installed).
+* an explicit ``"numpy"`` or ``"python"`` wins over the environment;
+  requesting numpy on a host without it is an error, not a silent
+  downgrade — a benchmark that thinks it measured the vector path must
+  never have measured the fallback.
+
+Nothing outside this module imports numpy directly: kernels fetch the
+module through :func:`numpy_or_none` so the stdlib-only guarantee is a
+single ``try: import`` here.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+#: Environment override consulted when the requested backend is "auto".
+BACKEND_ENV_VAR = "REPRO_COLUMNAR_BACKEND"
+
+BACKENDS = ("auto", "numpy", "python")
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when it is not installed."""
+    return _numpy
+
+
+def numpy_available() -> bool:
+    return _numpy is not None
+
+
+def resolve_backend(requested: str = "auto") -> str:
+    """Resolve ``requested`` to a concrete backend name.
+
+    Returns ``"numpy"`` or ``"python"``; raises ``ValueError`` for an
+    unknown name or for an explicit ``"numpy"`` request on a host
+    without numpy.
+    """
+    if requested not in BACKENDS:
+        raise ValueError(
+            f"columnar backend must be one of {BACKENDS}, got {requested!r}"
+        )
+    if requested == "auto":
+        env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+        if env:
+            if env not in ("numpy", "python"):
+                raise ValueError(
+                    f"{BACKEND_ENV_VAR} must be 'numpy' or 'python', "
+                    f"got {env!r}"
+                )
+            requested = env
+        else:
+            return "numpy" if _numpy is not None else "python"
+    if requested == "numpy" and _numpy is None:
+        raise ValueError(
+            "columnar backend 'numpy' requested but numpy is not installed"
+        )
+    return requested

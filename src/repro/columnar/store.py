@@ -1,0 +1,321 @@
+"""Columnar (struct-of-arrays) stores for objects and queries.
+
+The engine's per-object dataclasses are the right shape for scalar
+incremental maintenance but the wrong shape for batch kernels: a
+containment test over a million (query, object) pairs wants the four
+query bounds and the four object coordinates as flat ``float64``
+columns, not attribute chases through ``ObjectState.location.x``.
+
+These stores keep that flat mirror **incrementally** — every ingestion
+phase of :class:`repro.core.engine.IncrementalEngine` writes through to
+them, so building a batch kernel's input is array slicing, never a
+rebuild.  Two design rules:
+
+* Columns are stdlib ``array.array`` buffers.  Scalar writes (one
+  report, one query move) cost an index assignment; when numpy is
+  available the kernels view the very same buffers zero-copy through
+  ``np.frombuffer`` — one store serves both backends.  Views must be
+  re-taken after any append (``array`` reallocates); the kernels take
+  them fresh per batch.
+* Rows are dense and unordered, with swap-remove deletion.  An
+  identifier's row can change on *any* removal, so row handles are only
+  valid between store mutations — the evaluator resolves rows per
+  evaluation and caches them keyed on :attr:`ColumnarQueryStore.version`.
+
+Object rows also carry the **previous** coordinates (``old_xs`` /
+``old_ys``): the batch membership kernel classifies enter/leave/still
+transitions by recomputing prior membership *geometrically* (a range
+answer is exactly the set of objects inside the region, so "was a
+member" == "old location inside current bounds"), which is what lets
+the kernel run without any per-pair membership lookup.  New objects get
+NaN old coordinates — every containment test on NaN is False, exactly
+the "was not a member of anything" a fresh object needs.
+
+Query rows mirror :mod:`repro.parallel.worker`'s wire descriptors:
+``(kind, min_x, min_y, max_x, max_y)`` with zeroed bounds for k-NN and
+predictive kinds, so the parallel planner can serve descriptor payloads
+straight from this store.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.columnar.backend import numpy_or_none
+
+#: Query-kind codes.  MUST match the wire constants in
+#: :mod:`repro.parallel.worker` (which re-declares them because worker
+#: modules deliberately import nothing from the package).
+KIND_RANGE = 0
+KIND_KNN = 1
+KIND_PREDICTIVE = 2
+
+_NAN = float("nan")
+
+
+def _empty_f64_view(np):
+    return np.empty(0, dtype=np.float64)
+
+
+def _f64_view(np, column: array):
+    """Zero-copy float64 numpy view over an ``array('d')`` column."""
+    if not column:
+        return _empty_f64_view(np)
+    return np.frombuffer(column, dtype=np.float64)
+
+
+class ColumnarObjectStore:
+    """Parallel arrays of object state: oid, x, y, old x/y, velocity,
+    report time, and home cell.
+
+    ``apply_report`` is the single write path for position state (the
+    engine calls it from its report-grouping phase), ``remove`` the
+    single delete path.  ``row_of`` maps an oid to its current row.
+    """
+
+    __slots__ = (
+        "oids",
+        "xs",
+        "ys",
+        "old_xs",
+        "old_ys",
+        "vxs",
+        "vys",
+        "ts",
+        "cells",
+        "_row_of",
+    )
+
+    def __init__(self) -> None:
+        self.oids = array("q")
+        self.xs = array("d")
+        self.ys = array("d")
+        self.old_xs = array("d")
+        self.old_ys = array("d")
+        self.vxs = array("d")
+        self.vys = array("d")
+        self.ts = array("d")
+        self.cells = array("q")
+        self._row_of: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._row_of
+
+    def row_of(self, oid: int) -> int:
+        """The current row of ``oid`` (valid until the next mutation)."""
+        return self._row_of[oid]
+
+    def apply_report(
+        self,
+        oid: int,
+        x: float,
+        y: float,
+        vx: float,
+        vy: float,
+        t: float,
+        cell: int,
+    ) -> int:
+        """Write one location report through; returns the object's row.
+
+        An existing object's current coordinates become its old
+        coordinates; a new object gets NaN old coordinates (member of
+        nothing under every containment test).
+        """
+        row = self._row_of.get(oid)
+        if row is None:
+            row = len(self.oids)
+            self._row_of[oid] = row
+            self.oids.append(oid)
+            self.xs.append(x)
+            self.ys.append(y)
+            self.old_xs.append(_NAN)
+            self.old_ys.append(_NAN)
+            self.vxs.append(vx)
+            self.vys.append(vy)
+            self.ts.append(t)
+            self.cells.append(cell)
+        else:
+            xs = self.xs
+            ys = self.ys
+            self.old_xs[row] = xs[row]
+            self.old_ys[row] = ys[row]
+            xs[row] = x
+            ys[row] = y
+            self.vxs[row] = vx
+            self.vys[row] = vy
+            self.ts[row] = t
+            self.cells[row] = cell
+        return row
+
+    def remove(self, oid: int) -> None:
+        """Swap-remove ``oid``'s row; unknown oids raise ``KeyError``."""
+        row = self._row_of.pop(oid)
+        last = len(self.oids) - 1
+        if row != last:
+            moved = self.oids[last]
+            self.oids[row] = moved
+            self.xs[row] = self.xs[last]
+            self.ys[row] = self.ys[last]
+            self.old_xs[row] = self.old_xs[last]
+            self.old_ys[row] = self.old_ys[last]
+            self.vxs[row] = self.vxs[last]
+            self.vys[row] = self.vys[last]
+            self.ts[row] = self.ts[last]
+            self.cells[row] = self.cells[last]
+            self._row_of[moved] = row
+        self.oids.pop()
+        self.xs.pop()
+        self.ys.pop()
+        self.old_xs.pop()
+        self.old_ys.pop()
+        self.vxs.pop()
+        self.vys.pop()
+        self.ts.pop()
+        self.cells.pop()
+
+    def coord_views(self):
+        """Fresh zero-copy numpy views ``(x, y, old_x, old_y)``.
+
+        Only valid until the next append/remove; numpy backend only.
+        """
+        np = numpy_or_none()
+        return (
+            _f64_view(np, self.xs),
+            _f64_view(np, self.ys),
+            _f64_view(np, self.old_xs),
+            _f64_view(np, self.old_ys),
+        )
+
+    def xy_views(self):
+        """Fresh zero-copy numpy views ``(x, y)`` (numpy backend only)."""
+        np = numpy_or_none()
+        return _f64_view(np, self.xs), _f64_view(np, self.ys)
+
+
+class ColumnarQueryStore:
+    """Parallel arrays of query descriptors: qid, kind code, and range
+    bounds (zeroed for k-NN and predictive kinds).
+
+    ``version`` increments on **every** mutation; downstream caches
+    (the evaluator's per-cell candidate entries, whose contents embed
+    store rows and range bounds) key their validity on it.  k-NN
+    footprint re-placements in the grid index do *not* touch this store
+    — deliberately, since they happen every evaluation and never affect
+    a cached range/predictive entry.
+    """
+
+    __slots__ = (
+        "qids",
+        "kinds",
+        "min_xs",
+        "min_ys",
+        "max_xs",
+        "max_ys",
+        "_row_of",
+        "version",
+    )
+
+    def __init__(self) -> None:
+        self.qids = array("q")
+        self.kinds = array("b")
+        self.min_xs = array("d")
+        self.min_ys = array("d")
+        self.max_xs = array("d")
+        self.max_ys = array("d")
+        self._row_of: dict[int, int] = {}
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self.qids)
+
+    def __contains__(self, qid: int) -> bool:
+        return qid in self._row_of
+
+    def row_of(self, qid: int) -> int:
+        """The current row of ``qid`` (valid until the next mutation)."""
+        return self._row_of[qid]
+
+    def put(
+        self,
+        qid: int,
+        kind: int,
+        min_x: float = 0.0,
+        min_y: float = 0.0,
+        max_x: float = 0.0,
+        max_y: float = 0.0,
+    ) -> int:
+        """Insert or update one query's descriptor row; returns the row."""
+        self.version += 1
+        row = self._row_of.get(qid)
+        if row is None:
+            row = len(self.qids)
+            self._row_of[qid] = row
+            self.qids.append(qid)
+            self.kinds.append(kind)
+            self.min_xs.append(min_x)
+            self.min_ys.append(min_y)
+            self.max_xs.append(max_x)
+            self.max_ys.append(max_y)
+        else:
+            self.kinds[row] = kind
+            self.min_xs[row] = min_x
+            self.min_ys[row] = min_y
+            self.max_xs[row] = max_x
+            self.max_ys[row] = max_y
+        return row
+
+    def remove(self, qid: int) -> None:
+        """Swap-remove ``qid``'s row; unknown qids raise ``KeyError``."""
+        self.version += 1
+        row = self._row_of.pop(qid)
+        last = len(self.qids) - 1
+        if row != last:
+            moved = self.qids[last]
+            self.qids[row] = moved
+            self.kinds[row] = self.kinds[last]
+            self.min_xs[row] = self.min_xs[last]
+            self.min_ys[row] = self.min_ys[last]
+            self.max_xs[row] = self.max_xs[last]
+            self.max_ys[row] = self.max_ys[last]
+            self._row_of[moved] = row
+        self.qids.pop()
+        self.kinds.pop()
+        self.min_xs.pop()
+        self.min_ys.pop()
+        self.max_xs.pop()
+        self.max_ys.pop()
+
+    def descriptor(self, qid: int) -> tuple[int, float, float, float, float]:
+        """``(kind, min_x, min_y, max_x, max_y)`` — the exact wire
+        descriptor format :mod:`repro.parallel.worker` consumes."""
+        row = self._row_of[qid]
+        return (
+            self.kinds[row],
+            self.min_xs[row],
+            self.min_ys[row],
+            self.max_xs[row],
+            self.max_ys[row],
+        )
+
+    def descriptors(
+        self, qids
+    ) -> dict[int, tuple[int, float, float, float, float]]:
+        """Descriptor rows for ``qids`` as a payload-ready dict."""
+        return {qid: self.descriptor(qid) for qid in qids}
+
+    def bounds_views(self):
+        """Fresh zero-copy numpy views ``(min_x, min_y, max_x, max_y)``.
+
+        Only valid until the next ``put`` of a new qid or ``remove``;
+        numpy backend only.
+        """
+        np = numpy_or_none()
+        return (
+            _f64_view(np, self.min_xs),
+            _f64_view(np, self.min_ys),
+            _f64_view(np, self.max_xs),
+            _f64_view(np, self.max_ys),
+        )

@@ -41,7 +41,11 @@ equivalence tests and ``benchmarks/bench_bulk_pipeline.py`` compare
 against.  ``pipeline="parallel"`` fans the cohort membership pass out
 over row-striped grid shards on a worker pool (:mod:`repro.parallel`)
 and merges per-shard deltas back in serial cohort order, emitting a
-stream byte-identical to ``"cell-batched"``.
+stream byte-identical to ``"cell-batched"``.  ``pipeline="columnar"``
+keeps the same cohort grouping but replaces the per-pair Python loop
+with batch array kernels over struct-of-arrays mirrors of object and
+query state (:mod:`repro.columnar`) — numpy when available, stdlib
+``array`` columns otherwise — again emitting a byte-identical stream.
 
 Every phase of ``evaluate()`` is wall-clock timed: each phase runs
 inside a :class:`repro.obs.Tracer` span (exported to Chrome trace JSON)
@@ -61,6 +65,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.columnar import (
+    KIND_KNN,
+    KIND_PREDICTIVE,
+    KIND_RANGE,
+    ColumnarEvaluator,
+    ColumnarObjectStore,
+    ColumnarQueryStore,
+    knn_search_columnar,
+    resolve_backend,
+)
 from repro.core.knn import knn_search
 from repro.core.state import (
     KnnQueryState,
@@ -200,7 +214,17 @@ class IncrementalEngine:
         shard's cohorts are shipped as flat snapshots, shard-boundary
         cohorts run on the coordinator, and the per-shard deltas merge
         back in serial cohort order — the emitted update stream is
-        byte-identical to ``"cell-batched"``.
+        byte-identical to ``"cell-batched"``.  ``"columnar"`` keeps the
+        cell-batched cohort grouping but evaluates the membership pass
+        as batch array kernels over struct-of-arrays state mirrors
+        (:mod:`repro.columnar`); the update stream is byte-identical to
+        ``"cell-batched"`` as well.
+    columnar_backend:
+        Only meaningful with ``pipeline="columnar"``: ``"numpy"``
+        (vectorized kernels; raises if numpy is missing), ``"python"``
+        (pure-stdlib ``array`` kernels), or ``"auto"`` (default —
+        numpy when importable, honouring the ``REPRO_COLUMNAR_BACKEND``
+        environment override).
     parallelism:
         Only meaningful with ``pipeline="parallel"``: the shard/worker
         count as an int, or a full :class:`repro.parallel.ParallelConfig`
@@ -232,6 +256,7 @@ class IncrementalEngine:
         prediction_horizon: float = 60.0,
         pipeline: str = "cell-batched",
         parallelism: "int | ParallelConfig | None" = None,
+        columnar_backend: str = "auto",
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
     ):
@@ -239,11 +264,21 @@ class IncrementalEngine:
             raise ValueError(
                 f"prediction_horizon must be >= 0, got {prediction_horizon}"
             )
-        if pipeline not in ("cell-batched", "per-object", "parallel"):
+        if pipeline not in (
+            "cell-batched",
+            "per-object",
+            "parallel",
+            "columnar",
+        ):
             raise ValueError(
-                "pipeline must be 'cell-batched', 'per-object' or "
-                f"'parallel', got {pipeline!r}"
+                "pipeline must be 'cell-batched', 'per-object', 'parallel' "
+                f"or 'columnar', got {pipeline!r}"
             )
+        # Resolved before any state exists so a bad backend request
+        # fails fast; None for the pipelines that never touch kernels.
+        self.columnar_backend = (
+            resolve_backend(columnar_backend) if pipeline == "columnar" else None
+        )
         if isinstance(parallelism, ParallelConfig):
             self.parallel_config = parallelism
         elif parallelism is None:
@@ -274,6 +309,17 @@ class IncrementalEngine:
         # Registered predictive query ids — the refresh phase consults
         # this instead of scanning every query of every kind.
         self._predictive_qids: set[int] = set()
+        # Struct-of-arrays mirrors (repro.columnar).  The query store is
+        # maintained under *every* pipeline: registrations and moves
+        # cost a few array writes, and in exchange the parallel planner
+        # serves its wire descriptors straight from the columns and the
+        # columnar kernels get their bounds arrays with no rebuild.
+        # The object store only exists under pipeline="columnar".
+        self._qstore = ColumnarQueryStore()
+        self._knn_qids: set[int] = set()
+        self._ostore: ColumnarObjectStore | None = None
+        self._columnar_evaluator: ColumnarEvaluator | None = None
+        self._use_columnar_knn = False
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         counter = self.registry.counter
@@ -307,6 +353,25 @@ class IncrementalEngine:
             self._m_boundary_cohorts = counter(
                 "engine_boundary_cohorts_total"
             )
+        if pipeline == "columnar":
+            self._ostore = ColumnarObjectStore()
+            self._columnar_evaluator = ColumnarEvaluator(
+                self.grid,
+                self.index,
+                self._ostore,
+                self._qstore,
+                self.objects,
+                self.queries,
+                self._knn_qids,
+                Update,
+                self.columnar_backend,
+                self.registry,
+                self.tracer,
+            )
+            # The vectorized ring search needs the coordinate columns as
+            # ndarrays; the python backend's scalar search *is* the core
+            # knn_search, so dispatch stays on the reference path there.
+            self._use_columnar_knn = self.columnar_backend == "numpy"
 
     # ------------------------------------------------------------------
     # Ingestion (buffered)
@@ -541,6 +606,10 @@ class IncrementalEngine:
                     self._apply_object_reports_parallel(
                         updates, knn_dirty, churned_cells
                     )
+                elif pipeline == "columnar":
+                    self._apply_object_reports_columnar(
+                        updates, knn_dirty, churned_cells
+                    )
                 elif batched:
                     self._apply_object_reports_batched(
                         updates, knn_dirty, churned_cells
@@ -596,6 +665,8 @@ class IncrementalEngine:
             if query is None:
                 continue
             self.index.remove_query(qid)
+            self._qstore.remove(qid)
+            self._knn_qids.discard(qid)
             self._underfull_knn.discard(qid)
             self._predictive_qids.discard(qid)
             knn_dirty.discard(qid)
@@ -606,12 +677,15 @@ class IncrementalEngine:
     def _apply_removals(
         self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
     ) -> None:
+        ostore = self._ostore
         for oid in sorted(self._pending_removals):
             state = self.objects.pop(oid, None)
             if state is None:
                 continue
             churned_cells.update(self.index.object_cells(oid))
             self.index.remove_object(oid)
+            if ostore is not None:
+                ostore.remove(oid)
             for qid in sorted(state.answered):
                 query = self.queries[qid]
                 query.answer.discard(oid)
@@ -630,12 +704,24 @@ class IncrementalEngine:
         knn_dirty: set[int],
         dirty_predictive: set[int],
     ) -> None:
+        qstore = self._qstore
         for query in self._pending_registrations:
             self.queries[query.qid] = query
             if query.kind is QueryKind.RANGE:
-                self.index.place_query_region(query.qid, query.region)
+                region = query.region
+                qstore.put(
+                    query.qid,
+                    KIND_RANGE,
+                    region.min_x,
+                    region.min_y,
+                    region.max_x,
+                    region.max_y,
+                )
+                self.index.place_query_region(query.qid, region)
                 self._fill_range_answer(query, updates)
             elif query.kind is QueryKind.KNN:
+                qstore.put(query.qid, KIND_KNN)
+                self._knn_qids.add(query.qid)
                 # Placed at its center first; _repair_knn computes the
                 # first-time answer and widens the footprint to the circle.
                 self.index.place_query(
@@ -645,6 +731,7 @@ class IncrementalEngine:
                 knn_dirty.add(query.qid)
             else:
                 # Predictive: footprint now, answer in the refresh phase.
+                qstore.put(query.qid, KIND_PREDICTIVE)
                 self.index.place_query_region(query.qid, query.region)
                 self._predictive_qids.add(query.qid)
                 dirty_predictive.add(query.qid)
@@ -684,9 +771,13 @@ class IncrementalEngine:
                 knn_dirty.add(qid)
             else:
                 # Predictive regions re-filter in the refresh phase; only
-                # the footprint needs to move now.
+                # the footprint needs to move now.  The store put keeps
+                # the wire bounds zeroed — it exists for its version
+                # bump, which invalidates the columnar evaluator's
+                # cached cell entries for the footprint change.
                 query.region = payload  # type: ignore[assignment]
                 self.index.place_query_region(qid, payload)  # type: ignore[arg-type]
+                self._qstore.put(qid, KIND_PREDICTIVE)
                 dirty_predictive.add(qid)
         self._pending_moves.clear()
 
@@ -715,6 +806,14 @@ class IncrementalEngine:
                     updates.append(Update.positive(query.qid, oid))
 
         self.index.place_query_region(query.qid, new_region)
+        self._qstore.put(
+            query.qid,
+            KIND_RANGE,
+            new_region.min_x,
+            new_region.min_y,
+            new_region.max_x,
+            new_region.max_y,
+        )
 
     # ------------------------------------------------------------------
     # Phase 5: object movement
@@ -813,6 +912,7 @@ class IncrementalEngine:
         objects = self.objects
         index = self.index
         grid = self.grid
+        ostore = self._ostore
         # Hoisted home-cell arithmetic: same expression as Grid.cell_of
         # (division by the precomputed cell size), so cell assignment is
         # bit-identical to the per-object path on boundary coordinates.
@@ -857,6 +957,16 @@ class IncrementalEngine:
                 elif row > n1:
                     row = n1
                 new_cell = row * n + col
+                if ostore is not None:
+                    ostore.apply_report(
+                        oid,
+                        location.x,
+                        location.y,
+                        velocity.vx,
+                        velocity.vy,
+                        t,
+                        new_cell,
+                    )
                 if old_cells is None:
                     index.place_object(oid, frozenset((new_cell,)))
                     key = (-1, new_cell)
@@ -879,6 +989,16 @@ class IncrementalEngine:
                 new_cells = self._object_footprint(state)
                 if old_cells != new_cells:
                     index.place_object(oid, new_cells)
+                if ostore is not None:
+                    ostore.apply_report(
+                        oid,
+                        location.x,
+                        location.y,
+                        velocity.vx,
+                        velocity.vy,
+                        t,
+                        grid.cell_of(location),
+                    )
                 self._group_into(
                     set_groups,
                     _NO_CELLS if old_cells is None else old_cells,
@@ -915,6 +1035,28 @@ class IncrementalEngine:
             else:
                 cells = old_cells | new_cells
             yield tuple(cells), states, False, False
+
+    def _apply_object_reports_columnar(
+        self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
+    ) -> None:
+        """Columnar pipeline: phase 5a grouping exactly as in the
+        cell-batched pipeline, then one batch kernel pass over every
+        cohort.
+
+        The evaluator plans the batch's ragged (cohort × candidate
+        entry × member) join from the struct-of-arrays mirrors,
+        classifies every pair's membership transition in bulk, and
+        re-emits the changed pairs in serial cohort order — the update
+        stream is byte-identical to ``pipeline="cell-batched"``.
+        """
+        if not self._pending_reports:
+            return
+        point_groups, set_groups = self._group_reports()
+        cohorts = list(
+            self._iter_cohorts(point_groups, set_groups, churned_cells)
+        )
+        if cohorts:
+            self._columnar_evaluator.run(cohorts, updates, knn_dirty)
 
     def _apply_object_reports_parallel(
         self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
@@ -967,7 +1109,7 @@ class IncrementalEngine:
         with tracer.span("shard_plan"):
             plan = plan_shards(cohorts, self.grid, config.workers)
             payloads = build_shard_payloads(
-                plan, self.grid, self.index, self.queries
+                plan, self.grid, self.index, self.queries, self._qstore
             )
         self._m_sharded_cohorts.inc(plan.dispatched)
         self._m_boundary_cohorts.inc(len(plan.boundary))
@@ -1260,7 +1402,12 @@ class IncrementalEngine:
         the entrant" circle maintenance, with the search doubling as the
         replacement lookup when members depart.
         """
-        ranked = knn_search(self.index, self.objects, query.center, query.k)
+        if self._use_columnar_knn:
+            ranked = knn_search_columnar(
+                self.index, self._ostore, query.center, query.k
+            )
+        else:
+            ranked = knn_search(self.index, self.objects, query.center, query.k)
         new_answer = {oid for __, oid in ranked}
 
         for oid in sorted(query.answer - new_answer):
@@ -1353,9 +1500,26 @@ class IncrementalEngine:
         objects = self.objects
         answer = query.answer
         next_flip = math.inf
-        for oid in sorted(candidates):
+        ordered = sorted(candidates)
+        flags = None
+        if self._columnar_evaluator is not None and ordered:
+            # Columnar pipeline: one vectorized membership pass over the
+            # candidate rows (bit-identical to the scalar check; None
+            # under the pure-Python backend).
+            flags = self._columnar_evaluator.predicted_inside(
+                ordered,
+                query.region,
+                self.now,
+                query.horizon,
+                self.prediction_horizon,
+            )
+        for pos, oid in enumerate(ordered):
             state = objects[oid]
-            inside = self._predicted_in_region(query, state)
+            inside = (
+                flags[pos]
+                if flags is not None
+                else self._predicted_in_region(query, state)
+            )
             was_member = oid in answer
             if inside and not was_member:
                 answer.add(oid)
@@ -1456,3 +1620,38 @@ class IncrementalEngine:
             assert self.index.contains_object(oid)
         for qid in self._predictive_qids:
             assert self.queries[qid].kind is QueryKind.PREDICTIVE_RANGE
+        # Struct-of-arrays mirrors stay coherent with the dataclass state.
+        qstore = self._qstore
+        assert len(qstore) == len(self.queries)
+        assert self._knn_qids == {
+            qid
+            for qid, query in self.queries.items()
+            if query.kind is QueryKind.KNN
+        }
+        for qid, query in self.queries.items():
+            kind, min_x, min_y, max_x, max_y = qstore.descriptor(qid)
+            if query.kind is QueryKind.RANGE:
+                region = query.region
+                assert kind == KIND_RANGE and (
+                    min_x,
+                    min_y,
+                    max_x,
+                    max_y,
+                ) == (
+                    region.min_x,
+                    region.min_y,
+                    region.max_x,
+                    region.max_y,
+                ), qid
+            elif query.kind is QueryKind.KNN:
+                assert kind == KIND_KNN, qid
+            else:
+                assert kind == KIND_PREDICTIVE, qid
+        ostore = self._ostore
+        if ostore is not None:
+            assert len(ostore) == len(self.objects)
+            for oid, state in self.objects.items():
+                row = ostore.row_of(oid)
+                location = state.location
+                assert ostore.xs[row] == location.x, oid
+                assert ostore.ys[row] == location.y, oid

@@ -8,25 +8,46 @@ set of query Q."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
-
-@dataclass(frozen=True, slots=True)
 class Update:
     """One incremental answer change for query ``qid``.
 
     ``sign`` is ``+1`` (object entered the answer) or ``-1`` (object
     left it).  A client that applies a batch of updates *in order* to its
     stored answer set ends with the server's answer set.
+
+    Value semantics: two updates are equal (and hash equal) iff their
+    ``(qid, oid, sign)`` triples match.  Instances are immutable by
+    convention — this is a hand-rolled slots class rather than a frozen
+    dataclass because the engine constructs one per emitted change
+    (hundreds of thousands per bulk round), and the frozen-dataclass
+    ``object.__setattr__`` path more than triples construction cost on
+    the hottest line of every pipeline.
     """
 
-    qid: int
-    oid: int
-    sign: int
+    __slots__ = ("qid", "oid", "sign")
 
-    def __post_init__(self) -> None:
-        if self.sign not in (1, -1):
-            raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+    def __init__(self, qid: int, oid: int, sign: int) -> None:
+        if sign != 1 and sign != -1:
+            raise ValueError(f"sign must be +1 or -1, got {sign}")
+        self.qid = qid
+        self.oid = oid
+        self.sign = sign
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Update:
+            return (
+                self.qid == other.qid
+                and self.oid == other.oid
+                and self.sign == other.sign
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.qid, self.oid, self.sign))
+
+    def __repr__(self) -> str:
+        return f"Update(qid={self.qid}, oid={self.oid}, sign={self.sign})"
 
     @property
     def is_positive(self) -> bool:

@@ -25,7 +25,7 @@ from repro.faults.plan import FaultPlan
 from repro.geometry import Point, Rect, Velocity
 from repro.parallel import ParallelConfig
 
-PIPELINES = ("per-object", "cell-batched", "parallel")
+PIPELINES = ("per-object", "cell-batched", "parallel", "columnar")
 
 #: A moderately hostile default: every fault dimension exercised.
 DEFAULT_PLAN_RATES = dict(

@@ -60,6 +60,12 @@ class GridIndex:
         # methods (see Grid.cells_overlapping_into); makes them
         # allocation-free but non-reentrant.
         self._scratch_cells: list[int] = []
+        # Per-cell sorted qid tuples, built lazily and invalidated only
+        # when that cell's query membership changes.  Backs both
+        # snapshot_cell_queries (parallel payloads) and the columnar
+        # evaluator's candidate resolution, so repeated snapshots of a
+        # stable cell are a dict hit, not a rebuild.
+        self._cell_query_tuples: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -147,10 +153,12 @@ class GridIndex:
         if not cells:
             raise ValueError(f"query {qid} must overlap at least one cell")
         old = self._query_cells.get(qid, frozenset())
+        tuples = self._cell_query_tuples
         for cell in old - cells:
             self._remove_member(cell, qid, is_query=True)
         for cell in cells - old:
             self._cells.setdefault(cell, CellBucket()).queries.add(qid)
+            tuples.pop(cell, None)
         self._query_cells[qid] = cells
 
     def place_query_region(self, qid: int, region: Rect) -> None:
@@ -237,6 +245,26 @@ class GridIndex:
                 found.update(bucket.queries)
         return found
 
+    def cell_query_tuple(self, cell: int) -> tuple[int, ...]:
+        """The qids overlapping ``cell`` as a sorted, cached tuple.
+
+        Built on first access and invalidated per cell only when a
+        query is placed into or removed from that cell, so a stable
+        cell costs one dict hit per access no matter how many batches
+        read it.  The tuple is immutable and safe to retain or ship
+        across process boundaries.
+        """
+        cached = self._cell_query_tuples.get(cell)
+        if cached is None:
+            bucket = self._cells.get(cell)
+            cached = (
+                tuple(sorted(bucket.queries))
+                if bucket is not None and bucket.queries
+                else ()
+            )
+            self._cell_query_tuples[cell] = cached
+        return cached
+
     def snapshot_cell_queries(
         self, cells: "list[int] | tuple[int, ...] | Set[int]"
     ) -> dict[int, tuple[int, ...]]:
@@ -246,19 +274,13 @@ class GridIndex:
         worker processes: plain ints in plain tuples, no live bucket
         aliases crossing a process boundary, no object graphs to
         pickle.  Empty cells map to an empty tuple so workers can
-        distinguish "no queries here" from "cell not shipped".  Qid
-        order within a tuple is unspecified — workers sort the derived
-        candidate entries themselves, exactly like the serial
-        pipeline's per-cell candidate resolution.
+        distinguish "no queries here" from "cell not shipped".  Each
+        tuple is a slice of the per-cell tuple cache
+        (:meth:`cell_query_tuple`) — sorted ascending, rebuilt only for
+        cells whose query membership changed since the last snapshot.
         """
-        buckets = self._cells
-        snapshot: dict[int, tuple[int, ...]] = {}
-        for cell in cells:
-            bucket = buckets.get(cell)
-            snapshot[cell] = (
-                tuple(bucket.queries) if bucket is not None else ()
-            )
-        return snapshot
+        tuple_of = self.cell_query_tuple
+        return {cell: tuple_of(cell) for cell in cells}
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -320,7 +342,11 @@ class GridIndex:
 
     def _remove_member(self, cell: int, ident: int, is_query: bool) -> None:
         bucket = self._cells[cell]
-        (bucket.queries if is_query else bucket.objects).discard(ident)
+        if is_query:
+            bucket.queries.discard(ident)
+            self._cell_query_tuples.pop(cell, None)
+        else:
+            bucket.objects.discard(ident)
         if bucket.is_empty():
             # Reclaim empty buckets so a sparse world stays sparse.
             del self._cells[cell]

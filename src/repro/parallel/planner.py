@@ -95,7 +95,9 @@ def _descriptor(query):
     return (KIND_PREDICTIVE, 0.0, 0.0, 0.0, 0.0)
 
 
-def build_shard_payloads(plan: ShardPlan, grid, index, queries) -> list[tuple]:
+def build_shard_payloads(
+    plan: ShardPlan, grid, index, queries, qstore=None
+) -> list[tuple]:
     """Serialise each shard's work into the flat SoA payload the worker
     consumes: grid geometry as five numbers, touched cells as qid
     tuples (:meth:`GridIndex.snapshot_cell_queries`), query descriptors
@@ -103,6 +105,11 @@ def build_shard_payloads(plan: ShardPlan, grid, index, queries) -> list[tuple]:
     answered)`` rows.  Nothing in a payload aliases live engine state,
     which is what makes a payload safe to pickle to a process *and*
     safe to re-run inline if the pool dies mid-batch.
+
+    When the engine passes its :class:`ColumnarQueryStore`, descriptors
+    come straight out of its columns (:meth:`descriptors`) — the store
+    already holds the exact wire format, so the per-query attribute
+    walk in :func:`_descriptor` is skipped entirely.
     """
     world = grid.world
     grid_params = (
@@ -130,6 +137,9 @@ def build_shard_payloads(plan: ShardPlan, grid, index, queries) -> list[tuple]:
         cell_qids = index.snapshot_cell_queries(touched)
         for qids in cell_qids.values():
             needed_qids.update(qids)
-        qdesc = {qid: _descriptor(queries[qid]) for qid in needed_qids}
+        if qstore is not None:
+            qdesc = qstore.descriptors(needed_qids)
+        else:
+            qdesc = {qid: _descriptor(queries[qid]) for qid in needed_qids}
         payloads.append((shard, grid_params, cell_qids, qdesc, cohort_descs))
     return payloads

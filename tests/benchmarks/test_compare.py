@@ -1,0 +1,131 @@
+"""The benchmark-history tool: append, list, diff, and the noise gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "bench_compare", REPO_ROOT / "benchmarks" / "compare.py"
+)
+compare = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare)
+
+
+def bench_json(tmp_path: Path, *, sha: str, ops: float, scale: float = 1.0):
+    path = tmp_path / f"BENCH_demo_{sha}.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "demo",
+                "ops_per_sec": ops,
+                "rounds": 3,
+                "scale": scale,
+                "latency_seconds": {"p50": 1.0 / ops, "p95": 1.2 / ops},
+                "params": {"objects": 100},
+                "environment": {"git_sha": sha},
+                "speedup_vs_cell_batched": 1.6,
+            }
+        )
+    )
+    return path
+
+
+class TestAppend:
+    def test_appends_one_line_per_summary(self, tmp_path):
+        history = tmp_path / "history"
+        first = bench_json(tmp_path, sha="a" * 40, ops=100.0)
+        second = bench_json(tmp_path, sha="b" * 40, ops=110.0)
+        compare.append_entries([first, second], history)
+        entries = compare.read_history("demo", history)
+        assert [e["sha"][0] for e in entries] == ["a", "b"]
+        assert entries[0]["ops_per_sec"] == 100.0
+        assert entries[0]["speedup_vs_cell_batched"] == 1.6
+
+    def test_append_is_append_only(self, tmp_path):
+        history = tmp_path / "history"
+        path = bench_json(tmp_path, sha="a" * 40, ops=100.0)
+        compare.append_entries([path], history)
+        compare.append_entries([path], history)
+        assert len(compare.read_history("demo", history)) == 2
+
+    def test_missing_history_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            compare.read_history("nope", tmp_path / "history")
+
+
+class TestDiff:
+    def entries(self, tmp_path, base_ops, head_ops, **head_kwargs):
+        history = tmp_path / "history"
+        compare.append_entries(
+            [
+                bench_json(tmp_path, sha="a" * 40, ops=base_ops),
+                bench_json(tmp_path, sha="b" * 40, ops=head_ops, **head_kwargs),
+            ],
+            history,
+        )
+        return compare.read_history("demo", history)
+
+    def test_within_noise_is_ok(self, tmp_path):
+        base, head = self.entries(tmp_path, 100.0, 95.0)
+        status, _ = compare.diff_entries(base, head, 0.15)
+        assert status == "ok"
+
+    def test_regression_beyond_threshold(self, tmp_path):
+        base, head = self.entries(tmp_path, 100.0, 80.0)
+        status, report = compare.diff_entries(base, head, 0.15)
+        assert status == "regression"
+        assert "0.800" in report
+
+    def test_improvement_beyond_threshold(self, tmp_path):
+        base, head = self.entries(tmp_path, 100.0, 130.0)
+        status, _ = compare.diff_entries(base, head, 0.15)
+        assert status == "improvement"
+
+    def test_refuses_mixed_scales(self, tmp_path):
+        base, head = self.entries(tmp_path, 100.0, 100.0, scale=0.1)
+        with pytest.raises(SystemExit):
+            compare.diff_entries(base, head, 0.15)
+
+    def test_sha_prefix_picks_latest_match(self, tmp_path):
+        entries = self.entries(tmp_path, 100.0, 120.0)
+        assert compare.pick(entries, "bb", -1)["ops_per_sec"] == 120.0
+        with pytest.raises(SystemExit):
+            compare.pick(entries, "ffff", -1)
+
+
+class TestCli:
+    def test_end_to_end_regression_exit_code(self, tmp_path, capsys):
+        history = tmp_path / "history"
+        slow = bench_json(tmp_path, sha="b" * 40, ops=50.0)
+        fast = bench_json(tmp_path, sha="a" * 40, ops=100.0)
+        assert (
+            compare.main(
+                ["append", str(fast), str(slow), "--history", str(history)]
+            )
+            == 0
+        )
+        assert (
+            compare.main(["list", "demo", "--history", str(history)]) == 0
+        )
+        code = compare.main(["diff", "demo", "--history", str(history)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out
+
+    def test_single_entry_diff_is_a_noop(self, tmp_path):
+        history = tmp_path / "history"
+        compare.main(
+            [
+                "append",
+                str(bench_json(tmp_path, sha="a" * 40, ops=100.0)),
+                "--history",
+                str(history),
+            ]
+        )
+        assert compare.main(["diff", "demo", "--history", str(history)]) == 0

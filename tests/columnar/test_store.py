@@ -1,0 +1,152 @@
+"""Unit tests for the columnar object/query stores and backend resolve."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.columnar import (
+    BACKEND_ENV_VAR,
+    KIND_KNN,
+    KIND_PREDICTIVE,
+    KIND_RANGE,
+    ColumnarObjectStore,
+    ColumnarQueryStore,
+    numpy_available,
+    resolve_backend,
+)
+
+
+class TestObjectStore:
+    def test_new_object_gets_nan_old_coords(self):
+        store = ColumnarObjectStore()
+        row = store.apply_report(7, 0.25, 0.75, 0.0, 0.0, 1.0, 12)
+        assert row == 0
+        assert store.xs[0] == 0.25 and store.ys[0] == 0.75
+        assert math.isnan(store.old_xs[0]) and math.isnan(store.old_ys[0])
+        assert store.cells[0] == 12
+        assert 7 in store and len(store) == 1
+
+    def test_rereport_shifts_current_to_old(self):
+        store = ColumnarObjectStore()
+        store.apply_report(7, 0.25, 0.75, 0.0, 0.0, 1.0, 12)
+        row = store.apply_report(7, 0.5, 0.5, 0.1, -0.1, 2.0, 13)
+        assert row == 0
+        assert (store.xs[0], store.ys[0]) == (0.5, 0.5)
+        assert (store.old_xs[0], store.old_ys[0]) == (0.25, 0.75)
+        assert (store.vxs[0], store.vys[0]) == (0.1, -0.1)
+        assert store.ts[0] == 2.0 and store.cells[0] == 13
+
+    def test_swap_remove_moves_last_row(self):
+        store = ColumnarObjectStore()
+        for oid in range(4):
+            store.apply_report(oid, float(oid), float(oid), 0.0, 0.0, 0.0, oid)
+        store.remove(1)
+        assert len(store) == 3
+        assert 1 not in store
+        # Row 1 now holds what used to be the last row (oid 3).
+        assert store.row_of(3) == 1
+        assert store.oids[1] == 3 and store.xs[1] == 3.0
+        with pytest.raises(KeyError):
+            store.remove(1)
+
+    def test_remove_last_row(self):
+        store = ColumnarObjectStore()
+        store.apply_report(5, 1.0, 2.0, 0.0, 0.0, 0.0, 0)
+        store.remove(5)
+        assert len(store) == 0 and 5 not in store
+
+
+class TestQueryStore:
+    def test_put_update_and_descriptor(self):
+        store = ColumnarQueryStore()
+        v0 = store.version
+        store.put(100, KIND_RANGE, 0.1, 0.2, 0.3, 0.4)
+        assert store.version > v0
+        assert store.descriptor(100) == (KIND_RANGE, 0.1, 0.2, 0.3, 0.4)
+        store.put(100, KIND_RANGE, 0.5, 0.5, 0.9, 0.9)
+        assert store.descriptor(100) == (KIND_RANGE, 0.5, 0.5, 0.9, 0.9)
+        assert len(store) == 1
+
+    def test_kinds_default_zero_bounds(self):
+        store = ColumnarQueryStore()
+        store.put(1, KIND_KNN)
+        store.put(2, KIND_PREDICTIVE)
+        assert store.descriptor(1) == (KIND_KNN, 0.0, 0.0, 0.0, 0.0)
+        assert store.descriptor(2) == (KIND_PREDICTIVE, 0.0, 0.0, 0.0, 0.0)
+        assert store.descriptors([1, 2]) == {
+            1: (KIND_KNN, 0.0, 0.0, 0.0, 0.0),
+            2: (KIND_PREDICTIVE, 0.0, 0.0, 0.0, 0.0),
+        }
+
+    def test_every_mutation_bumps_version(self):
+        store = ColumnarQueryStore()
+        seen = {store.version}
+        store.put(1, KIND_RANGE, 0, 0, 1, 1)
+        seen.add(store.version)
+        store.put(1, KIND_RANGE, 0, 0, 0.5, 0.5)  # in-place update too
+        seen.add(store.version)
+        store.remove(1)
+        seen.add(store.version)
+        assert len(seen) == 4
+
+    def test_swap_remove(self):
+        store = ColumnarQueryStore()
+        store.put(10, KIND_RANGE, 0.0, 0.0, 0.1, 0.1)
+        store.put(20, KIND_KNN)
+        store.put(30, KIND_PREDICTIVE)
+        store.remove(10)
+        assert store.row_of(30) == 0
+        assert store.descriptor(30) == (KIND_PREDICTIVE, 0.0, 0.0, 0.0, 0.0)
+        assert store.descriptor(20) == (KIND_KNN, 0.0, 0.0, 0.0, 0.0)
+        with pytest.raises(KeyError):
+            store.descriptor(10)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+class TestNumpyViews:
+    def test_object_views_are_zero_copy(self):
+        import numpy as np
+
+        store = ColumnarObjectStore()
+        store.apply_report(1, 0.5, 0.25, 0.0, 0.0, 0.0, 3)
+        xs, ys, old_xs, old_ys = store.coord_views()
+        assert xs.dtype == np.float64
+        assert xs[0] == 0.5 and ys[0] == 0.25
+        assert np.isnan(old_xs[0]) and np.isnan(old_ys[0])
+        # Scalar writes are visible through a live view (zero copy).
+        store.xs[0] = 0.75
+        assert xs[0] == 0.75
+
+    def test_empty_store_views(self):
+        xs, ys = ColumnarObjectStore().xy_views()
+        assert len(xs) == 0 and len(ys) == 0
+        views = ColumnarQueryStore().bounds_views()
+        assert all(len(v) == 0 for v in views)
+
+
+class TestResolveBackend:
+    def test_explicit_python(self):
+        assert resolve_backend("python") == "python"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            resolve_backend("fortran")
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_auto_prefers_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend("auto") == "numpy"
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_env_override_applies_to_auto_only(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert resolve_backend("auto") == "python"
+        if numpy_available():
+            assert resolve_backend("numpy") == "numpy"
+
+    def test_env_override_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "cuda")
+        with pytest.raises(ValueError):
+            resolve_backend("auto")
