@@ -85,7 +85,7 @@ def build_workload(n_objects: int, n_queries: int, seed: int = SEED):
 
 
 def build_engine(
-    pipeline: str, initial, queries, registry=None, tracer=None
+    pipeline: str, initial, queries, registry=None, tracer=None, **engine_kwargs
 ) -> IncrementalEngine:
     engine = IncrementalEngine(
         grid_size=GRID_SIZE,
@@ -93,6 +93,7 @@ def build_engine(
         pipeline=pipeline,
         registry=registry,
         tracer=tracer,
+        **engine_kwargs,
     )
     for oid, location in initial:
         engine.report_object(oid, location, 0.0)

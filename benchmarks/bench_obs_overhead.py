@@ -1,12 +1,16 @@
-"""Telemetry overhead gate: instrumented engine vs no-op registry/tracer.
+"""Telemetry overhead gate: instrumented engines vs no-op registry/tracer.
 
-The telemetry subsystem promises an ~O(1) hot path cheap enough to leave
-on in production runs.  This benchmark holds it to that: the same
-cell-batched bulk workload (the 100K-object / 10K-query batch from
-``bench_bulk_pipeline``) is evaluated twice — once with a live
-:class:`~repro.obs.MetricsRegistry` + :class:`~repro.obs.Tracer`, once
-with ``NULL_REGISTRY`` + ``NULL_TRACER`` — and at full scale the
-instrumented throughput must stay within 5% of the no-op baseline.
+The observability plane promises an ~O(1) hot path cheap enough to leave
+on in production runs — metrics, tracing, freshness stamping AND the
+armed flight recorder.  This benchmark holds every bulk pipeline to
+that: the same bulk workload (the 100K-object / 10K-query batch from
+``bench_bulk_pipeline``) is evaluated twice per pipeline — once with a
+live :class:`~repro.obs.MetricsRegistry` + :class:`~repro.obs.Tracer`
++ a :class:`~repro.obs.FlightRecorder` armed at its default ring size,
+once with ``NULL_REGISTRY`` + ``NULL_TRACER`` (which also compiles the
+freshness tracker and recorder down to their no-op twins) — and at full
+scale the instrumented throughput must stay within 5% of the no-op
+baseline for **each** of cell-batched, parallel and columnar.
 
 Runs two ways:
 
@@ -22,7 +26,8 @@ Runs two ways:
 and drops the <5% assertion: at small scale a round is a few
 milliseconds and the gate would be all jitter.  Both modes write
 ``BENCH_obs_overhead.json`` at the repo root via the shared reporter,
-with the instrumented engine's metrics snapshot embedded.
+with the instrumented cell-batched engine's metrics snapshot embedded
+and one ``overhead_fraction`` per gated pipeline.
 """
 
 from __future__ import annotations
@@ -44,15 +49,39 @@ from bench_bulk_pipeline import (
 )
 from conftest import scaled, write_bench_json
 
-from repro.obs import NULL_REGISTRY, NULL_TRACER
+from repro.obs import (
+    DEFAULT_RING_SIZE,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    FlightRecorder,
+)
+from repro.parallel import ParallelConfig
 from repro.stats import format_table
 
 #: Maximum tolerated throughput loss with telemetry on, at full scale.
 MAX_OVERHEAD_FRACTION = 0.05
 
+#: Every bulk pipeline the gate covers (per-object is the reference
+#: path, not a production pipeline — it is not held to the budget).
+GATED_PIPELINES = ("cell-batched", "parallel", "columnar")
+
 #: Interleaved rounds per arm.  Move deltas cycle through the shared
 #: workload's rounds, so both arms drift through identical trajectories.
 OVERHEAD_ROUNDS = 6
+
+
+def pipeline_kwargs(pipeline: str) -> dict:
+    """Engine kwargs for one gated pipeline.  The parallel arm mirrors
+    the chaos harness: thread backend, tiny dispatch threshold — the
+    overhead question is per-message bookkeeping cost, which the thread
+    pool exercises without process-spawn noise on small hosts."""
+    if pipeline == "parallel":
+        return {
+            "parallelism": ParallelConfig(
+                workers=2, backend="thread", min_batch=1
+            )
+        }
+    return {}
 
 
 def timed_evaluation(engine, moves, now: float):
@@ -70,38 +99,53 @@ def timed_evaluation(engine, moves, now: float):
 
 
 def run_overhead_comparison(
-    n_objects: int, n_queries: int, assert_overhead: bool
+    pipeline: str, n_objects: int, n_queries: int, assert_overhead: bool
 ):
     initial, queries, move_rounds = build_workload(n_objects, n_queries)
 
     # Two engines over the identical workload and pipeline: "on" keeps
-    # the defaults every caller gets (private registry, live tracer),
-    # "off" compiles telemetry out via the null objects.  The arms are
-    # interleaved round by round, alternating which evaluates first
-    # within a round — a sequential A/B run at this scale measures
-    # machine drift (allocator state, frequency scaling over minutes)
-    # more than it measures telemetry, and the drift dwarfs a
-    # single-digit-percent effect.
-    on_engine = build_engine("cell-batched", initial, queries)
+    # the defaults every caller gets (private registry, live tracer,
+    # live freshness tracker) plus a flight recorder armed at its
+    # default ring size; "off" compiles the whole plane out via the
+    # null objects.  The arms are interleaved round by round,
+    # alternating which evaluates first within a round — a sequential
+    # A/B run at this scale measures machine drift (allocator state,
+    # frequency scaling over minutes) more than it measures telemetry,
+    # and the drift dwarfs a single-digit-percent effect.
+    kwargs = pipeline_kwargs(pipeline)
+    on_engine = build_engine(
+        pipeline,
+        initial,
+        queries,
+        recorder=FlightRecorder(capacity=DEFAULT_RING_SIZE),
+        **kwargs,
+    )
     off_engine = build_engine(
-        "cell-batched", initial, queries, NULL_REGISTRY, NULL_TRACER
+        pipeline, initial, queries, NULL_REGISTRY, NULL_TRACER, **kwargs
     )
     arms = {"on": on_engine, "off": off_engine}
     times: dict[str, list[float]] = {"on": [], "off": []}
-    now = 0.0
-    for round_no in range(OVERHEAD_ROUNDS):
-        moves = move_rounds[round_no % len(move_rounds)]
-        now += 1.0
-        order = ("on", "off") if round_no % 2 == 0 else ("off", "on")
-        results = {}
-        for key in order:
-            elapsed, update_keys = timed_evaluation(arms[key], moves, now)
-            times[key].append(elapsed)
-            results[key] = update_keys
-        # Telemetry must be purely observational.
-        assert results["on"] == results["off"], (
-            f"telemetry changed the update set in round {round_no}"
-        )
+    try:
+        now = 0.0
+        for round_no in range(OVERHEAD_ROUNDS):
+            moves = move_rounds[round_no % len(move_rounds)]
+            now += 1.0
+            order = ("on", "off") if round_no % 2 == 0 else ("off", "on")
+            results = {}
+            for key in order:
+                elapsed, update_keys = timed_evaluation(
+                    arms[key], moves, now
+                )
+                times[key].append(elapsed)
+                results[key] = update_keys
+            # Telemetry must be purely observational.
+            assert results["on"] == results["off"], (
+                f"telemetry changed the {pipeline} update set in round "
+                f"{round_no}"
+            )
+    finally:
+        on_engine.close()
+        off_engine.close()
     on_times, off_times = times["on"], times["off"]
 
     on_round = statistics.median(on_times)
@@ -110,56 +154,90 @@ def run_overhead_comparison(
     off_rps = n_objects / off_round
     overhead = 1.0 - on_rps / off_rps  # positive = telemetry is slower
 
-    table = format_table(
-        ["telemetry", "median round ms", "reports/s", "overhead"],
-        [
-            ["off (null)", off_round * 1e3, off_rps, 0.0],
-            ["on (default)", on_round * 1e3, on_rps, overhead],
-        ],
-    )
-
     if assert_overhead:
         assert overhead < MAX_OVERHEAD_FRACTION, (
-            f"telemetry costs {overhead:.1%} throughput at {n_objects} "
-            f"objects / {n_queries} queries (budget "
-            f"{MAX_OVERHEAD_FRACTION:.0%})"
+            f"telemetry costs {overhead:.1%} throughput on the "
+            f"{pipeline} pipeline at {n_objects} objects / {n_queries} "
+            f"queries (budget {MAX_OVERHEAD_FRACTION:.0%})"
         )
 
     return {
-        "table": table,
+        "pipeline": pipeline,
         "overhead": overhead,
         "on_times": on_times,
         "off_times": off_times,
         "on_rps": on_rps,
         "off_rps": off_rps,
+        "on_round": on_round,
+        "off_round": off_round,
         "registry": on_engine.registry,
         "trace_events": len(on_engine.tracer.events),
+        "flight_events": len(on_engine.recorder.events()),
     }
+
+
+def run_all_pipelines(n_objects: int, n_queries: int, assert_overhead: bool):
+    """Gate every bulk pipeline; return per-pipeline results + a table."""
+    results = [
+        run_overhead_comparison(
+            pipeline, n_objects, n_queries, assert_overhead
+        )
+        for pipeline in GATED_PIPELINES
+    ]
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                f"{result['pipeline']} off",
+                result["off_round"] * 1e3,
+                result["off_rps"],
+                0.0,
+            ]
+        )
+        rows.append(
+            [
+                f"{result['pipeline']} on",
+                result["on_round"] * 1e3,
+                result["on_rps"],
+                result["overhead"],
+            ]
+        )
+    table = format_table(
+        ["telemetry", "median round ms", "reports/s", "overhead"], rows
+    )
+    return results, table
 
 
 def test_obs_overhead(benchmark, record_series, request):
     n_objects = scaled(FULL_OBJECTS)
     n_queries = scaled(FULL_QUERIES)
     full_scale = n_objects >= FULL_OBJECTS and n_queries >= FULL_QUERIES
-    result = run_overhead_comparison(
+    results, table = run_all_pipelines(
         n_objects, n_queries, assert_overhead=full_scale
     )
 
-    record_series("obs_overhead", result["table"])
-    request.node.bench_registry = result["registry"]
+    record_series("obs_overhead", table)
+    request.node.bench_registry = results[0]["registry"]
 
     benchmark.extra_info["seed"] = SEED
     benchmark.extra_info["objects"] = n_objects
     benchmark.extra_info["queries"] = n_queries
     benchmark.extra_info["grid_size"] = GRID_SIZE
-    benchmark.extra_info["overhead_fraction"] = round(result["overhead"], 4)
+    for result in results:
+        benchmark.extra_info[
+            f"overhead_fraction_{result['pipeline']}"
+        ] = round(result["overhead"], 4)
 
-    # The timed operation is one instrumented bulk evaluation; the
-    # comparison above already established the off-baseline.
+    # The timed operation is one instrumented cell-batched bulk
+    # evaluation (recorder armed); the comparison above already
+    # established the off-baselines for every pipeline.
     initial, queries, move_rounds = build_workload(n_objects, n_queries)
-    from bench_bulk_pipeline import build_engine, buffer_round
-
-    engine = build_engine("cell-batched", initial, queries)
+    engine = build_engine(
+        "cell-batched",
+        initial,
+        queries,
+        recorder=FlightRecorder(capacity=DEFAULT_RING_SIZE),
+    )
     clock = [0.0]
 
     def setup():
@@ -177,16 +255,20 @@ def main(argv: list[str]) -> int:
     label = "quick" if quick else "full"
     print(
         f"telemetry overhead benchmark ({label}): "
-        f"{n_objects} objects, {n_queries} queries, {OVERHEAD_ROUNDS} interleaved rounds"
+        f"{n_objects} objects, {n_queries} queries, "
+        f"{OVERHEAD_ROUNDS} interleaved rounds, "
+        f"pipelines={', '.join(GATED_PIPELINES)}, "
+        f"flight recorder armed (ring={DEFAULT_RING_SIZE})"
     )
-    result = run_overhead_comparison(
+    results, table = run_all_pipelines(
         n_objects, n_queries, assert_overhead=not quick
     )
     print()
-    print(result["table"])
+    print(table)
+    primary = results[0]  # cell-batched carries the timing series
     path = write_bench_json(
         "obs_overhead",
-        result["on_times"],
+        primary["on_times"],
         seed=SEED,
         params={
             "mode": label,
@@ -195,20 +277,28 @@ def main(argv: list[str]) -> int:
             "grid_size": GRID_SIZE,
             "rounds": OVERHEAD_ROUNDS,
             "budget_fraction": MAX_OVERHEAD_FRACTION,
+            "pipelines": list(GATED_PIPELINES),
+            "flight_ring_size": DEFAULT_RING_SIZE,
         },
         extra={
-            "reports_per_sec_on": result["on_rps"],
-            "reports_per_sec_off": result["off_rps"],
-            "overhead_fraction": result["overhead"],
-            "trace_events": result["trace_events"],
+            "reports_per_sec_on": primary["on_rps"],
+            "reports_per_sec_off": primary["off_rps"],
+            "overhead_fraction": primary["overhead"],
+            "overhead_fractions": {
+                r["pipeline"]: r["overhead"] for r in results
+            },
+            "trace_events": primary["trace_events"],
+            "flight_events": primary["flight_events"],
         },
-        registry=result["registry"],
+        registry=primary["registry"],
     )
     print(f"\nwrote {path}")
-    print(
-        f"telemetry overhead: {result['overhead']:.2%} "
-        f"(budget {MAX_OVERHEAD_FRACTION:.0%})"
-    )
+    for result in results:
+        print(
+            f"telemetry overhead [{result['pipeline']}]: "
+            f"{result['overhead']:.2%} "
+            f"(budget {MAX_OVERHEAD_FRACTION:.0%})"
+        )
     return 0
 
 

@@ -161,7 +161,12 @@ class ConsistencyOracle:
         }
 
     def end_cycle(self, cycle: int, updates: list[Update]) -> list[Divergence]:
-        """Run all four checks; returns (and accumulates) divergences."""
+        """Run all four checks; returns (and accumulates) divergences.
+
+        The first divergence trips the server's flight recorder: the
+        last-N protocol events leading to the inconsistency are exactly
+        what the ring holds.
+        """
         found: list[Divergence] = []
         with self.server.tracer.span("oracle_check"):
             self._check_replay(cycle, updates, found)
@@ -169,10 +174,27 @@ class ConsistencyOracle:
             self._check_commit(cycle, found)
             self._check_desync(cycle, found)
         self._m_checks.inc()
+        recorder = self.server.recorder
+        recorder.record(
+            "oracle_check", oracle_cycle=cycle, divergences=len(found)
+        )
         for divergence in found:
             self.server.registry.counter(
                 "oracle_divergence_total", labels={"kind": divergence.kind}
             ).inc()
+            recorder.record(
+                "oracle_divergence",
+                check=divergence.kind,
+                qid=divergence.qid,
+                client=divergence.client_id,
+                oids=list(divergence.oids),
+            )
+        if found:
+            recorder.trigger(
+                "oracle_divergence",
+                check=found[0].kind,
+                qid=found[0].qid,
+            )
         self.divergences.extend(found)
         return found
 

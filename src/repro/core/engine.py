@@ -87,7 +87,14 @@ from repro.core.state import (
 from repro.core.updates import Update
 from repro.geometry import Point, Rect, Velocity
 from repro.grid import Grid, GridIndex
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import (
+    NULL_FRESHNESS,
+    NULL_RECORDER,
+    FlightRecorder,
+    FreshnessTracker,
+    MetricsRegistry,
+    Tracer,
+)
 from repro.parallel.merge import merge_ordered
 from repro.parallel.planner import build_shard_payloads, plan_shards
 from repro.parallel.pool import ParallelConfig, WorkerPool
@@ -259,6 +266,8 @@ class IncrementalEngine:
         columnar_backend: str = "auto",
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        freshness: "FreshnessTracker | None" = None,
+        recorder: "FlightRecorder | None" = None,
     ):
         if prediction_horizon < 0:
             raise ValueError(
@@ -322,6 +331,18 @@ class IncrementalEngine:
         self._use_columnar_knn = False
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        # Freshness follows the registry's on/off state unless injected:
+        # a NULL_REGISTRY engine must stay on the no-op path end to end
+        # (the telemetry overhead gate compares exactly these two modes).
+        if freshness is not None:
+            self.freshness = freshness
+        elif self.registry.enabled:
+            self.freshness = FreshnessTracker(self.registry)
+        else:
+            self.freshness = NULL_FRESHNESS
+        # The flight recorder is armed explicitly (chaos harness, tests,
+        # the overhead benchmark's "on" arm); default is the no-op ring.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         counter = self.registry.counter
         self._m_evaluations = counter("engine_evaluations_total")
         self._m_object_reports = counter("engine_object_reports_total")
@@ -395,6 +416,7 @@ class IncrementalEngine:
         self._pending_removals.discard(oid)
         location = self.grid.world.clamp_point(location)
         self._pending_reports[oid] = (location, velocity, t)
+        self.freshness.stamp_report(oid)
 
     def remove_object(self, oid: int) -> None:
         """Buffer an object's departure from the system.
@@ -409,6 +431,9 @@ class IncrementalEngine:
             raise KeyError(f"cannot remove unknown object {oid}")
         self._pending_reports.pop(oid, None)
         self._pending_removals.add(oid)
+        # The departure is this object's last provenance event: the
+        # negative updates it triggers are attributed to it.
+        self.freshness.stamp_report(oid)
 
     def register_range_query(self, qid: int, region: Rect, t: float = 0.0) -> None:
         """Register a continuous range query (stationary until moved).
@@ -571,6 +596,16 @@ class IncrementalEngine:
         self._validate_pending_moves()
         self.now = now
 
+        recorder = self.recorder
+        recorder.advance_cycle()
+        recorder.record(
+            "evaluate_begin",
+            now=now,
+            reports=len(self._pending_reports),
+            removals=len(self._pending_removals),
+            registrations=len(self._pending_registrations),
+            moves=len(self._pending_moves),
+        )
         self._m_evaluations.inc()
         self._m_object_reports.inc(len(self._pending_reports))
         self._m_object_removals.inc(len(self._pending_removals))
@@ -632,6 +667,14 @@ class IncrementalEngine:
         self._m_updates_emitted.inc(len(updates))
         self._m_objects.set(len(self.objects))
         self._m_queries.set(len(self.queries))
+        self.freshness.end_cycle()
+        recorder.record(
+            "evaluate_end",
+            now=now,
+            updates=len(updates),
+            objects=len(self.objects),
+            queries=len(self.queries),
+        )
         return updates
 
     def _validate_pending_moves(self) -> None:
@@ -672,6 +715,7 @@ class IncrementalEngine:
             knn_dirty.discard(qid)
             for oid in query.answer:
                 self.objects[oid].answered.discard(qid)
+            self.freshness.forget_query(qid)
         self._pending_unregistrations.clear()
 
     def _apply_removals(
@@ -1056,7 +1100,13 @@ class IncrementalEngine:
             self._iter_cohorts(point_groups, set_groups, churned_cells)
         )
         if cohorts:
+            emitted_before = len(updates)
             self._columnar_evaluator.run(cohorts, updates, knn_dirty)
+            self.recorder.record(
+                "columnar_batch",
+                cohorts=len(cohorts),
+                emitted=len(updates) - emitted_before,
+            )
 
     def _apply_object_reports_parallel(
         self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
@@ -1106,10 +1156,21 @@ class IncrementalEngine:
             return
 
         tracer = self.tracer
+        recorder = self.recorder
+        # Trace context crosses the pool inside the payload: the current
+        # span id (the object_reports span) parents every worker's phase
+        # spans, and the dispatch anchor lets record_remote re-express
+        # worker-relative timings on the coordinator clock.
+        parent_span_id = tracer.current_span_id
         with tracer.span("shard_plan"):
             plan = plan_shards(cohorts, self.grid, config.workers)
             payloads = build_shard_payloads(
-                plan, self.grid, self.index, self.queries, self._qstore
+                plan,
+                self.grid,
+                self.index,
+                self.queries,
+                self._qstore,
+                trace_ctx=(parent_span_id,),
             )
         self._m_sharded_cohorts.inc(plan.dispatched)
         self._m_boundary_cohorts.inc(len(plan.boundary))
@@ -1117,7 +1178,15 @@ class IncrementalEngine:
             self._worker_pool = WorkerPool(config)
         pool = self._worker_pool
         pool.crash_hook = self.worker_crash_hook
+        pool.recorder = recorder if recorder.enabled else None
+        dispatch_anchor = tracer.now()
         futures = pool.submit(evaluate_shard, payloads)
+        recorder.record(
+            "shard_dispatch",
+            shards=len(payloads),
+            cohorts=plan.dispatched,
+            boundary=len(plan.boundary),
+        )
 
         # Boundary cohorts overlap with the in-flight shard work: they
         # touch only their own objects, and per-pair outcomes are
@@ -1142,13 +1211,29 @@ class IncrementalEngine:
         for payload, future in zip(payloads, futures):
             with tracer.span(f"shard-{payload[0]}"):
                 try:
-                    __, elapsed, results = future.result()
-                except Exception:
+                    __, elapsed, results, remote = future.result()
+                except Exception as exc:
                     # A dying worker cannot have corrupted anything —
                     # payloads are pure snapshots — so reset the pool
                     # and run this shard's snapshot inline.
+                    recorder.trigger(
+                        "worker_crash",
+                        shard=payload[0],
+                        error=type(exc).__name__,
+                    )
                     pool.reset()
-                    __, elapsed, results = evaluate_shard(payload)
+                    __, elapsed, results, remote = evaluate_shard(payload)
+            # Re-anchor the worker's phase spans under the dispatching
+            # span: worker timings are relative to its own start, which
+            # is never earlier than the dispatch, so [anchor, anchor +
+            # elapsed] nests inside this cycle's object_reports span.
+            span_parent, remote_spans = remote
+            tracer.record_remote(
+                remote_spans,
+                dispatch_anchor,
+                tid=payload[0] + 1,
+                parent_id=span_parent,
+            )
             shard_seconds.append(elapsed)
             self._m_shard_seconds.observe(elapsed)
             for seq, deltas, knn_qids in results:
@@ -1162,7 +1247,7 @@ class IncrementalEngine:
                 max(shard_seconds) / mean if mean > 0.0 else 1.0
             )
         with tracer.span("shard_merge"):
-            merge_ordered(
+            boundary_emitted, shard_emitted = merge_ordered(
                 plan.total,
                 boundary_updates,
                 shard_deltas,
@@ -1171,6 +1256,11 @@ class IncrementalEngine:
                 updates,
                 Update,
             )
+        recorder.record(
+            "shard_merge",
+            boundary_emitted=boundary_emitted,
+            shard_emitted=shard_emitted,
+        )
 
     @staticmethod
     def _group_into(groups, old_cells, new_cells, state):

@@ -54,7 +54,7 @@ from repro.net import (
     UpdateMessage,
     WakeupMessage,
 )
-from repro.obs import MetricsRegistry
+from repro.obs import FlightRecorder, MetricsRegistry
 from repro.storage import HistoryRepository, LocationRecord
 
 
@@ -100,6 +100,7 @@ class LocationAwareServer:
         registry: MetricsRegistry | None = None,
         pipeline: str = "cell-batched",
         parallelism: object = None,
+        recorder: FlightRecorder | None = None,
     ):
         """``engine`` lets a restarted server adopt a checkpoint-restored
         engine instead of starting empty; bind its queries to clients
@@ -118,6 +119,11 @@ class LocationAwareServer:
         together.  The server also shares the engine's tracer: its
         ``cycle`` / ``downlink`` / ``recovery`` spans nest around the
         engine's per-phase spans in one Chrome trace.
+
+        ``recorder`` arms the black-box flight recorder for the whole
+        stack (engine shard events plus server protocol events).  When
+        an ``engine`` is supplied, the recorder is installed onto it so
+        both layers write into the same ring.
         """
         self.engine = (
             engine
@@ -128,10 +134,18 @@ class LocationAwareServer:
                 prediction_horizon,
                 pipeline=pipeline,
                 parallelism=parallelism,  # type: ignore[arg-type]
+                recorder=recorder,
             )
         )
+        if engine is not None and recorder is not None:
+            self.engine.recorder = recorder
         self.registry = registry if registry is not None else self.engine.registry
         self.tracer = self.engine.tracer
+        # Shared observability plane: staleness attribution and the
+        # flight recorder live on the engine, the server reports into
+        # them from the delivery/commit side.
+        self.freshness = self.engine.freshness
+        self.recorder = self.engine.recorder
         self.commits = CommittedAnswerStore()
         self.stats = NetworkStats(self.registry)
         self.history = history
@@ -284,6 +298,7 @@ class LocationAwareServer:
         self.stats.record_uplink(
             ObjectReportMessage(oid, location, velocity, t)
         )
+        self.recorder.record("uplink_report", oid=oid, t=t)
         if self.history is not None:
             previous = self.engine.objects.get(oid)
             if previous is not None:
@@ -300,6 +315,7 @@ class LocationAwareServer:
         if not self._gate("object_removal", self.remove_object, (oid,)):
             return
         self.stats.record_uplink(ObjectRemovalMessage(oid))
+        self.recorder.record("uplink_removal", oid=oid)
         self.engine.remove_object(oid)
 
     # ------------------------------------------------------------------
@@ -337,6 +353,7 @@ class LocationAwareServer:
         ):
             return
         self.stats.record_uplink(QueryRegionMessage(qid, region, t))
+        self.recorder.record("uplink_move", qid=qid, query="range", t=t)
         self.engine.move_range_query(qid, region, t)
         self._commit_on_uplink(qid)
 
@@ -350,6 +367,7 @@ class LocationAwareServer:
         ):
             return
         self.stats.record_uplink(KnnMoveMessage(qid, center, t))
+        self.recorder.record("uplink_move", qid=qid, query="knn", t=t)
         self.engine.move_knn_query(qid, center, t)
         self._commit_on_uplink(qid)
 
@@ -361,6 +379,7 @@ class LocationAwareServer:
         ):
             return
         self.stats.record_uplink(QueryRegionMessage(qid, region, t))
+        self.recorder.record("uplink_move", qid=qid, query="predictive", t=t)
         self.engine.move_predictive_query(qid, region, t)
         self._commit_on_uplink(qid)
 
@@ -379,6 +398,8 @@ class LocationAwareServer:
         self.stats.record_uplink(CommitMessage(qid))
         self._require_binding(qid)
         self.commits.commit(qid, frozenset(self._delivered_answers[qid]))
+        self.freshness.observe_committed(qid)
+        self.recorder.record("commit", qid=qid, via="explicit")
         self._notify("on_commit", qid)
 
     def adopt_query(self, qid: int, client_id: int) -> None:
@@ -419,12 +440,14 @@ class LocationAwareServer:
         """
         self.stats.record_uplink(WakeupMessage(client_id))
         self._m_wakeups.inc()
+        self.recorder.record("wakeup_begin", client=client_id)
         link = self._links[client_id]
         link.reconnect()
         if isinstance(link, ThrottledLink):
             # The recovery response gets a fresh cycle's worth of budget.
             link.new_cycle()
         self._notify("on_wakeup_begin", client_id)
+        freshness = self.freshness
         sent: list[Update] = []
         with self.tracer.span("recovery"):
             for qid in sorted(self._queries_of_client[client_id]):
@@ -441,10 +464,22 @@ class LocationAwareServer:
                         else:
                             reached.discard(update.oid)
                         sent.append(update)
+                        freshness.observe_delivered(
+                            update.qid, update.oid, update.sign
+                        )
+                    else:
+                        freshness.observe_undelivered(
+                            update.qid, update.oid, update.sign
+                        )
                 self._delivered_answers[qid] = reached
                 self.commits.commit(qid, frozenset(reached))
+                freshness.observe_committed(qid)
+                self.recorder.record("commit", qid=qid, via="wakeup")
         self._notify("on_wakeup_end", client_id)
         self._m_recovery_updates.inc(len(sent))
+        self.recorder.record(
+            "wakeup_end", client=client_id, recovered=len(sent)
+        )
         return sent
 
     def recover_naive(self, client_id: int) -> int:
@@ -473,6 +508,8 @@ class LocationAwareServer:
                 total += message.size_bytes
                 self._delivered_answers[qid] = set(answer)
                 self.commits.commit(qid, answer)
+                self.freshness.observe_committed(qid)
+                self.recorder.record("commit", qid=qid, via="naive_recovery")
         self._notify("on_wakeup_end", client_id)
         return total
 
@@ -502,6 +539,8 @@ class LocationAwareServer:
                     len(q.answer) for q in self.engine.queries.values()
                 ),
             )
+            freshness = self.freshness
+            recorder = self.recorder
             with self.tracer.span("downlink"):
                 for update in updates:
                     binding = self._bindings.get(update.qid)
@@ -519,8 +558,28 @@ class LocationAwareServer:
                             delivered.add(update.oid)
                         else:
                             delivered.discard(update.oid)
+                        freshness.observe_delivered(
+                            update.qid, update.oid, update.sign
+                        )
+                        recorder.record(
+                            "downlink",
+                            qid=update.qid,
+                            oid=update.oid,
+                            sign=update.sign,
+                            ok=True,
+                        )
                     else:
                         result.dropped_updates += 1
+                        freshness.observe_undelivered(
+                            update.qid, update.oid, update.sign
+                        )
+                        recorder.record(
+                            "downlink",
+                            qid=update.qid,
+                            oid=update.oid,
+                            sign=update.sign,
+                            ok=False,
+                        )
         self._m_updates_delivered.inc(result.delivered_updates)
         self._m_updates_dropped.inc(result.dropped_updates)
         self._m_incremental_bytes.inc(result.incremental_bytes)
@@ -540,6 +599,22 @@ class LocationAwareServer:
         if complete == 0:
             return 0.0
         return self._m_incremental_bytes.value / complete
+
+    def freshness_vs_savings(self) -> dict[str, object]:
+        """The paper's bandwidth savings paired with the staleness its
+        laziness costs — one JSON-ready snapshot.
+
+        The incremental protocol's whole case is this trade: Figure 5's
+        byte savings are only meaningful alongside how stale the
+        committed answers are allowed to get (throttled clients sit at
+        the tail of the commit-stage distribution).
+        """
+        return {
+            "savings_ratio": self.savings_ratio(),
+            "incremental_bytes": int(self._m_incremental_bytes.value),
+            "complete_bytes": int(self._m_complete_bytes.value),
+            "staleness": self.freshness.snapshot(),
+        }
 
     def complete_answer_bytes(self) -> int:
         """Bytes a snapshot server would ship: every full answer, every cycle."""
@@ -565,6 +640,8 @@ class LocationAwareServer:
         self._require_binding(qid)
         self._bindings[qid].moving = True
         self.commits.commit(qid, frozenset(self._delivered_answers[qid]))
+        self.freshness.observe_committed(qid)
+        self.recorder.record("commit", qid=qid, via="uplink")
         self._notify("on_commit", qid)
 
     def _require_binding(self, qid: int) -> None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro.faults.harness import PIPELINES, default_plan, run_chaos
 
@@ -44,6 +45,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--report", default=None, help="write a JSON report to this path"
     )
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        help="directory for per-failure flight-recorder JSONL dumps "
+        "(CHAOS_FLIGHT_<pipeline>_<seed>.jsonl)",
+    )
     args = parser.parse_args(argv)
 
     reports = []
@@ -69,6 +76,19 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"    {divergence}")
             if not report.ok:
                 failures += 1
+                if args.flight_dir:
+                    flight_dir = Path(args.flight_dir)
+                    flight_dir.mkdir(parents=True, exist_ok=True)
+                    dump = (
+                        flight_dir
+                        / f"CHAOS_FLIGHT_{pipeline}_{seed}.jsonl"
+                    )
+                    with dump.open("w", encoding="utf-8") as handle:
+                        for event in report.flight_events:
+                            handle.write(
+                                json.dumps(event, sort_keys=True) + "\n"
+                            )
+                    print(f"    flight recorder dump: {dump}")
 
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:

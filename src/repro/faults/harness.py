@@ -23,6 +23,7 @@ from repro.core.server import LocationAwareServer
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.geometry import Point, Rect, Velocity
+from repro.obs import DEFAULT_RING_SIZE, FlightRecorder
 from repro.parallel import ParallelConfig
 
 PIPELINES = ("per-object", "cell-batched", "parallel", "columnar")
@@ -50,13 +51,17 @@ class ChaosReport:
     divergences: list[Divergence] = field(default_factory=list)
     converged: bool = False
     wakeup_rounds: int = 0
+    #: Failing runs only: the flight-recorder ring (protocol events
+    #: leading up to the failure) and a full metrics snapshot.
+    flight_events: list[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.converged and not self.divergences
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "pipeline": self.pipeline,
             "seed": self.seed,
             "cycles": self.cycles,
@@ -67,9 +72,16 @@ class ChaosReport:
             "wakeup_rounds": self.wakeup_rounds,
             "ok": self.ok,
         }
+        if self.flight_events:
+            out["flight_events"] = self.flight_events
+        if self.metrics:
+            out["metrics"] = self.metrics
+        return out
 
 
-def _build_server(pipeline: str) -> LocationAwareServer:
+def _build_server(
+    pipeline: str, recorder: FlightRecorder | None = None
+) -> LocationAwareServer:
     if pipeline == "parallel":
         # Thread backend with a tiny dispatch threshold: deterministic,
         # works on single-core hosts, still drives the full
@@ -80,7 +92,10 @@ def _build_server(pipeline: str) -> LocationAwareServer:
     else:
         parallelism = None
     return LocationAwareServer(
-        grid_size=16, pipeline=pipeline, parallelism=parallelism
+        grid_size=16,
+        pipeline=pipeline,
+        parallelism=parallelism,
+        recorder=recorder,
     )
 
 
@@ -97,7 +112,10 @@ def run_chaos(
         raise ValueError(f"pipeline must be one of {PIPELINES}, got {pipeline!r}")
     report = ChaosReport(pipeline=pipeline, seed=plan.seed, cycles=cycles)
     rng = random.Random(f"{plan.seed}:workload")
-    with _build_server(pipeline) as server:
+    # Every chaos run flies with the black box armed: a failure report
+    # embeds the protocol events that led to it, not just tallies.
+    recorder = FlightRecorder(capacity=DEFAULT_RING_SIZE)
+    with _build_server(pipeline, recorder=recorder) as server:
         # -- deployment: 3 clients, 5 queries, moving objects ----------
         server.register_client(0)
         server.register_client(1)
@@ -172,6 +190,15 @@ def run_chaos(
 
         report.faults = dict(injector.counts)
         report.divergences = list(oracle.divergences)
+        if not report.ok:
+            if recorder.triggered is None:
+                recorder.trigger(
+                    "chaos_failure",
+                    converged=report.converged,
+                    divergences=len(report.divergences),
+                )
+            report.flight_events = recorder.events()
+            report.metrics = server.registry.to_dict()
     return report
 
 

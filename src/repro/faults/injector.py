@@ -112,6 +112,7 @@ class FaultInjector:
         self.server.registry.counter(
             "fault_injected_total", labels={"kind": kind}
         ).inc()
+        self.server.recorder.record("fault", fault=kind)
 
     @property
     def total_injected(self) -> int:

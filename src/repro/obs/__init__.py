@@ -35,6 +35,18 @@ from repro.obs.registry import (
     set_default_registry,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
+from repro.obs.freshness import (
+    FRESHNESS_CYCLE_BUCKETS,
+    NULL_FRESHNESS,
+    FreshnessTracker,
+    NullFreshnessTracker,
+)
+from repro.obs.recorder import (
+    DEFAULT_RING_SIZE,
+    NULL_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+)
 from repro.obs.export import (
     JsonlSink,
     prometheus_text,
@@ -43,6 +55,14 @@ from repro.obs.export import (
 )
 
 __all__ = [
+    "FreshnessTracker",
+    "NullFreshnessTracker",
+    "NULL_FRESHNESS",
+    "FRESHNESS_CYCLE_BUCKETS",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_RECORDER",
+    "DEFAULT_RING_SIZE",
     "Counter",
     "Gauge",
     "Histogram",

@@ -48,6 +48,8 @@ def _label_text(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ())
 def _format_value(value: float) -> str:
     if math.isinf(value):
         return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"  # Prometheus spelling; Python's repr says 'nan'
     return repr(float(value))
 
 

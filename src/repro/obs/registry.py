@@ -123,6 +123,29 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation inside the bucket holding the rank
+        (Prometheus ``histogram_quantile`` semantics); observations in
+        the +Inf bucket clamp to the last finite bound.  0.0 when the
+        histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            if running + n >= rank and n > 0:
+                fraction = (rank - running) / n
+                return lower + (bound - lower) * max(0.0, min(1.0, fraction))
+            running += n
+            lower = bound
+        return self.bounds[-1]
+
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
         out: list[tuple[float, int]] = []

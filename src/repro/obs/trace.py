@@ -23,22 +23,44 @@ import time
 
 
 class SpanRecord:
-    """One finished (or in-flight) span."""
+    """One finished (or in-flight) span.
 
-    __slots__ = ("name", "start", "duration", "depth", "error")
+    ``span_id`` / ``parent_id`` form the causal chain (0 = no parent);
+    ``tid`` is the logical track the Chrome exporter renders the span
+    on — 0 for the coordinator, ``shard + 1`` for spans echoed back
+    from pool workers via :meth:`Tracer.record_remote`.
+    """
 
-    def __init__(self, name: str, start: float, duration: float, depth: int, error: bool):
+    __slots__ = ("name", "start", "duration", "depth", "error", "span_id", "parent_id", "tid")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        depth: int,
+        error: bool,
+        span_id: int = 0,
+        parent_id: int = 0,
+        tid: int = 0,
+    ):
         self.name = name
         self.start = start
         self.duration = duration
         self.depth = depth
         self.error = error
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tid = tid
 
 
 class _Span:
     """Context manager for one span; records on exit, even on raise."""
 
-    __slots__ = ("_tracer", "name", "counter", "histogram", "start", "duration", "error")
+    __slots__ = (
+        "_tracer", "name", "counter", "histogram", "start", "duration",
+        "error", "span_id", "parent_id",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, counter, histogram):
         self._tracer = tracer
@@ -48,10 +70,17 @@ class _Span:
         self.start = 0.0
         self.duration = 0.0
         self.error = False
+        self.span_id = 0
+        self.parent_id = 0
 
     def __enter__(self) -> "_Span":
         tracer = self._tracer
         tracer._depth += 1
+        stack = tracer._stack
+        self.parent_id = stack[-1] if stack else 0
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        stack.append(self.span_id)
         self.start = tracer._clock()
         return self
 
@@ -60,6 +89,7 @@ class _Span:
         self.duration = tracer._clock() - self.start
         self.error = exc_type is not None
         tracer._depth -= 1
+        tracer._stack.pop()
         tracer._record(self)
         if self.counter is not None:
             self.counter.inc(self.duration)
@@ -138,6 +168,8 @@ class Tracer:
         self.dropped = 0
         self._clock = clock
         self._depth = 0
+        self._next_id = 1
+        self._stack: list[int] = []
         self._origin = clock()
 
     def span(self, name: str, counter=None, histogram=None) -> _Span:
@@ -148,6 +180,58 @@ class Tracer:
         and trace stay consistent with each other.
         """
         return _Span(self, name, counter, histogram)
+
+    @property
+    def current_span_id(self) -> int:
+        """The innermost open span's id (0 when no span is open).
+
+        This is the trace context a coordinator threads into work it
+        ships elsewhere — e.g. onto the parallel pipeline's shard
+        payloads — so remote timings can be parented correctly.
+        """
+        stack = self._stack
+        return stack[-1] if stack else 0
+
+    def now(self) -> float:
+        """The current origin-relative time, for anchoring remote spans."""
+        return self._clock() - self._origin
+
+    def record_remote(
+        self,
+        spans,
+        anchor: float,
+        tid: int = 0,
+        parent_id: int = 0,
+    ) -> None:
+        """Record spans measured elsewhere (a pool worker's phase laps).
+
+        ``spans`` is an iterable of ``(name, rel_start, duration)``
+        triples whose times are relative to the remote clock's own
+        start; ``anchor`` is the origin-relative instant (from
+        :meth:`now`) the work was dispatched, so every remote span
+        lands inside the dispatch window even though the two clocks
+        are not otherwise comparable.  ``parent_id`` nests the spans
+        under a local span; ``tid`` gives them their own track in the
+        Chrome export.
+        """
+        for name, rel_start, duration in spans:
+            if len(self.events) >= self.max_events:
+                self.dropped += 1
+                continue
+            span_id = self._next_id
+            self._next_id += 1
+            self.events.append(
+                SpanRecord(
+                    name,
+                    anchor + rel_start,
+                    duration,
+                    self._depth + 1,
+                    False,
+                    span_id,
+                    parent_id,
+                    tid,
+                )
+            )
 
     def _record(self, span: _Span) -> None:
         if len(self.events) >= self.max_events:
@@ -160,6 +244,9 @@ class Tracer:
                 span.duration,
                 self._depth,
                 span.error,
+                span.span_id,
+                span.parent_id,
+                0,
             )
         )
 
@@ -171,17 +258,23 @@ class Tracer:
         """Chrome trace-event JSON (complete events, microsecond times)."""
         trace_events = []
         for record in self.events:
+            args: dict[str, object] = {}
+            if record.span_id:
+                args["id"] = record.span_id
+                args["parent"] = record.parent_id
+            if record.error:
+                args["error"] = True
             event: dict[str, object] = {
                 "name": record.name,
                 "ph": "X",
                 "ts": record.start * 1e6,
                 "dur": record.duration * 1e6,
                 "pid": 0,
-                "tid": 0,
+                "tid": record.tid,
                 "cat": "repro",
             }
-            if record.error:
-                event["args"] = {"error": True}
+            if args:
+                event["args"] = args
             trace_events.append(event)
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
@@ -198,6 +291,12 @@ class NullTracer(Tracer):
         if counter is None and histogram is None:
             return _NULL_SPAN
         return _MetricOnlySpan(counter, histogram)
+
+    def now(self) -> float:  # type: ignore[override]
+        return 0.0
+
+    def record_remote(self, spans, anchor, tid=0, parent_id=0) -> None:  # type: ignore[override]
+        pass
 
 
 NULL_TRACER = NullTracer()

@@ -30,18 +30,27 @@ def merge_ordered(
     objects,
     updates: list,
     make_update,
-) -> None:
+) -> tuple[int, int]:
     """Append every cohort's updates to ``updates`` in sequence order,
-    applying worker deltas to engine state as they are emitted."""
+    applying worker deltas to engine state as they are emitted.
+
+    Returns ``(boundary_emitted, shard_emitted)`` — how many updates
+    came from coordinator-evaluated boundary cohorts versus worker
+    deltas, which the flight recorder logs per merge.
+    """
     append = updates.append
+    boundary_emitted = 0
+    shard_emitted = 0
     for seq in range(total):
         ready = boundary_updates.get(seq)
         if ready is not None:
             updates.extend(ready)
+            boundary_emitted += len(ready)
             continue
         deltas = shard_deltas.get(seq)
         if not deltas:
             continue
+        shard_emitted += len(deltas)
         for qid, oid, sign in deltas:
             if sign > 0:
                 queries[qid].answer.add(oid)
@@ -50,3 +59,4 @@ def merge_ordered(
                 queries[qid].answer.discard(oid)
                 objects[oid].answered.discard(qid)
             append(make_update(qid, oid, sign))
+    return boundary_emitted, shard_emitted

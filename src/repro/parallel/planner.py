@@ -96,7 +96,7 @@ def _descriptor(query):
 
 
 def build_shard_payloads(
-    plan: ShardPlan, grid, index, queries, qstore=None
+    plan: ShardPlan, grid, index, queries, qstore=None, trace_ctx=(0,)
 ) -> list[tuple]:
     """Serialise each shard's work into the flat SoA payload the worker
     consumes: grid geometry as five numbers, touched cells as qid
@@ -110,6 +110,10 @@ def build_shard_payloads(
     come straight out of its columns (:meth:`descriptors`) — the store
     already holds the exact wire format, so the per-query attribute
     walk in :func:`_descriptor` is skipped entirely.
+
+    ``trace_ctx`` is the coordinator's trace context — ``(parent_span_id,)``
+    — riding along so the worker can echo it back with its phase spans
+    (distributed-tracing propagation in one tuple element).
     """
     world = grid.world
     grid_params = (
@@ -141,5 +145,7 @@ def build_shard_payloads(
             qdesc = qstore.descriptors(needed_qids)
         else:
             qdesc = {qid: _descriptor(queries[qid]) for qid in needed_qids}
-        payloads.append((shard, grid_params, cell_qids, qdesc, cohort_descs))
+        payloads.append(
+            (shard, grid_params, cell_qids, qdesc, cohort_descs, trace_ctx)
+        )
     return payloads

@@ -88,6 +88,10 @@ class WorkerPool:
         # reaching a worker, exercising the coordinator's recovery path
         # without actually killing an executor.  ``None`` disables.
         self.crash_hook = None
+        # Optional flight recorder (duck-typed; anything with a
+        # ``record(kind, **data)`` method).  Pool resets are exactly the
+        # rare lifecycle events a black box should remember.
+        self.recorder = None
 
     @property
     def started(self) -> bool:
@@ -155,6 +159,10 @@ class WorkerPool:
         self._executor = None
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
+        if self.recorder is not None:
+            self.recorder.record(
+                "pool_reset", backend=self.config.resolved_backend
+            )
 
     def close(self) -> None:
         """Shut the pool down and wait for workers to exit."""

@@ -99,17 +99,34 @@ def evaluate_shard(payload):
          (grid_n, world_min_x, world_min_y, cell_w, cell_h),
          {cell: (qid, ...)},                    # cell query snapshot
          {qid: (kind, min_x, min_y, max_x, max_y)},  # descriptors
-         [(seq, cells, rows, stay_put, point_pair), ...])
+         [(seq, cells, rows, stay_put, point_pair), ...],
+         (parent_span_id,))                     # trace context
 
     where ``rows`` is the cohort's object SoA: ``(oid, x, y,
     answered_qids)`` tuples.  Returns ``(shard_id, elapsed_seconds,
-    [(seq, deltas, knn_qids), ...])`` with ``deltas`` being ``(qid,
-    oid, sign)`` triples in exact serial emission order.
+    [(seq, deltas, knn_qids), ...], (parent_span_id, spans))`` with
+    ``deltas`` being ``(qid, oid, sign)`` triples in exact serial
+    emission order and ``spans`` the worker's phase timings as
+    ``(name, start_relative_to_dispatch, duration)`` triples — the
+    coordinator re-anchors them under its own cycle span via
+    :meth:`repro.obs.Tracer.record_remote`, so trace context survives
+    the process boundary without the worker importing the tracer.
     """
-    shard_id, grid_params, cell_qids, qdesc, cohorts = payload
+    shard_id, grid_params, cell_qids, qdesc, cohorts, trace_ctx = payload
     grid_n, wmin_x, wmin_y, cell_w, cell_h = grid_params
-    started = perf_counter()
+    started = perf_counter()  # timing: allowed — no tracer across the process boundary
     cache: dict[int, tuple] = {}
+    # Phase 1: resolve every touched cell's candidate split up front.
+    # _resolve_cell is pure, so hoisting it out of the cohort loop is
+    # behaviour-preserving and gives the phase a clean span boundary.
+    for _seq, cells, _rows, _stay_put, _point_pair in cohorts:
+        for cell in cells:
+            if cell not in cache:
+                cache[cell] = _resolve_cell(
+                    cell, cell_qids, qdesc,
+                    grid_n, wmin_x, wmin_y, cell_w, cell_h,
+                )
+    resolved_at = perf_counter()  # timing: allowed — phase boundary for remote spans
     results = []
     for seq, cells, rows, stay_put, point_pair in cohorts:
         deltas: list[tuple[int, int, int]] = []
@@ -117,12 +134,7 @@ def evaluate_shard(payload):
         knn_dirty: set[int] = set()
         cached_cells = []
         for cell in cells:
-            cached = cache.get(cell)
-            if cached is None:
-                cached = cache[cell] = _resolve_cell(
-                    cell, cell_qids, qdesc,
-                    grid_n, wmin_x, wmin_y, cell_w, cell_h,
-                )
+            cached = cache[cell]
             cached_cells.append(cached)
             if cached[3]:
                 knn_dirty.update(cached[3])
@@ -172,4 +184,10 @@ def evaluate_shard(payload):
                 elif kind == KIND_KNN:
                     knn_dirty.add(qid)
         results.append((seq, deltas, tuple(knn_dirty)))
-    return shard_id, perf_counter() - started, results
+    finished = perf_counter()  # timing: allowed — phase boundary for remote spans
+    spans = (
+        ("shard_resolve_cells", 0.0, resolved_at - started),
+        ("shard_evaluate_cohorts", resolved_at - started, finished - resolved_at),
+    )
+    parent_span_id = trace_ctx[0] if trace_ctx else 0
+    return shard_id, finished - started, results, (parent_span_id, spans)

@@ -27,12 +27,12 @@ class StopWatch:
         self._started: float | None = None
 
     def __enter__(self) -> "StopWatch":
-        self._started = time.perf_counter()
+        self._started = time.perf_counter()  # timing: allowed — this IS the stopwatch
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         assert self._started is not None
-        lap = time.perf_counter() - self._started
+        lap = time.perf_counter() - self._started  # timing: allowed — this IS the stopwatch
         self._started = None
         self.laps.append(lap)
         self.total += lap
@@ -78,11 +78,11 @@ class _PhaseLap:
         self._started = 0.0
 
     def __enter__(self) -> "_PhaseLap":
-        self._started = time.perf_counter()
+        self._started = time.perf_counter()  # timing: allowed — this IS the stopwatch
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        lap = time.perf_counter() - self._started
+        lap = time.perf_counter() - self._started  # timing: allowed — this IS the stopwatch
         self._seconds[self._name] = self._seconds.get(self._name, 0.0) + lap
 
 

@@ -12,6 +12,7 @@ from repro.net import (
     REORDER,
     ClientLink,
     NetworkStats,
+    ThrottledLink,
     UpdateMessage,
 )
 
@@ -142,3 +143,128 @@ class TestFaultActionProperties:
         link.fault_hook = lambda _link, _msg: DROP
         assert not link.deliver(UpdateMessage(1, 1, 1))
         assert gauge(stats, "link_dropped_messages_total", 1) == 1.0
+
+
+#: Model-based steps for a mixed fleet: a plain link and a throttled
+#: one sharing a NetworkStats, each step naming (op, target, qid).
+FLEET_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("deliver"),
+            st.integers(min_value=1, max_value=2),
+            st.integers(min_value=1, max_value=3),
+        ),
+        st.tuples(
+            st.just("disconnect"), st.integers(min_value=1, max_value=2), st.just(0)
+        ),
+        st.tuples(
+            st.just("reconnect"), st.integers(min_value=1, max_value=2), st.just(0)
+        ),
+        st.tuples(
+            st.just("drain"), st.integers(min_value=1, max_value=2), st.just(0)
+        ),
+        st.tuples(st.just("new_cycle"), st.just(2), st.just(0)),
+    ),
+    max_size=80,
+)
+
+
+class TestFleetAccountingInvariants:
+    """The per-link / aggregate reconciliation the dashboards rely on,
+    pinned under every interleaving of faults (duplicates and reorders
+    included), outages, throttling, budget resets and drains."""
+
+    @given(ops=FLEET_OPS, actions=ACTIONS, budget=st.integers(20, 100))
+    @settings(max_examples=80, deadline=None)
+    def test_aggregate_equals_sum_of_per_link_series(
+        self, ops, actions, budget
+    ):
+        stats = NetworkStats()
+        links = {
+            1: ClientLink(1, stats),
+            2: ThrottledLink(2, budget, stats),
+        }
+        cursor = iter(actions * 200)
+        for link in links.values():
+            link.fault_hook = lambda _link, _msg: next(cursor)
+        for op, target, qid in ops:
+            link = links[target]
+            if op == "deliver":
+                link.deliver(UpdateMessage(qid, 1, 1))
+            elif op == "disconnect":
+                link.disconnect()
+            elif op == "reconnect":
+                link.reconnect()
+            elif op == "drain":
+                link.drain()
+            else:
+                link.new_cycle()
+
+        value = stats.registry.value_of
+        for name, aggregate in (
+            ("link_delivered_messages_total", stats.delivered_messages),
+            ("link_delivered_bytes_total", stats.delivered_bytes),
+        ):
+            per_link = sum(
+                value(name, {"client": str(cid)}) for cid in links
+            )
+            assert per_link == aggregate, name
+
+        # Aggregate drops decompose into per-link drops + throttles:
+        # a throttled message is not a wire drop, but it is lost.
+        for dropped, throttled, aggregate in (
+            (
+                "link_dropped_messages_total",
+                "link_throttled_messages_total",
+                stats.dropped_messages,
+            ),
+            (
+                "link_dropped_bytes_total",
+                "link_throttled_bytes_total",
+                stats.dropped_bytes,
+            ),
+        ):
+            decomposed = sum(
+                value(dropped, {"client": str(cid)}) for cid in links
+            ) + value(throttled, {"client": "2"})
+            assert decomposed == aggregate, dropped
+
+        # Queued gauges mirror true inbox depth on both link types, and
+        # the throttle never spends past its budget.
+        for cid, link in links.items():
+            assert gauge(stats, "link_queued_messages", cid) == len(
+                link._inbox
+            )
+        assert 0 <= links[2]._spent_this_cycle <= budget
+
+    @given(ops=FLEET_OPS, actions=ACTIONS)
+    @settings(max_examples=60, deadline=None)
+    def test_throttled_link_mirror_counters_match_registry(
+        self, ops, actions
+    ):
+        """The legacy ``throttled_messages``/``throttled_bytes``
+        attributes and the registry series move in lockstep."""
+        stats = NetworkStats()
+        link = ThrottledLink(2, 40, stats)
+        cursor = iter(actions * 200)
+        link.fault_hook = lambda _link, _msg: next(cursor)
+        for op, _target, qid in ops:
+            if op == "deliver":
+                link.deliver(UpdateMessage(qid, 1, 1))
+            elif op == "disconnect":
+                link.disconnect()
+            elif op == "reconnect":
+                link.reconnect()
+            elif op == "drain":
+                link.drain()
+            else:
+                link.new_cycle()
+        value = stats.registry.value_of
+        assert (
+            value("link_throttled_messages_total", {"client": "2"})
+            == link.throttled_messages
+        )
+        assert (
+            value("link_throttled_bytes_total", {"client": "2"})
+            == link.throttled_bytes
+        )

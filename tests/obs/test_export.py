@@ -1,8 +1,11 @@
 """Exporter formats: Prometheus text, JSONL snapshots, Chrome traces."""
 
 import json
+import math
+import re
 
 from repro.obs import (
+    FreshnessTracker,
     JsonlSink,
     MetricsRegistry,
     Tracer,
@@ -55,6 +58,144 @@ class TestPrometheusText:
 
     def test_empty_registry_renders_empty(self):
         assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestPrometheusTextEdgeCases:
+    """The exposition corners a scraper trips over: hostile label
+    values, histograms nobody has observed yet, non-finite samples."""
+
+    def test_newlines_in_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels={"k": "line1\nline2"}).inc()
+        text = prometheus_text(reg)
+        assert 'k="line1\\nline2"' in text
+        # The escaped value must not break the one-sample-per-line
+        # framing the format is built on.
+        sample_lines = [ln for ln in text.splitlines() if not ln.startswith("#")]
+        assert len(sample_lines) == 1
+
+    def test_mixed_hostile_label_value_round_trips(self):
+        hostile = 'a\\"b\nc\\'
+        reg = MetricsRegistry()
+        reg.counter("m", labels={"k": hostile}).inc()
+        (line,) = [
+            ln
+            for ln in prometheus_text(reg).splitlines()
+            if not ln.startswith("#")
+        ]
+        quoted = re.search(r'k="((?:[^"\\]|\\.)*)"', line).group(1)
+        unescaped = (
+            quoted.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        # Unescaping in the wrong order corrupts trailing backslashes;
+        # pin the exact value instead of just "contains".
+        decoded = quoted.encode().decode("unicode_escape")
+        assert decoded == hostile or unescaped == hostile
+
+    def test_empty_histogram_still_emits_full_exposition(self):
+        """A registered-but-never-observed histogram must expose zeroed
+        buckets, sum and count — absence reads as a scrape failure."""
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        text = prometheus_text(reg)
+        assert "# TYPE h histogram" in text
+        assert 'h_bucket{le="1.0"} 0' in text
+        assert 'h_bucket{le="2.0"} 0' in text
+        assert 'h_bucket{le="+Inf"} 0' in text
+        assert "h_sum 0" in text
+        assert "h_count 0" in text
+
+    def test_nan_and_infinite_gauges_use_prometheus_spelling(self):
+        reg = MetricsRegistry()
+        reg.gauge("g_nan").set(float("nan"))
+        reg.gauge("g_inf").set(float("inf"))
+        reg.gauge("g_ninf").set(float("-inf"))
+        text = prometheus_text(reg)
+        assert "g_nan NaN" in text
+        assert "g_inf +Inf" in text
+        assert "g_ninf -Inf" in text
+
+    def test_leading_digit_names_get_underscore_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("95th_latency").inc()
+        assert "_95th_latency 1.0" in prometheus_text(reg)
+
+    def test_every_sample_line_is_well_formed(self):
+        """Format fuzz: whatever the registry holds, each non-comment
+        line must match ``name{labels} value`` with balanced quoting."""
+        reg = MetricsRegistry()
+        reg.counter("a b", labels={"x": 'q"q', "y": "n\nn"}).inc(3)
+        reg.gauge("9lives").set(float("nan"))
+        hist = reg.histogram("h", buckets=(0.5,), labels={"z": "\\"})
+        hist.observe(0.1)
+        pattern = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{([a-zA-Z0-9_:]+="(?:[^"\\\n]|\\.)*",?)*\})? '
+            r"(NaN|[+-]Inf|[0-9eE+.-]+)$"
+        )
+        for line in prometheus_text(reg).splitlines():
+            if line.startswith("#"):
+                continue
+            assert pattern.match(line), f"malformed exposition line: {line!r}"
+
+
+class TestFreshnessSeriesRoundTrip:
+    """The new freshness histograms travel intact through both
+    exporters: text exposition and the dict/JSONL snapshot."""
+
+    def populated_tracker(self):
+        reg = MetricsRegistry()
+        tracker = FreshnessTracker(reg)
+        tracker.stamp_report(1)
+        tracker.end_cycle()
+        tracker.end_cycle()  # one cycle of lag
+        tracker.observe_delivered(qid=7, oid=1, sign=1)
+        tracker.observe_committed(7)
+        return reg, tracker
+
+    def test_freshness_histograms_in_prometheus_text(self):
+        reg, _tracker = self.populated_tracker()
+        text = prometheus_text(reg)
+        assert "# TYPE freshness_staleness_cycles histogram" in text
+        line = (
+            'freshness_staleness_cycles_bucket{polarity="positive",'
+            'stage="delivery",le="1.0"} 1'
+        )
+        assert line in text
+        assert (
+            'freshness_staleness_cycles_count{polarity="positive",'
+            'stage="commit"} 1' in text
+        )
+        assert "# TYPE freshness_staleness_seconds histogram" in text
+        assert "# TYPE freshness_tracked_objects gauge" in text
+
+    def test_text_and_dict_exporters_agree_on_counts(self):
+        reg, _tracker = self.populated_tracker()
+        text = prometheus_text(reg)
+        snapshot = reg.to_dict()
+        for series in snapshot["freshness_staleness_cycles"]["series"]:
+            labels = series["labels"]
+            expected = (
+                f'freshness_staleness_cycles_count'
+                f'{{polarity="{labels["polarity"]}",stage="{labels["stage"]}"}} '
+                f'{series["count"]}'
+            )
+            assert expected in text
+
+    def test_freshness_series_survive_jsonl(self, tmp_path):
+        reg, _tracker = self.populated_tracker()
+        sink = JsonlSink(tmp_path / "m.jsonl")
+        sink.write(reg, timestamp=1.0)
+        record = json.loads((tmp_path / "m.jsonl").read_text())
+        cycles = record["metrics"]["freshness_staleness_cycles"]
+        assert cycles["type"] == "histogram"
+        delivery = next(
+            s
+            for s in cycles["series"]
+            if s["labels"] == {"stage": "delivery", "polarity": "positive"}
+        )
+        assert delivery["count"] == 1
+        assert delivery["sum"] == 1.0  # exactly one cycle of lag
+        assert not math.isnan(delivery["mean"])
 
 
 class TestDictAndJsonl:

@@ -1,0 +1,215 @@
+"""The observability plane end-to-end: freshness through the server,
+flight-recorder protocol capture, and trace-context propagation across
+the parallel pool."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import IncrementalEngine
+from repro.core.server import LocationAwareServer
+from repro.geometry import Point, Rect
+from repro.obs import (
+    DEFAULT_RING_SIZE,
+    FlightRecorder,
+    MetricsRegistry,
+    write_chrome_trace,
+)
+from repro.parallel import ParallelConfig
+
+
+def make_server(**kwargs):
+    server = LocationAwareServer(grid_size=8, **kwargs)
+    server.register_client(1)
+    server.register_range_query(1, 100, Rect(0.0, 0.0, 0.5, 0.5))
+    return server
+
+
+class TestServerFreshness:
+    def test_same_cycle_delivery_is_fresh(self):
+        server = make_server()
+        server.receive_object_report(7, Point(0.1, 0.1), 0.0)
+        server.evaluate_cycle(1.0)
+        stages = server.freshness.stage_summary()
+        assert stages["delivery"]["positive"]["count"] == 1
+        assert stages["delivery"]["positive"]["cycles"]["p99"] == 0.0
+
+    def test_commit_stage_lags_for_lazy_acknowledgement(self):
+        server = make_server()
+        server.receive_object_report(7, Point(0.1, 0.1), 0.0)
+        server.evaluate_cycle(1.0)
+        server.evaluate_cycle(2.0)
+        server.evaluate_cycle(3.0)
+        server.receive_commit(100)
+        stages = server.freshness.stage_summary()
+        # Delivered immediately (lag 0) but acknowledged two cycles on
+        # (bucketed quantiles interpolate, so compare by mean).
+        assert stages["delivery"]["positive"]["cycles"]["p99"] == 0.0
+        assert stages["commit"]["positive"]["cycles"]["mean"] == 2.0
+
+    def test_throttled_client_staleness_visible(self):
+        """A budget-zero client receives nothing until a wakeup; the
+        recovered update carries the accumulated cycle lag."""
+        server = LocationAwareServer(grid_size=8)
+        server.register_client(1, downlink_budget=1)  # nothing fits
+        server.register_range_query(1, 100, Rect(0.0, 0.0, 0.5, 0.5))
+        server.receive_object_report(7, Point(0.1, 0.1), 0.0)
+        server.evaluate_cycle(1.0)  # throttled away
+        server.evaluate_cycle(2.0)
+        registry = server.registry
+        assert (
+            registry.counter("freshness_undelivered_updates_total").value == 1
+        )
+        server.link_of(1).budget_bytes_per_cycle = 10_000
+        server.receive_wakeup(1)
+        stages = server.freshness.stage_summary()
+        # Stamped for cycle 1, recovered after cycle 2: one cycle stale.
+        assert stages["delivery"]["positive"]["cycles"]["mean"] == 1.0
+        # The wakeup completed the resync, so commit staleness exists too.
+        assert stages["commit"]["positive"]["count"] == 1
+
+    def test_freshness_vs_savings_snapshot(self):
+        server = make_server()
+        server.receive_object_report(7, Point(0.1, 0.1), 0.0)
+        server.evaluate_cycle(1.0)
+        snap = server.freshness_vs_savings()
+        assert 0.0 < snap["savings_ratio"]
+        assert snap["incremental_bytes"] > 0
+        assert snap["staleness"]["stages"]["delivery"]["positive"]["count"] == 1
+        json.dumps(snap)
+
+    def test_unregistration_forgets_query_state(self):
+        server = make_server()
+        server.receive_object_report(7, Point(0.1, 0.1), 0.0)
+        server.evaluate_cycle(1.0)
+        assert server.freshness.query_summary(100) != {}
+        server.unregister_query(100)
+        server.evaluate_cycle(2.0)
+        assert server.freshness.query_summary(100) == {}
+
+
+class TestServerRecorder:
+    def test_protocol_chain_is_recorded(self):
+        recorder = FlightRecorder(capacity=DEFAULT_RING_SIZE)
+        server = make_server(recorder=recorder)
+        server.receive_object_report(7, Point(0.1, 0.1), 0.0)
+        server.evaluate_cycle(1.0)
+        server.receive_commit(100)
+        kinds = [e["kind"] for e in recorder.events()]
+        assert "uplink_report" in kinds
+        assert "evaluate_begin" in kinds
+        assert "evaluate_end" in kinds
+        assert "downlink" in kinds
+        assert "commit" in kinds
+        # The chain is causally ordered: report before evaluation
+        # before delivery before acknowledgement.
+        assert (
+            kinds.index("uplink_report")
+            < kinds.index("evaluate_begin")
+            < kinds.index("downlink")
+            < kinds.index("commit")
+        )
+        downlink = next(
+            e for e in recorder.events() if e["kind"] == "downlink"
+        )
+        assert downlink["qid"] == 100
+        assert downlink["oid"] == 7
+        assert downlink["ok"] is True
+
+    def test_recorder_installed_on_supplied_engine(self):
+        engine = IncrementalEngine(grid_size=8)
+        recorder = FlightRecorder(capacity=64)
+        server = LocationAwareServer(engine=engine, recorder=recorder)
+        assert engine.recorder is recorder
+        assert server.recorder is recorder
+
+    def test_default_recorder_is_null(self):
+        server = make_server()
+        assert not server.recorder.enabled
+
+
+class TestParallelTracePropagation:
+    def make_parallel_server(self, registry=None, recorder=None):
+        engine = IncrementalEngine(
+            grid_size=8,
+            pipeline="parallel",
+            parallelism=ParallelConfig(
+                workers=2, backend="thread", min_batch=0
+            ),
+            registry=registry,
+            recorder=recorder,
+        )
+        server = LocationAwareServer(engine=engine)
+        server.register_client(1)
+        server.register_range_query(1, 100, Rect(0.0, 0.0, 1.0, 1.0))
+        return server
+
+    def drive(self, server):
+        # Objects spread across grid rows so both shards get cohorts.
+        for oid in range(24):
+            server.receive_object_report(
+                oid, Point((oid % 8) / 8.0 + 0.01, (oid // 8) / 3.0 + 0.01), 0.0
+            )
+        server.evaluate_cycle(1.0)
+
+    def test_worker_spans_nest_under_cycle_span(self, tmp_path):
+        server = self.make_parallel_server()
+        try:
+            self.drive(server)
+        finally:
+            server.close()
+        path = write_chrome_trace(server.tracer, tmp_path / "trace.json")
+        events = json.loads(path.read_text())["traceEvents"]
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        assert "shard_resolve_cells" in by_name
+        assert "shard_evaluate_cohorts" in by_name
+        (cycle,) = by_name["cycle"]
+        (object_reports,) = by_name["object_reports"]
+        worker_events = (
+            by_name["shard_resolve_cells"] + by_name["shard_evaluate_cohorts"]
+        )
+        assert len(worker_events) == 4  # two phases x two shards
+        for event in worker_events:
+            # Temporal containment in the owning cycle span...
+            assert event["ts"] >= cycle["ts"]
+            assert event["ts"] + event["dur"] <= cycle["ts"] + cycle["dur"]
+            # ...explicit parent link to the dispatching span...
+            assert event["args"]["parent"] == object_reports["args"]["id"]
+            # ...and a per-shard lane distinct from the coordinator's.
+            assert event["tid"] in (1, 2)
+
+    def test_shard_events_in_flight_recorder(self):
+        recorder = FlightRecorder(capacity=256)
+        server = self.make_parallel_server(recorder=recorder)
+        try:
+            self.drive(server)
+        finally:
+            server.close()
+        kinds = [e["kind"] for e in recorder.events()]
+        assert "shard_dispatch" in kinds
+        assert "shard_merge" in kinds
+        dispatch = next(
+            e for e in recorder.events() if e["kind"] == "shard_dispatch"
+        )
+        assert dispatch["shards"] == 2
+        merge = next(
+            e for e in recorder.events() if e["kind"] == "shard_merge"
+        )
+        assert merge["shard_emitted"] + merge["boundary_emitted"] > 0
+
+    def test_worker_crash_triggers_recorder(self):
+        recorder = FlightRecorder(capacity=256)
+        server = self.make_parallel_server(recorder=recorder)
+        try:
+            server.engine.worker_crash_hook = lambda payload: payload[0] == 0
+            self.drive(server)
+        finally:
+            server.close()
+        assert recorder.triggered == "worker_crash"
+        crash = next(
+            e for e in recorder.events() if e["kind"] == "trigger"
+        )
+        assert crash["reason"] == "worker_crash"
+        assert crash["shard"] == 0

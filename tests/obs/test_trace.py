@@ -137,7 +137,7 @@ class TestChromeExport:
             with tracer.span("broken"):
                 raise RuntimeError
         (event,) = tracer.to_chrome_trace()["traceEvents"]
-        assert event["args"] == {"error": True}
+        assert event["args"]["error"] is True
 
 
 class TestNullTracer:

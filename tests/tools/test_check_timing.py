@@ -1,0 +1,109 @@
+"""The timing lint: ad-hoc clock reads outside repro.obs are build
+failures, annotated exceptions and the obs subtree are not."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+TOOL = REPO_ROOT / "tools" / "check_timing.py"
+
+sys.path.insert(0, str(TOOL.parent))
+
+from check_timing import check_file, check_tree, main  # noqa: E402
+
+
+def write_module(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+class TestCheckFile:
+    def test_flags_module_attribute_calls(self, tmp_path):
+        path = write_module(
+            tmp_path, "m.py", "import time\nstart = time.time()\n"
+        )
+        assert check_file(path) == ["2: time.time()"]
+
+    def test_flags_aliased_module(self, tmp_path):
+        path = write_module(
+            tmp_path, "m.py", "import time as t\nx = t.perf_counter()\n"
+        )
+        assert check_file(path) == ["2: time.perf_counter()"]
+
+    def test_flags_from_imports_and_aliases(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "m.py",
+            "from time import monotonic as mono\nx = mono()\n",
+        )
+        assert check_file(path) == ["2: monotonic()"]
+
+    def test_flags_ns_variants(self, tmp_path):
+        path = write_module(
+            tmp_path, "m.py", "import time\nx = time.monotonic_ns()\n"
+        )
+        assert check_file(path) == ["2: time.monotonic_ns()"]
+
+    def test_pragma_suppresses(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "m.py",
+            "import time\n"
+            "x = time.time()  # timing: allowed — test fixture\n",
+        )
+        assert check_file(path) == []
+
+    def test_non_clock_time_functions_pass(self, tmp_path):
+        path = write_module(
+            tmp_path, "m.py", "import time\ntime.sleep(0.1)\n"
+        )
+        assert check_file(path) == []
+
+    def test_unrelated_names_pass(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "m.py",
+            "class Clock:\n"
+            "    def time(self):\n"
+            "        return 0\n"
+            "x = Clock().time()\n",
+        )
+        assert check_file(path) == []
+
+
+class TestCheckTree:
+    def test_obs_subtree_is_exempt(self, tmp_path):
+        write_module(
+            tmp_path, "obs/clock.py", "import time\nx = time.time()\n"
+        )
+        write_module(
+            tmp_path, "core/engine.py", "import time\nx = time.time()\n"
+        )
+        violations = check_tree(tmp_path)
+        assert len(violations) == 1
+        assert "core/engine.py" in violations[0]
+
+    def test_repo_tree_is_clean(self):
+        """The real src/repro/ passes its own gate."""
+        assert main([]) == 0
+
+    def test_missing_path_is_distinct_error(self, tmp_path):
+        assert main([str(tmp_path / "nope")]) == 2
+
+
+class TestCli:
+    def test_violation_fails_the_build(self, tmp_path):
+        write_module(
+            tmp_path, "bad.py", "from time import perf_counter\nperf_counter()\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, str(TOOL), str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "bad.py:2: perf_counter()" in proc.stdout
+        assert "timing: allowed" in proc.stdout  # the fix is in the message

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Forbid ad-hoc wall-clock reads in the engine tree.
+
+The observability plane (``repro.obs``) owns time: spans come from the
+tracer's clock, staleness from the freshness tracker's stamps, and the
+flight recorder's envelope from its own monotonic source.  A stray
+``time.time()`` or ``perf_counter()`` elsewhere in ``src/repro/``
+creates a second, unsynchronized notion of "now" that the exporters
+cannot correlate — the class of bug this PR's freshness work exists to
+kill.
+
+This checker walks ``src/repro/`` (excluding ``repro/obs/``), parses
+each module, and flags any call to the :mod:`time` module's clock
+readers::
+
+    time(), perf_counter(), monotonic(), process_time(), thread_time()
+    (and their ``_ns`` variants), via any import alias
+
+A deliberate exception is annotated in place::
+
+    started = perf_counter()  # timing: allowed — crosses process boundary
+
+Usage (CI runs it with no arguments)::
+
+    python tools/check_timing.py [root ...]
+
+Exit status 1 if any unannotated clock read is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Clock-reading callables in the stdlib ``time`` module.
+CLOCK_READERS = frozenset(
+    name + suffix
+    for name in (
+        "time",
+        "perf_counter",
+        "monotonic",
+        "process_time",
+        "thread_time",
+    )
+    for suffix in ("", "_ns")
+)
+
+PRAGMA = "# timing: allowed"
+
+#: The one subtree allowed to read clocks directly.
+EXEMPT_PARTS = ("obs",)
+
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+class _ClockCallFinder(ast.NodeVisitor):
+    """Collects (line, call-text) for every time-module clock read."""
+
+    def __init__(self) -> None:
+        #: Local aliases of the ``time`` module itself (``import time``,
+        #: ``import time as t``).
+        self.module_aliases: set[str] = set()
+        #: Local names bound to clock readers (``from time import
+        #: perf_counter [as pc]``).
+        self.reader_aliases: dict[str, str] = {}
+        self.findings: list[tuple[int, str]] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self.module_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time" and node.level == 0:
+            for alias in node.names:
+                if alias.name in CLOCK_READERS:
+                    self.reader_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.module_aliases
+            and func.attr in CLOCK_READERS
+        ):
+            self.findings.append((node.lineno, f"time.{func.attr}()"))
+        elif isinstance(func, ast.Name) and func.id in self.reader_aliases:
+            self.findings.append(
+                (node.lineno, f"{self.reader_aliases[func.id]}()")
+            )
+        self.generic_visit(node)
+
+
+def is_exempt(path: Path, root: Path) -> bool:
+    relative = path.relative_to(root)
+    return bool(set(relative.parts[:-1]) & set(EXEMPT_PARTS))
+
+
+def check_file(path: Path) -> list[str]:
+    """Unannotated clock reads in one module, as ``line:call`` strings."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    finder = _ClockCallFinder()
+    finder.visit(tree)
+    if not finder.findings:
+        return []
+    lines = source.splitlines()
+    problems = []
+    for lineno, call in finder.findings:
+        line = lines[lineno - 1] if lineno <= len(lines) else ""
+        if PRAGMA in line:
+            continue
+        problems.append(f"{lineno}: {call}")
+    return problems
+
+
+def check_tree(root: Path) -> list[str]:
+    """All violations under ``root``, as ``path:line: message`` strings."""
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        if is_exempt(path, root):
+            continue
+        for problem in check_file(path):
+            violations.append(f"{path}:{problem}")
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    roots = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    if not roots:
+        roots = [DEFAULT_ROOT]
+    violations = []
+    for root in roots:
+        if not root.exists():
+            print(f"check_timing: no such path: {root}", file=sys.stderr)
+            return 2
+        violations.extend(check_tree(root))
+    for violation in violations:
+        print(
+            f"{violation} — clocks belong to repro.obs; route timing "
+            f"through the tracer/freshness plane or annotate with "
+            f"'{PRAGMA} — <why>'"
+        )
+    if violations:
+        print(f"\n{len(violations)} ad-hoc clock read(s) found")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
