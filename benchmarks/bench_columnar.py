@@ -10,9 +10,17 @@ through the same buffered move rounds and checks two things:
   round, under the numpy backend *and* the pure-Python fallback;
 * **speedup** — at full scale (100K objects / 10K queries) with numpy
   installed, the columnar pipeline must deliver >= 1.5x the
-  cell-batched report throughput.  The pure-Python fallback is
-  *recorded* (same workload, smaller populations) but never gated: its
-  point is the stdlib-only guarantee, not speed.
+  cell-batched report throughput end-to-end *and* >= 1.3x on the
+  report-ingest phase alone (the batch ingest kernel vs the serial
+  grouping loop, read from each engine's
+  ``engine_ingest_seconds_total`` counter).  The pure-Python fallback
+  is *recorded* (same workload, smaller populations) but never gated:
+  its point is the stdlib-only guarantee, not speed.
+
+Per-round phase seconds (ingest on both engines; plan/join/emit on the
+columnar evaluator) are sampled from the engines' own counters and
+written into the JSON summary, so regressions can be localised to a
+phase without re-profiling.
 
 Methodology: the two engines are measured **paired and interleaved** —
 round k of the serial engine, then round k of the columnar engine, then
@@ -64,6 +72,9 @@ QUICK_QUERIES = 400
 #: Timed paired rounds (after one untimed warm-up round).
 TIMED_ROUNDS = 5
 SPEEDUP_TARGET = 1.5
+#: Paired report-ingest phase speedup gate (batch ingest kernel vs the
+#: serial grouping loop), same applicability rules as SPEEDUP_TARGET.
+INGEST_SPEEDUP_TARGET = 1.3
 #: Populations for the recorded-not-gated pure-Python fallback leg.
 FALLBACK_OBJECTS = 4_000
 FALLBACK_QUERIES = 400
@@ -98,14 +109,57 @@ def build_engines(n_objects: int, n_queries: int, backend: str):
     return engines[0], engines[1], move_rounds
 
 
+#: Phase counters sampled per round: (key, metric name, labels).
+_PHASE_COUNTERS = (
+    ("ingest", "engine_ingest_seconds_total", None),
+    ("plan", "engine_columnar_phase_seconds_total", {"phase": "plan"}),
+    ("join", "engine_columnar_phase_seconds_total", {"phase": "join"}),
+    ("emit", "engine_columnar_phase_seconds_total", {"phase": "emit"}),
+)
+
+
+def _phase_snapshot(engine) -> dict[str, float]:
+    """Current cumulative phase-seconds counters for one engine.
+
+    Counters an engine never touches (the cell-batched engine has no
+    plan/join/emit phases) read as 0.0, so deltas stay well-defined.
+    """
+    registry = engine.registry
+    return {
+        key: registry.counter(name, labels=labels).value
+        for key, name, labels in _PHASE_COUNTERS
+    }
+
+
 def run_paired(serial, columnar, move_rounds, timed_rounds: int):
-    """Interleaved paired rounds; returns per-round (serial s, columnar s).
+    """Interleaved paired rounds; returns per-round (serial s, columnar s)
+    plus per-round phase seconds from each engine's counters.
 
     Every round — including the untimed warm-up — asserts byte-identical
     ordered update streams, then discards them so neither engine's
     later rounds are measured under the other's garbage.
+
+    Phase seconds come from the engines' own counters
+    (``engine_ingest_seconds_total`` on both engines,
+    ``engine_columnar_phase_seconds_total{phase=...}`` on the columnar
+    one), sampled before and after each round — the same paired,
+    per-round deltas as the wall clock, so the ingest ratio shares the
+    wall-clock ratio's robustness to drifting machine load.
+
+    The two engines alternate which one evaluates first each round:
+    within a round they run seconds apart, so a monotonic load drift
+    would otherwise consistently tax whichever engine always ran
+    second.  Alternation flips the bias round to round and the median
+    absorbs it.
     """
     pairs: list[tuple[float, float]] = []
+    phases: dict[str, list[float]] = {
+        "serial_ingest": [],
+        "columnar_ingest": [],
+        "plan": [],
+        "join": [],
+        "emit": [],
+    }
     now = 0.0
     for round_no in range(timed_rounds + 1):
         now += 1.0
@@ -115,12 +169,24 @@ def run_paired(serial, columnar, move_rounds, timed_rounds: int):
         gc.collect()
         gc.disable()
         try:
-            started = time.perf_counter()
-            serial_updates = serial.evaluate(now)
-            serial_seconds = time.perf_counter() - started
-            started = time.perf_counter()
-            columnar_updates = columnar.evaluate(now)
-            columnar_seconds = time.perf_counter() - started
+            serial_before = _phase_snapshot(serial)
+            columnar_before = _phase_snapshot(columnar)
+            if round_no % 2:
+                started = time.perf_counter()
+                columnar_updates = columnar.evaluate(now)
+                columnar_seconds = time.perf_counter() - started
+                started = time.perf_counter()
+                serial_updates = serial.evaluate(now)
+                serial_seconds = time.perf_counter() - started
+            else:
+                started = time.perf_counter()
+                serial_updates = serial.evaluate(now)
+                serial_seconds = time.perf_counter() - started
+                started = time.perf_counter()
+                columnar_updates = columnar.evaluate(now)
+                columnar_seconds = time.perf_counter() - started
+            serial_after = _phase_snapshot(serial)
+            columnar_after = _phase_snapshot(columnar)
         finally:
             gc.enable()
         got = [(u.qid, u.oid, u.sign) for u in columnar_updates]
@@ -131,7 +197,17 @@ def run_paired(serial, columnar, move_rounds, timed_rounds: int):
         del serial_updates, columnar_updates, got, want
         if round_no > 0:  # round 0 is the cache warm-up
             pairs.append((serial_seconds, columnar_seconds))
-    return pairs
+            phases["serial_ingest"].append(
+                serial_after["ingest"] - serial_before["ingest"]
+            )
+            phases["columnar_ingest"].append(
+                columnar_after["ingest"] - columnar_before["ingest"]
+            )
+            for key in ("plan", "join", "emit"):
+                phases[key].append(
+                    columnar_after[key] - columnar_before[key]
+                )
+    return pairs, phases
 
 
 def run_comparison(
@@ -144,13 +220,24 @@ def run_comparison(
     serial, columnar, move_rounds = build_engines(
         n_objects, n_queries, backend
     )
-    pairs = run_paired(serial, columnar, move_rounds, timed_rounds)
+    pairs, phases = run_paired(serial, columnar, move_rounds, timed_rounds)
     ratios = [s / c for s, c in pairs]
     speedup = statistics.median(ratios)
     serial_times = [s for s, _ in pairs]
     columnar_times = [c for _, c in pairs]
     columnar_round = statistics.median(columnar_times)
     serial_round = statistics.median(serial_times)
+
+    # Paired ingest-phase ratio: serial grouping loop vs batch kernel.
+    ingest_ratios = [
+        s / c if c > 0.0 else 1.0
+        for s, c in zip(phases["serial_ingest"], phases["columnar_ingest"])
+    ]
+    ingest_speedup = statistics.median(ingest_ratios)
+    phase_medians = {
+        key: statistics.median(values) if values else 0.0
+        for key, values in phases.items()
+    }
 
     resolved = columnar.columnar_backend
     rows = [
@@ -166,6 +253,30 @@ def run_comparison(
         ["pipeline", "median round ms", "reports/s", "median paired speedup"],
         rows,
     )
+    other = columnar_round - sum(
+        phase_medians[key] for key in ("columnar_ingest", "plan", "join", "emit")
+    )
+    phase_rows = [
+        [
+            "ingest",
+            phase_medians["columnar_ingest"] * 1e3,
+            phase_medians["serial_ingest"] * 1e3,
+            ingest_speedup,
+        ],
+        ["plan", phase_medians["plan"] * 1e3, float("nan"), float("nan")],
+        ["join", phase_medians["join"] * 1e3, float("nan"), float("nan")],
+        ["emit", phase_medians["emit"] * 1e3, float("nan"), float("nan")],
+        ["other", max(other, 0.0) * 1e3, float("nan"), float("nan")],
+    ]
+    phase_table = format_table(
+        [
+            "phase",
+            "columnar median ms",
+            "cell-batched median ms",
+            "paired speedup",
+        ],
+        phase_rows,
+    )
 
     if assert_speedup:
         assert speedup >= SPEEDUP_TARGET, (
@@ -174,21 +285,33 @@ def run_comparison(
             f"(paired per-round ratios: "
             f"{', '.join(f'{r:.3f}' for r in ratios)})"
         )
+        assert ingest_speedup >= INGEST_SPEEDUP_TARGET, (
+            f"batch ingest managed only {ingest_speedup:.2f}x over the "
+            f"serial grouping loop at {n_objects} objects / {n_queries} "
+            f"queries (paired per-round ingest ratios: "
+            f"{', '.join(f'{r:.3f}' for r in ingest_ratios)})"
+        )
 
     return {
         "table": table,
+        "phase_table": phase_table,
         "backend": resolved,
         "serial_times": serial_times,
         "columnar_times": columnar_times,
         "ratios": ratios,
         "speedup": speedup,
+        "phases": phases,
+        "phase_medians": phase_medians,
+        "ingest_ratios": ingest_ratios,
+        "ingest_speedup": ingest_speedup,
         "registry": columnar.registry,
     }
 
 
 def gate_applies(n_objects: int, n_queries: int) -> bool:
-    """The 1.5x gate engages only where it is meaningful: numpy backend
-    at full populations (the fallback is recorded, never gated)."""
+    """The 1.5x end-to-end and 1.3x ingest-phase gates engage only where
+    they are meaningful: numpy backend at full populations (the
+    fallback is recorded, never gated)."""
     return (
         numpy_available()
         and n_objects >= FULL_OBJECTS
@@ -225,6 +348,9 @@ def test_columnar_pipeline(benchmark, record_series, request):
     benchmark.extra_info["backend"] = result["backend"]
     benchmark.extra_info["speedup_vs_cell_batched"] = round(
         result["speedup"], 3
+    )
+    benchmark.extra_info["ingest_speedup_vs_cell_batched"] = round(
+        result["ingest_speedup"], 3
     )
     benchmark.pedantic(engine.evaluate, setup=setup, rounds=3)
 
@@ -263,6 +389,12 @@ def main(argv: list[str]) -> int:
     )
     print()
     print(result["table"])
+    print()
+    print(result["phase_table"])
+    print(
+        f"\nreport-ingest phase: {result['ingest_speedup']:.2f}x paired "
+        f"(batch kernel vs serial grouping loop)"
+    )
 
     # Recorded-not-gated pure-Python fallback leg (small populations:
     # the fallback exists for the stdlib-only guarantee, not for speed).
@@ -299,6 +431,15 @@ def main(argv: list[str]) -> int:
             "paired_round_ratios": result["ratios"],
             "speedup_vs_cell_batched": result["speedup"],
             "speedup_gate_applied": gated,
+            "phase_round_seconds": result["phases"],
+            "phase_median_seconds": result["phase_medians"],
+            "ingest_round_ratios": result["ingest_ratios"],
+            "ingest_speedup_vs_cell_batched": result["ingest_speedup"],
+            "ingest_reports_per_sec": (
+                n_objects / result["phase_medians"]["columnar_ingest"]
+                if result["phase_medians"]["columnar_ingest"] > 0.0
+                else 0.0
+            ),
             "python_fallback": {
                 "objects": fb_objects,
                 "queries": fb_queries,

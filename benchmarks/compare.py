@@ -14,6 +14,8 @@ Stdlib only; runs standalone::
     python benchmarks/compare.py list columnar
     python benchmarks/compare.py diff columnar                 # last two
     python benchmarks/compare.py diff columnar --base <sha> --head <sha>
+    python benchmarks/compare.py diff columnar \
+        --head-file BENCH_columnar.json --metric ingest_reports_per_sec
 
 ``diff`` exits non-zero when head throughput is below base by more than
 the threshold (default 15% — round-to-round noise on a shared host is
@@ -48,7 +50,12 @@ def entry_from_bench(path: Path) -> dict:
         "params": data.get("params", {}),
     }
     # Benchmark-specific headline numbers ride along when present.
-    for key in ("speedup_vs_cell_batched", "speedup_gate_applied"):
+    for key in (
+        "speedup_vs_cell_batched",
+        "speedup_gate_applied",
+        "ingest_speedup_vs_cell_batched",
+        "ingest_reports_per_sec",
+    ):
         if key in data:
             entry[key] = data[key]
     return entry
@@ -86,24 +93,34 @@ def pick(entries: list[dict], sha: str | None, default_index: int) -> dict:
     return matches[-1]  # latest recording at that commit
 
 
-def diff_entries(base: dict, head: dict, threshold: float) -> tuple[str, str]:
-    """Classify head vs base: 'regression', 'improvement', or 'ok'."""
+def diff_entries(
+    base: dict,
+    head: dict,
+    threshold: float,
+    metric: str = "ops_per_sec",
+) -> tuple[str, str]:
+    """Classify head vs base: 'regression', 'improvement', or 'ok'.
+
+    ``metric`` names any higher-is-better per-entry number (default
+    whole-run throughput; e.g. ``ingest_reports_per_sec`` isolates the
+    report-ingest phase).
+    """
     if base.get("scale") != head.get("scale"):
         raise SystemExit(
             f"refusing to compare different workload scales "
             f"({base.get('scale')} vs {head.get('scale')})"
         )
-    base_ops = base.get("ops_per_sec") or 0.0
-    head_ops = head.get("ops_per_sec") or 0.0
+    base_ops = base.get(metric) or 0.0
+    head_ops = head.get(metric) or 0.0
     if not base_ops or not head_ops:
-        raise SystemExit("entry missing ops_per_sec; cannot diff")
+        raise SystemExit(f"entry missing {metric}; cannot diff")
     ratio = head_ops / base_ops
     lines = [
-        f"base  {base['sha'][:12]}  {base_ops:12.1f} ops/s  "
-        f"p50 {base.get('latency_p50', 0.0) * 1e3:9.3f} ms",
-        f"head  {head['sha'][:12]}  {head_ops:12.1f} ops/s  "
-        f"p50 {head.get('latency_p50', 0.0) * 1e3:9.3f} ms",
-        f"throughput ratio {ratio:.3f} (threshold ±{threshold:.0%})",
+        f"base  {base['sha'][:12]}  {base_ops:12.1f} {metric}  "
+        f"p50 {(base.get('latency_p50') or 0.0) * 1e3:9.3f} ms",
+        f"head  {head['sha'][:12]}  {head_ops:12.1f} {metric}  "
+        f"p50 {(head.get('latency_p50') or 0.0) * 1e3:9.3f} ms",
+        f"{metric} ratio {ratio:.3f} (threshold ±{threshold:.0%})",
     ]
     if ratio < 1.0 - threshold:
         status = "regression"
@@ -131,6 +148,16 @@ def main(argv: list[str] | None = None) -> int:
     p_diff.add_argument("--base", help="sha prefix (default: second-latest)")
     p_diff.add_argument("--head", help="sha prefix (default: latest)")
     p_diff.add_argument(
+        "--head-file", type=Path,
+        help="BENCH_*.json to diff as head against the last same-scale "
+        "history entry (CI pre-merge gate; skips cleanly with no history)",
+    )
+    p_diff.add_argument(
+        "--metric", default="ops_per_sec",
+        help="higher-is-better entry field to compare "
+        "(default: ops_per_sec; e.g. ingest_reports_per_sec)",
+    )
+    p_diff.add_argument(
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
         help="relative throughput change treated as noise",
     )
@@ -155,13 +182,46 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
 
-    entries = read_history(args.name, args.history)
-    if args.base is None and len(entries) < 2:
-        print("only one history entry; nothing to diff")
-        return 0
-    base = pick(entries, args.base, -2)
-    head = pick(entries, args.head, -1)
-    status, report = diff_entries(base, head, args.threshold)
+    if args.head_file is not None:
+        # Working-tree summary vs the last recorded entry at the same
+        # workload scale — the shape CI uses before history is appended.
+        head = entry_from_bench(args.head_file)
+        try:
+            entries = read_history(args.name, args.history)
+        except SystemExit:
+            entries = []
+        # "Same scale" means the BENCH_SCALE knob *and* the recorded
+        # workload populations: quick and full runs share scale=1.0 and
+        # differ only in params, so scale alone would cross-compare them.
+        def _workload(entry: dict) -> tuple:
+            params = entry.get("params", {})
+            return (
+                entry.get("scale"),
+                params.get("objects"),
+                params.get("queries"),
+            )
+
+        same_scale = [
+            e for e in entries if _workload(e) == _workload(head)
+        ]
+        if args.base is None and not same_scale:
+            print("no same-scale history entry; nothing to diff")
+            return 0
+        base = pick(same_scale or entries, args.base, -1)
+        if not base.get(args.metric):
+            print(
+                f"last same-scale entry predates {args.metric}; "
+                f"nothing to diff"
+            )
+            return 0
+    else:
+        entries = read_history(args.name, args.history)
+        if args.base is None and len(entries) < 2:
+            print("only one history entry; nothing to diff")
+            return 0
+        base = pick(entries, args.base, -2)
+        head = pick(entries, args.head, -1)
+    status, report = diff_entries(base, head, args.threshold, args.metric)
     print(report)
     print(status.upper())
     return 1 if status == "regression" else 0

@@ -18,6 +18,7 @@ from repro.columnar.backend import (
     resolve_backend,
 )
 from repro.columnar.evaluate import ColumnarEvaluator
+from repro.columnar.ingest import MULTI_CELL, NOT_INDEXED, BatchIngest
 from repro.columnar.kernels import PairPlan, classify_transitions
 from repro.columnar.knn import knn_search_columnar
 from repro.columnar.store import (
@@ -31,6 +32,9 @@ from repro.columnar.store import (
 __all__ = [
     "BACKEND_ENV_VAR",
     "BACKENDS",
+    "BatchIngest",
+    "MULTI_CELL",
+    "NOT_INDEXED",
     "ColumnarEvaluator",
     "ColumnarObjectStore",
     "ColumnarQueryStore",

@@ -40,6 +40,7 @@ straight from this store.
 from __future__ import annotations
 
 from array import array
+from itertools import repeat
 
 from repro.columnar.backend import numpy_or_none
 
@@ -149,6 +150,67 @@ class ColumnarObjectStore:
             self.ts[row] = t
             self.cells[row] = cell
         return row
+
+    def batch_apply(self, oids, xs, ys, vxs, vys, ts, cells, np=None) -> None:
+        """Apply one whole report buffer in a few array passes.
+
+        Equivalent to ``apply_report`` once per element — the oids must
+        be **distinct** within the batch (the engine's report buffer is
+        a dict, so they are).  Without numpy (``np=None``) this loops
+        the scalar path over plain sequences; under numpy the columns
+        must be aligned ndarrays (float64 coordinates/velocities/times,
+        int64 cells): new rows are bulk-appended via ``frombytes`` and
+        existing rows updated by gather/scatter through zero-copy
+        ``frombuffer`` views (``array.array`` buffers are writable, so
+        scatters write through).
+        """
+        if np is None:
+            apply = self.apply_report
+            for i in range(len(oids)):
+                apply(oids[i], xs[i], ys[i], vxs[i], vys[i], ts[i], cells[i])
+            return
+        row_of = self._row_of
+        get = row_of.get
+        count = len(oids)
+        # tolist() + map keeps the lookup loop in C and avoids boxing
+        # one np.int64 per element.
+        rows = np.fromiter(
+            map(get, oids.tolist(), repeat(-1)), dtype=np.int64, count=count
+        )
+        fresh = np.flatnonzero(rows < 0)
+        if len(fresh):
+            # Bulk-append new rows first so the scatter views below are
+            # taken after the last reallocation.
+            base = len(self.oids)
+            for offset, oid in enumerate(oids[fresh].tolist()):
+                row_of[oid] = base + offset
+            self.oids.frombytes(oids[fresh].tobytes())
+            self.xs.frombytes(xs[fresh].tobytes())
+            self.ys.frombytes(ys[fresh].tobytes())
+            nan_block = np.full(len(fresh), _NAN).tobytes()
+            self.old_xs.frombytes(nan_block)
+            self.old_ys.frombytes(nan_block)
+            self.vxs.frombytes(vxs[fresh].tobytes())
+            self.vys.frombytes(vys[fresh].tobytes())
+            self.ts.frombytes(ts[fresh].tobytes())
+            self.cells.frombytes(cells[fresh].tobytes())
+        known = (
+            np.flatnonzero(rows >= 0) if len(fresh) else np.arange(count)
+        )
+        if len(known):
+            target = rows[known]
+            xs_v = np.frombuffer(self.xs, dtype=np.float64)
+            ys_v = np.frombuffer(self.ys, dtype=np.float64)
+            old_xs_v = np.frombuffer(self.old_xs, dtype=np.float64)
+            old_ys_v = np.frombuffer(self.old_ys, dtype=np.float64)
+            old_xs_v[target] = xs_v[target]
+            old_ys_v[target] = ys_v[target]
+            xs_v[target] = xs[known]
+            ys_v[target] = ys[known]
+            np.frombuffer(self.vxs, dtype=np.float64)[target] = vxs[known]
+            np.frombuffer(self.vys, dtype=np.float64)[target] = vys[known]
+            np.frombuffer(self.ts, dtype=np.float64)[target] = ts[known]
+            np.frombuffer(self.cells, dtype=np.int64)[target] = cells[known]
 
     def remove(self, oid: int) -> None:
         """Swap-remove ``oid``'s row; unknown oids raise ``KeyError``."""

@@ -69,6 +69,8 @@ from repro.columnar import (
     KIND_KNN,
     KIND_PREDICTIVE,
     KIND_RANGE,
+    MULTI_CELL,
+    BatchIngest,
     ColumnarEvaluator,
     ColumnarObjectStore,
     ColumnarQueryStore,
@@ -393,6 +395,19 @@ class IncrementalEngine:
             # ndarrays; the python backend's scalar search *is* the core
             # knn_search, so dispatch stays on the reference path there.
             self._use_columnar_knn = self.columnar_backend == "numpy"
+        # Batch report ingest (phase 5a in array passes) serves the two
+        # pipelines whose grouping cost is not the measurement baseline:
+        # cell-batched stays on the serial loop as the equivalence (and
+        # benchmark) reference.  Under the forced python columnar
+        # backend the kernel stays off too — the stdlib leg then
+        # exercises the scalar grouping plus the store's batched
+        # python write path.
+        self._batch_ingest: BatchIngest | None = None
+        if pipeline == "parallel" or (
+            pipeline == "columnar" and self.columnar_backend == "numpy"
+        ):
+            self._batch_ingest = BatchIngest(self, ObjectState, _NO_CELLS)
+        self._m_ingest_seconds = counter("engine_ingest_seconds_total")
 
     # ------------------------------------------------------------------
     # Ingestion (buffered)
@@ -712,6 +727,8 @@ class IncrementalEngine:
             self._knn_qids.discard(qid)
             self._underfull_knn.discard(qid)
             self._predictive_qids.discard(qid)
+            if self._columnar_evaluator is not None:
+                self._columnar_evaluator.invalidate_answer(qid)
             knn_dirty.discard(qid)
             for oid in query.answer:
                 self.objects[oid].answered.discard(qid)
@@ -722,17 +739,23 @@ class IncrementalEngine:
         self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
     ) -> None:
         ostore = self._ostore
+        ingest = self._batch_ingest
+        evaluator = self._columnar_evaluator
         for oid in sorted(self._pending_removals):
             state = self.objects.pop(oid, None)
             if state is None:
                 continue
             churned_cells.update(self.index.object_cells(oid))
             self.index.remove_object(oid)
+            if ingest is not None:
+                ingest.forget(oid)
             if ostore is not None:
                 ostore.remove(oid)
             for qid in sorted(state.answered):
                 query = self.queries[qid]
                 query.answer.discard(oid)
+                if evaluator is not None:
+                    evaluator.invalidate_answer(qid)
                 updates.append(Update.negative(qid, oid))
                 if query.kind is QueryKind.KNN:
                     knn_dirty.add(qid)
@@ -822,6 +845,8 @@ class IncrementalEngine:
                 query.region = payload  # type: ignore[assignment]
                 self.index.place_query_region(qid, payload)  # type: ignore[arg-type]
                 self._qstore.put(qid, KIND_PREDICTIVE)
+                if self._columnar_evaluator is not None:
+                    self._columnar_evaluator.invalidate_answer(qid)
                 dirty_predictive.add(qid)
         self._pending_moves.clear()
 
@@ -927,7 +952,8 @@ class IncrementalEngine:
         """
         if not self._pending_reports:
             return
-        point_groups, set_groups = self._group_reports()
+        with self.tracer.span("report_ingest", self._m_ingest_seconds):
+            point_groups, set_groups = self._group_reports()
         cell_cache: dict[int, _CellCandidates] = {}
         for cells, states, stay_put, point_pair in self._iter_cohorts(
             point_groups, set_groups, churned_cells
@@ -948,15 +974,29 @@ class IncrementalEngine:
         dict[tuple[int, int], list[ObjectState]],
         dict[tuple[frozenset[int], frozenset[int]], list[ObjectState]],
     ]:
-        """Phase 5a: apply every buffered report to object state and the
-        grid index, grouping objects by their cell transition.  Shared
-        by the cell-batched and parallel pipelines; clears the report
-        buffer."""
+        """Phase 5a, serial reference: apply every buffered report to
+        object state and the grid index, grouping objects by their cell
+        transition.  Runs for the cell-batched pipeline (the
+        equivalence baseline) and as the fallback when
+        :class:`~repro.columnar.ingest.BatchIngest` is unavailable;
+        clears the report buffer.  Columnar-store writes are collected
+        per batch and flushed through
+        :meth:`~repro.columnar.store.ColumnarObjectStore.batch_apply`
+        — the scalar ``apply_report`` stays reserved for per-report
+        callers."""
         reports = self._pending_reports
         objects = self.objects
         index = self.index
         grid = self.grid
         ostore = self._ostore
+        if ostore is not None:
+            o_oids: list[int] = []
+            o_xs: list[float] = []
+            o_ys: list[float] = []
+            o_vxs: list[float] = []
+            o_vys: list[float] = []
+            o_ts: list[float] = []
+            o_cells: list[int] = []
         # Hoisted home-cell arithmetic: same expression as Grid.cell_of
         # (division by the precomputed cell size), so cell assignment is
         # bit-identical to the per-object path on boundary coordinates.
@@ -1002,15 +1042,13 @@ class IncrementalEngine:
                     row = n1
                 new_cell = row * n + col
                 if ostore is not None:
-                    ostore.apply_report(
-                        oid,
-                        location.x,
-                        location.y,
-                        velocity.vx,
-                        velocity.vy,
-                        t,
-                        new_cell,
-                    )
+                    o_oids.append(oid)
+                    o_xs.append(location.x)
+                    o_ys.append(location.y)
+                    o_vxs.append(velocity.vx)
+                    o_vys.append(velocity.vy)
+                    o_ts.append(t)
+                    o_cells.append(new_cell)
                 if old_cells is None:
                     index.place_object(oid, frozenset((new_cell,)))
                     key = (-1, new_cell)
@@ -1034,23 +1072,37 @@ class IncrementalEngine:
                 if old_cells != new_cells:
                     index.place_object(oid, new_cells)
                 if ostore is not None:
-                    ostore.apply_report(
-                        oid,
-                        location.x,
-                        location.y,
-                        velocity.vx,
-                        velocity.vy,
-                        t,
-                        grid.cell_of(location),
-                    )
+                    o_oids.append(oid)
+                    o_xs.append(location.x)
+                    o_ys.append(location.y)
+                    o_vxs.append(velocity.vx)
+                    o_vys.append(velocity.vy)
+                    o_ts.append(t)
+                    o_cells.append(grid.cell_of(location))
                 self._group_into(
                     set_groups,
                     _NO_CELLS if old_cells is None else old_cells,
                     new_cells,
                     state,
                 )
+        if ostore is not None and o_oids:
+            ostore.batch_apply(o_oids, o_xs, o_ys, o_vxs, o_vys, o_ts, o_cells)
         reports.clear()
         return point_groups, set_groups
+
+    def _group_reports_batched(self, want_columns: bool = False):
+        """Phase 5a via :class:`~repro.columnar.ingest.BatchIngest` when
+        it can run, the serial loop otherwise.  Returns ``(point_groups,
+        set_groups, point_columns)``; ``point_columns`` is ``None``
+        unless the batch kernel ran with ``want_columns`` (the parallel
+        planner's payload columns)."""
+        ingest = self._batch_ingest
+        if ingest is not None and ingest.enabled:
+            grouped = ingest.group(self._pending_reports, want_columns)
+            if grouped is not None:
+                return grouped
+        point_groups, set_groups = self._group_reports()
+        return point_groups, set_groups, None
 
     def _iter_cohorts(self, point_groups, set_groups, churned_cells: set[int]):
         """Phase 5b's work list: yield ``(cells, states, stay_put,
@@ -1095,7 +1147,8 @@ class IncrementalEngine:
         """
         if not self._pending_reports:
             return
-        point_groups, set_groups = self._group_reports()
+        with self.tracer.span("report_ingest", self._m_ingest_seconds):
+            point_groups, set_groups, __ = self._group_reports_batched()
         cohorts = list(
             self._iter_cohorts(point_groups, set_groups, churned_cells)
         )
@@ -1132,7 +1185,10 @@ class IncrementalEngine:
         n_reports = len(self._pending_reports)
         if not n_reports:
             return
-        point_groups, set_groups = self._group_reports()
+        with self.tracer.span("report_ingest", self._m_ingest_seconds):
+            point_groups, set_groups, point_columns = (
+                self._group_reports_batched(want_columns=True)
+            )
         cohorts = list(
             self._iter_cohorts(point_groups, set_groups, churned_cells)
         )
@@ -1164,6 +1220,15 @@ class IncrementalEngine:
         parent_span_id = tracer.current_span_id
         with tracer.span("shard_plan"):
             plan = plan_shards(cohorts, self.grid, config.workers)
+            # Batch-ingested point cohorts ship their payload rows from
+            # the kernel's already-sorted column slices; set cohorts
+            # (and serial-fallback rounds) walk member states as before.
+            cohort_columns = None
+            if point_columns is not None:
+                cohort_columns = [
+                    point_columns[key] for key in point_groups
+                ]
+                cohort_columns.extend([None] * len(set_groups))
             payloads = build_shard_payloads(
                 plan,
                 self.grid,
@@ -1171,6 +1236,7 @@ class IncrementalEngine:
                 self.queries,
                 self._qstore,
                 trace_ctx=(parent_span_id,),
+                cohort_columns=cohort_columns,
             )
         self._m_sharded_cohorts.inc(plan.dispatched)
         self._m_boundary_cohorts.inc(len(plan.boundary))
@@ -1591,8 +1657,33 @@ class IncrementalEngine:
         answer = query.answer
         next_flip = math.inf
         ordered = sorted(candidates)
+        evaluator = self._columnar_evaluator
+        if (
+            not compute_flip
+            and evaluator is not None
+            and ordered
+            and evaluator.refresh_predictive(
+                qid,
+                query,
+                ordered,
+                self.now,
+                query.horizon,
+                self.prediction_horizon,
+                updates,
+            )
+        ):
+            # Columnar delta path: membership and emission are handled
+            # entirely from the sorted answer array (candidates ⊇
+            # answer, so ordered[inside] is the complete new answer).
+            query.next_flip = float("-inf")
+            return
         flags = None
-        if self._columnar_evaluator is not None and ordered:
+        if evaluator is not None:
+            # The scalar loop below mutates the answer without updating
+            # the evaluator's sorted array; drop it so the next
+            # vectorized refresh rebuilds from the live set.
+            evaluator.invalidate_answer(qid)
+        if evaluator is not None and ordered:
             # Columnar pipeline: one vectorized membership pass over the
             # candidate rows (bit-identical to the scalar check; None
             # under the pure-Python backend).
@@ -1745,3 +1836,20 @@ class IncrementalEngine:
                 location = state.location
                 assert ostore.xs[row] == location.x, oid
                 assert ostore.ys[row] == location.y, oid
+        # The batch-ingest dense oid→cell column mirrors the grid
+        # index's object placements exactly (while enabled; a disabled
+        # kernel's column is dead state and never read again).
+        ingest = self._batch_ingest
+        if (
+            ingest is not None
+            and ingest.enabled
+            and ingest._cell_by_oid is not None
+        ):
+            for oid in self.objects:
+                hint = ingest.cell_hint(oid)
+                assert hint is not None, oid
+                cells = self.index.object_cells(oid)
+                if hint == MULTI_CELL:
+                    assert len(cells) > 1, (oid, cells)
+                else:
+                    assert cells == frozenset((hint,)), (oid, hint, cells)

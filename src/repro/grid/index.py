@@ -136,6 +136,37 @@ class GridIndex:
         self._cells.setdefault(new_cell, CellBucket()).objects.add(oid)
         self._object_cells[oid] = frozenset((new_cell,))
 
+    def bulk_drain_points(self, cell: int, oids: "list[int]") -> None:
+        """Remove a batch of departing point objects from ``cell``'s
+        bucket (batch ingest's per-old-cell pass).
+
+        The caller guarantees every member currently occupies exactly
+        ``{cell}`` and re-homes each one through a matching
+        :meth:`bulk_fill_points` call in the same round; footprints are
+        left to that call.  The bucket is reclaimed if emptied, exactly
+        like :meth:`_remove_member`.
+        """
+        cells = self._cells
+        bucket = cells[cell]
+        bucket.objects.difference_update(oids)
+        if bucket.is_empty():
+            del cells[cell]
+
+    def bulk_fill_points(self, cell: int, oids: "list[int]") -> None:
+        """Insert a batch of arriving point objects into ``cell``'s
+        bucket (batch ingest's per-new-cell pass: brand-new objects and
+        drained movers alike).
+
+        One bucket lookup and one set union for the whole batch, and
+        every member shares a single ``frozenset`` footprint —
+        ``dict.fromkeys`` keeps the assignment loop in C.
+        """
+        bucket = self._cells.get(cell)
+        if bucket is None:
+            bucket = self._cells[cell] = CellBucket()
+        bucket.objects.update(oids)
+        self._object_cells.update(dict.fromkeys(oids, frozenset((cell,))))
+
     def remove_object(self, oid: int) -> None:
         """Remove object ``oid`` entirely; unknown ids raise ``KeyError``."""
         cells = self._object_cells.pop(oid, None)

@@ -6,6 +6,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.geometry import Point, Rect
+from repro.grid.cellmath import clamp_axis_index
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,12 +47,10 @@ class Grid:
         return self.world.height / self.n
 
     def _col_of(self, x: float) -> int:
-        col = int((x - self.world.min_x) / self.cell_width)
-        return min(max(col, 0), self.n - 1)
+        return clamp_axis_index(x, self.world.min_x, self.cell_width, self.n)
 
     def _row_of(self, y: float) -> int:
-        row = int((y - self.world.min_y) / self.cell_height)
-        return min(max(row, 0), self.n - 1)
+        return clamp_axis_index(y, self.world.min_y, self.cell_height, self.n)
 
     def cell_of(self, p: Point) -> int:
         """The flattened cell index of the cell containing ``p``.

@@ -22,8 +22,14 @@ needs_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy not instal
 
 def build_engine(seed: int, n_objects: int = 120):
     rng = random.Random(seed)
+    # Pin the numpy backend: these tests target the vectorized kernel,
+    # so they must not silently downgrade when REPRO_COLUMNAR_BACKEND
+    # forces the fallback for the rest of the suite.
     engine = IncrementalEngine(
-        grid_size=8, prediction_horizon=30.0, pipeline="columnar"
+        grid_size=8,
+        prediction_horizon=30.0,
+        pipeline="columnar",
+        columnar_backend="numpy",
     )
     for oid in range(n_objects):
         velocity = Velocity.ZERO
@@ -72,7 +78,10 @@ def test_matches_scalar_on_random_motions(seed):
 @needs_numpy
 def test_boundary_grazing_lanes_match_scalar():
     engine = IncrementalEngine(
-        grid_size=8, prediction_horizon=30.0, pipeline="columnar"
+        grid_size=8,
+        prediction_horizon=30.0,
+        pipeline="columnar",
+        columnar_backend="numpy",
     )
     region = Rect(0.25, 0.25, 0.75, 0.75)
     cases = [
