@@ -10,10 +10,13 @@ through the same buffered move rounds and checks two things:
   round, under the numpy backend *and* the pure-Python fallback;
 * **speedup** — at full scale (100K objects / 10K queries) with numpy
   installed, the columnar pipeline must deliver >= 1.5x the
-  cell-batched report throughput end-to-end *and* >= 1.3x on the
+  cell-batched report throughput end-to-end, >= 1.3x on the
   report-ingest phase alone (the batch ingest kernel vs the serial
   grouping loop, read from each engine's
-  ``engine_ingest_seconds_total`` counter).  The pure-Python fallback
+  ``engine_ingest_seconds_total`` counter), *and* >= 1.3x on the
+  delta-emission phase (the :class:`UpdateBatch` column splice vs an
+  ``emit_mode="materialized"`` twin of the same columnar engine that
+  eagerly constructs ``Update`` objects).  The pure-Python fallback
   is *recorded* (same workload, smaller populations) but never gated:
   its point is the stdlib-only guarantee, not speed.
 
@@ -75,19 +78,30 @@ SPEEDUP_TARGET = 1.5
 #: Paired report-ingest phase speedup gate (batch ingest kernel vs the
 #: serial grouping loop), same applicability rules as SPEEDUP_TARGET.
 INGEST_SPEEDUP_TARGET = 1.3
+#: Paired delta-emission phase speedup gate (UpdateBatch column splice
+#: vs the materialized-emission twin), same applicability rules.
+EMIT_SPEEDUP_TARGET = 1.3
 #: Populations for the recorded-not-gated pure-Python fallback leg.
 FALLBACK_OBJECTS = 4_000
 FALLBACK_QUERIES = 400
 
 
 def build_engines(n_objects: int, n_queries: int, backend: str):
-    """A (cell-batched, columnar) engine pair over identical workloads."""
+    """A (cell-batched, columnar, materialized-emit columnar) engine
+    trio over identical workloads.  The third engine differs from the
+    second only in ``emit_mode``: it eagerly constructs ``Update``
+    objects, baselining the batch column splice."""
     initial, queries, move_rounds = build_workload(n_objects, n_queries)
     engines = []
-    for pipeline in ("cell-batched", "columnar"):
-        kwargs = {}
-        if pipeline == "columnar":
-            kwargs["columnar_backend"] = backend
+    specs = (
+        ("cell-batched", {}),
+        ("columnar", {"columnar_backend": backend}),
+        (
+            "columnar",
+            {"columnar_backend": backend, "emit_mode": "materialized"},
+        ),
+    )
+    for pipeline, kwargs in specs:
         engine = IncrementalEngine(
             grid_size=GRID_SIZE,
             prediction_horizon=60.0,
@@ -106,7 +120,7 @@ def build_engines(n_objects: int, n_queries: int, backend: str):
                 engine.register_predictive_query(spec[1], spec[2], spec[3])
         engine.evaluate(0.0)
         engines.append(engine)
-    return engines[0], engines[1], move_rounds
+    return engines[0], engines[1], engines[2], move_rounds
 
 
 #: Phase counters sampled per round: (key, metric name, labels).
@@ -131,27 +145,48 @@ def _phase_snapshot(engine) -> dict[str, float]:
     }
 
 
-def run_paired(serial, columnar, move_rounds, timed_rounds: int):
+#: Per-round evaluation orders: a balanced rotation so every engine
+#: occupies every position, cancelling monotonic load drift within a
+#: round the way the old two-engine alternation did.
+_EVAL_ORDERS = (
+    ("serial", "columnar", "materialized"),
+    ("columnar", "materialized", "serial"),
+    ("materialized", "serial", "columnar"),
+)
+
+
+def _updates_emitted(engine) -> float:
+    return engine.registry.counter("engine_updates_emitted_total").value
+
+
+def run_paired(serial, columnar, materialized, move_rounds, timed_rounds: int):
     """Interleaved paired rounds; returns per-round (serial s, columnar s)
     plus per-round phase seconds from each engine's counters.
 
     Every round — including the untimed warm-up — asserts byte-identical
-    ordered update streams, then discards them so neither engine's
-    later rounds are measured under the other's garbage.
+    ordered update streams across all three engines, then discards them
+    so no engine's later rounds are measured under another's garbage.
 
     Phase seconds come from the engines' own counters
-    (``engine_ingest_seconds_total`` on both engines,
-    ``engine_columnar_phase_seconds_total{phase=...}`` on the columnar
-    one), sampled before and after each round — the same paired,
-    per-round deltas as the wall clock, so the ingest ratio shares the
-    wall-clock ratio's robustness to drifting machine load.
+    (``engine_ingest_seconds_total`` on both pipelines,
+    ``engine_columnar_phase_seconds_total{phase=...}`` on the two
+    columnar engines), sampled before and after each round — the same
+    paired, per-round deltas as the wall clock, so the phase ratios
+    share the wall-clock ratio's robustness to drifting machine load.
+    ``emit_updates`` counts ``engine_updates_emitted_total`` deltas on
+    the batch columnar engine, giving an emission throughput per round.
 
-    The two engines alternate which one evaluates first each round:
+    The engines rotate through :data:`_EVAL_ORDERS` round to round:
     within a round they run seconds apart, so a monotonic load drift
     would otherwise consistently tax whichever engine always ran
-    second.  Alternation flips the bias round to round and the median
+    last.  Rotation flips the bias round to round and the median
     absorbs it.
     """
+    engines = {
+        "serial": serial,
+        "columnar": columnar,
+        "materialized": materialized,
+    }
     pairs: list[tuple[float, float]] = []
     phases: dict[str, list[float]] = {
         "serial_ingest": [],
@@ -159,54 +194,61 @@ def run_paired(serial, columnar, move_rounds, timed_rounds: int):
         "plan": [],
         "join": [],
         "emit": [],
+        "materialized_emit": [],
+        "emit_updates": [],
     }
     now = 0.0
     for round_no in range(timed_rounds + 1):
         now += 1.0
         moves = move_rounds[round_no % len(move_rounds)]
-        buffer_round(serial, moves, now)
-        buffer_round(columnar, moves, now)
+        for engine in engines.values():
+            buffer_round(engine, moves, now)
         gc.collect()
         gc.disable()
         try:
-            serial_before = _phase_snapshot(serial)
-            columnar_before = _phase_snapshot(columnar)
-            if round_no % 2:
+            before = {
+                name: _phase_snapshot(engine)
+                for name, engine in engines.items()
+            }
+            updates_before = _updates_emitted(columnar)
+            seconds: dict[str, float] = {}
+            streams: dict[str, object] = {}
+            for name in _EVAL_ORDERS[round_no % len(_EVAL_ORDERS)]:
                 started = time.perf_counter()
-                columnar_updates = columnar.evaluate(now)
-                columnar_seconds = time.perf_counter() - started
-                started = time.perf_counter()
-                serial_updates = serial.evaluate(now)
-                serial_seconds = time.perf_counter() - started
-            else:
-                started = time.perf_counter()
-                serial_updates = serial.evaluate(now)
-                serial_seconds = time.perf_counter() - started
-                started = time.perf_counter()
-                columnar_updates = columnar.evaluate(now)
-                columnar_seconds = time.perf_counter() - started
-            serial_after = _phase_snapshot(serial)
-            columnar_after = _phase_snapshot(columnar)
+                streams[name] = engines[name].evaluate(now)
+                seconds[name] = time.perf_counter() - started
+            after = {
+                name: _phase_snapshot(engine)
+                for name, engine in engines.items()
+            }
+            updates_after = _updates_emitted(columnar)
         finally:
             gc.enable()
-        got = [(u.qid, u.oid, u.sign) for u in columnar_updates]
-        want = [(u.qid, u.oid, u.sign) for u in serial_updates]
-        assert got == want, (
-            f"columnar stream diverged from cell-batched in round {round_no}"
-        )
-        del serial_updates, columnar_updates, got, want
+        want = [(u.qid, u.oid, u.sign) for u in streams["serial"]]
+        for name in ("columnar", "materialized"):
+            got = [(u.qid, u.oid, u.sign) for u in streams[name]]
+            assert got == want, (
+                f"{name} stream diverged from cell-batched "
+                f"in round {round_no}"
+            )
+            del got
+        del streams, want
         if round_no > 0:  # round 0 is the cache warm-up
-            pairs.append((serial_seconds, columnar_seconds))
+            pairs.append((seconds["serial"], seconds["columnar"]))
             phases["serial_ingest"].append(
-                serial_after["ingest"] - serial_before["ingest"]
+                after["serial"]["ingest"] - before["serial"]["ingest"]
             )
             phases["columnar_ingest"].append(
-                columnar_after["ingest"] - columnar_before["ingest"]
+                after["columnar"]["ingest"] - before["columnar"]["ingest"]
             )
             for key in ("plan", "join", "emit"):
                 phases[key].append(
-                    columnar_after[key] - columnar_before[key]
+                    after["columnar"][key] - before["columnar"][key]
                 )
+            phases["materialized_emit"].append(
+                after["materialized"]["emit"] - before["materialized"]["emit"]
+            )
+            phases["emit_updates"].append(updates_after - updates_before)
     return pairs, phases
 
 
@@ -217,10 +259,12 @@ def run_comparison(
     timed_rounds: int,
     assert_speedup: bool,
 ):
-    serial, columnar, move_rounds = build_engines(
+    serial, columnar, materialized, move_rounds = build_engines(
         n_objects, n_queries, backend
     )
-    pairs, phases = run_paired(serial, columnar, move_rounds, timed_rounds)
+    pairs, phases = run_paired(
+        serial, columnar, materialized, move_rounds, timed_rounds
+    )
     ratios = [s / c for s, c in pairs]
     speedup = statistics.median(ratios)
     serial_times = [s for s, _ in pairs]
@@ -234,6 +278,17 @@ def run_comparison(
         for s, c in zip(phases["serial_ingest"], phases["columnar_ingest"])
     ]
     ingest_speedup = statistics.median(ingest_ratios)
+    # Paired emit-phase ratio: materialized Update construction vs the
+    # UpdateBatch column splice, on otherwise-identical engines.
+    emit_ratios = [
+        m / b if b > 0.0 else 1.0
+        for m, b in zip(phases["materialized_emit"], phases["emit"])
+    ]
+    emit_speedup = statistics.median(emit_ratios)
+    emit_rates = [
+        u / s for u, s in zip(phases["emit_updates"], phases["emit"]) if s > 0.0
+    ]
+    emit_updates_per_sec = statistics.median(emit_rates) if emit_rates else 0.0
     phase_medians = {
         key: statistics.median(values) if values else 0.0
         for key, values in phases.items()
@@ -256,24 +311,40 @@ def run_comparison(
     other = columnar_round - sum(
         phase_medians[key] for key in ("columnar_ingest", "plan", "join", "emit")
     )
+    # The ingest row's baseline is the cell-batched grouping loop; the
+    # emit row's is the materialized-emission twin.  Throughput is the
+    # phase's natural unit: reports/s for ingest, updates/s for emit.
+    nan = float("nan")
     phase_rows = [
         [
             "ingest",
             phase_medians["columnar_ingest"] * 1e3,
             phase_medians["serial_ingest"] * 1e3,
             ingest_speedup,
+            (
+                n_objects / phase_medians["columnar_ingest"]
+                if phase_medians["columnar_ingest"] > 0.0
+                else nan
+            ),
         ],
-        ["plan", phase_medians["plan"] * 1e3, float("nan"), float("nan")],
-        ["join", phase_medians["join"] * 1e3, float("nan"), float("nan")],
-        ["emit", phase_medians["emit"] * 1e3, float("nan"), float("nan")],
-        ["other", max(other, 0.0) * 1e3, float("nan"), float("nan")],
+        ["plan", phase_medians["plan"] * 1e3, nan, nan, nan],
+        ["join", phase_medians["join"] * 1e3, nan, nan, nan],
+        [
+            "emit",
+            phase_medians["emit"] * 1e3,
+            phase_medians["materialized_emit"] * 1e3,
+            emit_speedup,
+            emit_updates_per_sec if emit_updates_per_sec > 0.0 else nan,
+        ],
+        ["other", max(other, 0.0) * 1e3, nan, nan, nan],
     ]
     phase_table = format_table(
         [
             "phase",
             "columnar median ms",
-            "cell-batched median ms",
+            "baseline median ms",
             "paired speedup",
+            "throughput/s",
         ],
         phase_rows,
     )
@@ -291,6 +362,12 @@ def run_comparison(
             f"queries (paired per-round ingest ratios: "
             f"{', '.join(f'{r:.3f}' for r in ingest_ratios)})"
         )
+        assert emit_speedup >= EMIT_SPEEDUP_TARGET, (
+            f"batch emission managed only {emit_speedup:.2f}x over "
+            f"materialized Update construction at {n_objects} objects / "
+            f"{n_queries} queries (paired per-round emit ratios: "
+            f"{', '.join(f'{r:.3f}' for r in emit_ratios)})"
+        )
 
     return {
         "table": table,
@@ -304,14 +381,17 @@ def run_comparison(
         "phase_medians": phase_medians,
         "ingest_ratios": ingest_ratios,
         "ingest_speedup": ingest_speedup,
+        "emit_ratios": emit_ratios,
+        "emit_speedup": emit_speedup,
+        "emit_updates_per_sec": emit_updates_per_sec,
         "registry": columnar.registry,
     }
 
 
 def gate_applies(n_objects: int, n_queries: int) -> bool:
-    """The 1.5x end-to-end and 1.3x ingest-phase gates engage only where
-    they are meaningful: numpy backend at full populations (the
-    fallback is recorded, never gated)."""
+    """The 1.5x end-to-end, 1.3x ingest-phase, and 1.3x emit-phase
+    gates engage only where they are meaningful: numpy backend at full
+    populations (the fallback is recorded, never gated)."""
     return (
         numpy_available()
         and n_objects >= FULL_OBJECTS
@@ -332,7 +412,7 @@ def test_columnar_pipeline(benchmark, record_series, request):
     record_series("columnar_pipeline", result["table"])
 
     # Hand one columnar bulk evaluation to pytest-benchmark.
-    __, engine, move_rounds = build_engines(n_objects, n_queries, "auto")
+    __, engine, __, move_rounds = build_engines(n_objects, n_queries, "auto")
     request.node.bench_registry = engine.registry
     clock = [0.0]
 
@@ -351,6 +431,9 @@ def test_columnar_pipeline(benchmark, record_series, request):
     )
     benchmark.extra_info["ingest_speedup_vs_cell_batched"] = round(
         result["ingest_speedup"], 3
+    )
+    benchmark.extra_info["emit_speedup_vs_materialized"] = round(
+        result["emit_speedup"], 3
     )
     benchmark.pedantic(engine.evaluate, setup=setup, rounds=3)
 
@@ -394,6 +477,11 @@ def main(argv: list[str]) -> int:
     print(
         f"\nreport-ingest phase: {result['ingest_speedup']:.2f}x paired "
         f"(batch kernel vs serial grouping loop)"
+    )
+    print(
+        f"delta-emit phase: {result['emit_speedup']:.2f}x paired "
+        f"(UpdateBatch splice vs materialized emission), "
+        f"{result['emit_updates_per_sec']:,.0f} updates/s"
     )
 
     # Recorded-not-gated pure-Python fallback leg (small populations:
@@ -440,6 +528,9 @@ def main(argv: list[str]) -> int:
                 if result["phase_medians"]["columnar_ingest"] > 0.0
                 else 0.0
             ),
+            "emit_round_ratios": result["emit_ratios"],
+            "emit_speedup_vs_materialized": result["emit_speedup"],
+            "emit_updates_per_sec": result["emit_updates_per_sec"],
             "python_fallback": {
                 "objects": fb_objects,
                 "queries": fb_queries,

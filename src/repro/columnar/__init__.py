@@ -25,6 +25,7 @@ from repro.columnar.store import (
     KIND_KNN,
     KIND_PREDICTIVE,
     KIND_RANGE,
+    ColumnarAnswerStore,
     ColumnarObjectStore,
     ColumnarQueryStore,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "BatchIngest",
     "MULTI_CELL",
     "NOT_INDEXED",
+    "ColumnarAnswerStore",
     "ColumnarEvaluator",
     "ColumnarObjectStore",
     "ColumnarQueryStore",

@@ -36,7 +36,12 @@ the engine's registered-knn set, memoised per evaluation.
 from __future__ import annotations
 
 from repro.columnar.kernels import PairPlan, classify_transitions
-from repro.columnar.store import KIND_KNN, KIND_PREDICTIVE, KIND_RANGE
+from repro.columnar.store import (
+    KIND_KNN,
+    KIND_PREDICTIVE,
+    KIND_RANGE,
+    ColumnarAnswerStore,
+)
 from repro.columnar.backend import numpy_or_none
 
 #: ``engine_columnar_batch_size`` histogram bounds: powers of four from
@@ -73,13 +78,28 @@ class _CellEntries:
         self.static_qids = static_qids
 
 
+class _DualCounter:
+    """Feeds one span duration into two counters (phase + total)."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first, second):
+        self.first = first
+        self.second = second
+
+    def inc(self, value: float = 1.0) -> None:
+        self.first.inc(value)
+        self.second.inc(value)
+
+
 class ColumnarEvaluator:
     """Batch evaluator bound to one engine's live structures.
 
     All references (``queries``, ``objects``, ``knn_qids``) alias the
     engine's own dicts/sets; the evaluator never rebinds them.
-    ``update_cls`` is injected to keep this package import-free of
-    :mod:`repro.core` (the engine imports us).
+    Emission goes through the update stream's ``push`` /
+    ``extend_columns`` contract, which keeps this package import-free
+    of :mod:`repro.core` (the engine imports us).
     """
 
     def __init__(
@@ -91,7 +111,6 @@ class ColumnarEvaluator:
         objects,
         queries,
         knn_qids,
-        update_cls,
         backend: str,
         registry,
         tracer,
@@ -103,7 +122,6 @@ class ColumnarEvaluator:
         self.objects = objects
         self.queries = queries
         self.knn_qids = knn_qids
-        self.update_cls = update_cls
         self.backend = backend
         self.tracer = tracer
         self._np = numpy_or_none() if backend == "numpy" else None
@@ -136,12 +154,22 @@ class ColumnarEvaluator:
             )
             for phase in ("plan", "join", "emit")
         }
-        # Predictive answers as sorted oid arrays, keyed by qid: the
-        # refresh phase's membership delta becomes one vectorized
-        # searchsorted instead of a per-candidate set probe.  Entries
-        # are dropped whenever the engine mutates a predictive answer
-        # outside the refresh (removals, unregistrations, query moves).
-        self._answers: dict[int, object] = {}
+        # The emit span feeds both the per-phase breakdown and the
+        # pipeline-neutral total the benchmark/CI gate reads.
+        self._emit_span_counter = _DualCounter(
+            self._phase_counters["emit"],
+            counter("engine_emit_seconds_total"),
+        )
+        # Answer membership as sorted oid arrays: the predictive
+        # refresh's membership delta becomes one vectorized
+        # searchsorted instead of per-candidate set probes, and the
+        # answered sweep's k-NN member union is assembled from (and
+        # cached against) the same arrays.  The engine invalidates an
+        # entry whenever it mutates an answer outside these paths.
+        self.answers = ColumnarAnswerStore(registry, backend)
+        self._knn_union_cache: tuple[tuple[int, int], frozenset[int]] | None = (
+            None
+        )
 
     # ------------------------------------------------------------------
     # Entry point
@@ -166,7 +194,7 @@ class ColumnarEvaluator:
                 want_arrays=True,
             )
         self._m_changes.inc(len(qids))
-        with span("columnar_emit", phase_counters["emit"]):
+        with span("columnar_emit", self._emit_span_counter):
             special = self._sweep_candidates()
             if bulk:
                 self._emit_bulk(
@@ -453,10 +481,25 @@ class ColumnarEvaluator:
 
     def invalidate_answer(self, qid: int) -> None:
         """Drop ``qid``'s sorted answer array.  Called by the engine
-        whenever it mutates a predictive answer outside the refresh
-        phase (object removals, query unregistration/moves) — the next
-        refresh rebuilds the array from the live set."""
-        self._answers.pop(qid, None)
+        whenever it mutates an answer outside the array paths (object
+        removals, query unregistration/moves, scalar predictive
+        refreshes, k-NN re-solves) — the next reader rebuilds the
+        array from the live set."""
+        self.answers.invalidate(qid)
+
+    def answer_view(self, qid: int, live) -> frozenset[int] | None:
+        """``qid``'s answer served from the cached sorted array, or
+        ``None`` when no coherent array is cached (caller falls back
+        to the live set).  This is the read path external consumers
+        (oracle, recovery, ``answer_of``) exercise, so a stale array —
+        a missed invalidation — surfaces as a visible divergence
+        instead of silent drift."""
+        arr = self.answers.peek(qid)
+        if arr is None or len(arr) != len(live):
+            return None
+        if self._np is not None:
+            return frozenset(arr.tolist())
+        return frozenset(arr)
 
     def refresh_predictive(
         self,
@@ -489,13 +532,9 @@ class ColumnarEvaluator:
             return False
         answer = query.answer
         candidates = np.asarray(ordered, dtype=np.int64)
-        stored = self._answers.get(qid)
-        if stored is not None and len(stored) != len(answer):
-            # A hook was missed (defensive); rebuild from the live set.
-            stored = None
-        if stored is None:
-            stored = np.fromiter(answer, dtype=np.int64, count=len(answer))
-            stored.sort()
+        # The store's length check doubles as the defensive rebuild for
+        # any missed invalidation hook (counted as a miss).
+        stored = self.answers.get(qid, answer)
         if len(stored):
             pos = np.searchsorted(stored, candidates)
             pos[pos == len(stored)] = len(stored) - 1
@@ -505,20 +544,19 @@ class ColumnarEvaluator:
         changed = np.flatnonzero(inside != was)
         if len(changed):
             objects = self.objects
-            make_update = self.update_cls
-            append = updates.append
+            push = updates.push
             entering = inside[changed].tolist()
             for i, entered in zip(changed.tolist(), entering):
                 oid = ordered[i]
                 if entered:
                     answer.add(oid)
                     objects[oid].answered.add(qid)
-                    append(make_update(qid, oid, 1))
+                    push(qid, oid, 1)
                 else:
                     answer.discard(oid)
                     objects[oid].answered.discard(qid)
-                    append(make_update(qid, oid, -1))
-        self._answers[qid] = candidates[inside]
+                    push(qid, oid, -1)
+        self.answers.put(qid, candidates[inside])
         return True
 
     def _sweep_candidates(self) -> frozenset[int] | set[int]:
@@ -548,19 +586,12 @@ class ColumnarEvaluator:
         reports, query moves, every query kind — against the serial
         stream byte-for-byte.
         """
-        queries = self.queries
-        qstore = self.qstore
         ostore = self.ostore
         world = self.grid.world
         np = self._np
+        knn_members = self._knn_member_union()
         special: set[int] = set()
         if np is not None:
-            kind_col = np.frombuffer(qstore.kinds, dtype=np.int8)
-            rows = np.flatnonzero(kind_col == KIND_KNN)
-            if len(rows):
-                qid_col = np.frombuffer(qstore.qids, dtype=np.int64)
-                for qid in qid_col[rows].tolist():
-                    special |= queries[qid].answer
             xs, ys, old_xs, old_ys = ostore.coord_views()
             # NaN old coordinates (new objects) compare False on every
             # bound: a fresh object is never off-world-stale.
@@ -580,9 +611,6 @@ class ColumnarEvaluator:
                 oid_col = np.frombuffer(ostore.oids, dtype=np.int64)
                 special.update(oid_col[off_rows].tolist())
         else:
-            for row, kind in enumerate(qstore.kinds):
-                if kind == KIND_KNN:
-                    special |= queries[qstore.qids[row]].answer
             xs = ostore.xs
             ys = ostore.ys
             old_xs = ostore.old_xs
@@ -602,7 +630,51 @@ class ColumnarEvaluator:
                     or old_ys[row] > max_y
                 ):
                     special.add(oid_col[row])
+        if not special:
+            return knn_members
+        special.update(knn_members)
         return special
+
+    def _knn_member_union(self) -> frozenset[int]:
+        """Every oid in some k-NN answer, via the answer store's sorted
+        arrays — one concatenate + unique over cached rows instead of
+        per-qid set unions every batch.  The union itself is cached
+        against the (query store, answer store) version pair; k-NN
+        answer mutations always run an ``invalidate_answer`` hook, so
+        any membership change bumps the answer-store version."""
+        qstore = self.qstore
+        cached = self._knn_union_cache
+        key = (qstore.version, self.answers.version)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        queries = self.queries
+        answers = self.answers
+        np = self._np
+        if np is not None:
+            kind_col = np.frombuffer(qstore.kinds, dtype=np.int8)
+            rows = np.flatnonzero(kind_col == KIND_KNN)
+            if len(rows):
+                qid_col = np.frombuffer(qstore.qids, dtype=np.int64)
+                parts = [
+                    answers.get(qid, queries[qid].answer)
+                    for qid in qid_col[rows].tolist()
+                ]
+                union = frozenset(
+                    np.unique(np.concatenate(parts)).tolist()
+                )
+            else:
+                union = frozenset()
+        else:
+            members: set[int] = set()
+            for row, kind in enumerate(qstore.kinds):
+                if kind == KIND_KNN:
+                    qid = qstore.qids[row]
+                    members.update(answers.get(qid, queries[qid].answer))
+            union = frozenset(members)
+        # Key re-read after the build: the gets above may have bumped
+        # the answer-store version while rebuilding missing rows.
+        self._knn_union_cache = ((qstore.version, self.answers.version), union)
+        return union
 
     # ------------------------------------------------------------------
     # Ordered emission + answered sweep
@@ -621,13 +693,13 @@ class ColumnarEvaluator:
         C-speed bulk set operations) therefore leaves each cohort's
         answered sweep reading exactly the state it would have seen
         under strict serial interleaving.  The update stream itself is
-        reassembled in serial order: one ``map`` builds the pair
-        updates, and each cohort's sweep output is spliced in right
-        after its pair span.
+        reassembled in serial order **as columns**: the kernel's
+        qid/oid/sign lists splice straight into the batch via
+        ``extend_columns`` (zero per-pair allocation), with each
+        cohort's sweep output spliced in right after its pair span.
         """
         np = self._np
         queries = self.queries
-        make_update = self.update_cls
         if arrays is not None:
             qid_arr, oid_arr, _ = arrays
             # One argsort per side yields contiguous per-id groups; each
@@ -661,7 +733,6 @@ class ColumnarEvaluator:
                         objects[k].answered.symmetric_difference_update(
                             payload[s:e]
                         )
-        pair_updates = list(map(make_update, qids, oids, signs))
         qstore = self.qstore
         qrow_of = qstore._row_of
         kinds = qstore.kinds
@@ -669,7 +740,7 @@ class ColumnarEvaluator:
         min_ys = qstore.min_ys
         max_xs = qstore.max_xs
         max_ys = qstore.max_ys
-        splices: list[tuple[int, list]] = []
+        splices: list[tuple[int, list, list, list]] = []
         if not special:
             # No k-NN answer members and no off-world objects: every
             # sweep body would be a no-op (see _sweep_candidates).
@@ -700,30 +771,38 @@ class ColumnarEvaluator:
                                 query.answer.add(oid)
                                 answered.add(qid)
                                 if chunk is None:
-                                    chunk = []
-                                chunk.append(make_update(qid, oid, 1))
+                                    chunk = ([], [], [])
+                                chunk[0].append(qid)
+                                chunk[1].append(oid)
+                                chunk[2].append(1)
                         elif oid in query.answer:
                             query.answer.discard(oid)
                             answered.discard(qid)
                             if chunk is None:
-                                chunk = []
-                            chunk.append(make_update(qid, oid, -1))
+                                chunk = ([], [], [])
+                            chunk[0].append(qid)
+                            chunk[1].append(oid)
+                            chunk[2].append(-1)
                     elif kind != KIND_PREDICTIVE:
                         knn_dirty.add(qid)
-            if chunk:
-                splices.append((end, chunk))
+            if chunk is not None:
+                splices.append((end, *chunk))
         if splices:
-            extend = updates.extend
+            extend_columns = updates.extend_columns
             prev = 0
-            for end_pos, chunk in splices:
+            for end_pos, c_qids, c_oids, c_signs in splices:
                 if end_pos > prev:
-                    extend(pair_updates[prev:end_pos])
+                    extend_columns(
+                        qids[prev:end_pos],
+                        oids[prev:end_pos],
+                        signs[prev:end_pos],
+                    )
                     prev = end_pos
-                extend(chunk)
-            if prev < len(pair_updates):
-                extend(pair_updates[prev:])
+                extend_columns(c_qids, c_oids, c_signs)
+            if prev < len(qids):
+                extend_columns(qids[prev:], oids[prev:], signs[prev:])
         else:
-            updates.extend(pair_updates)
+            updates.extend_columns(qids, oids, signs)
 
     def _emit(
         self, metas, ends, qids, oids, signs, special, updates, knn_dirty
@@ -737,8 +816,7 @@ class ColumnarEvaluator:
         min_ys = qstore.min_ys
         max_xs = qstore.max_xs
         max_ys = qstore.max_ys
-        make_update = self.update_cls
-        append = updates.append
+        push = updates.push
         pos = 0
         for (states, seen), end in zip(metas, ends):
             if pos < end:
@@ -755,7 +833,7 @@ class ColumnarEvaluator:
                     else:
                         query.answer.discard(oid)
                         state.answered.discard(qid)
-                    append(make_update(qid, oid, sign))
+                    push(qid, oid, sign)
                 pos = end
             # Answered sweep: queries the member left entirely behind.
             if not special:
@@ -783,10 +861,10 @@ class ColumnarEvaluator:
                             if oid not in query.answer:
                                 query.answer.add(oid)
                                 answered.add(qid)
-                                append(make_update(qid, oid, 1))
+                                push(qid, oid, 1)
                         elif oid in query.answer:
                             query.answer.discard(oid)
                             answered.discard(qid)
-                            append(make_update(qid, oid, -1))
+                            push(qid, oid, -1)
                     elif kind != KIND_PREDICTIVE:
                         knn_dirty.add(qid)

@@ -7,13 +7,20 @@ Public surface:
 * :class:`LocationAwareServer` / :class:`Client` — the engine wrapped in
   transport, persistence and the out-of-sync commit protocol
   (Section 3.3).
-* :class:`Update`, :func:`diff_answers`, :func:`apply_updates` — the
-  incremental answer algebra.
+* :class:`Update` / :class:`UpdateBatch`, :func:`diff_answers`,
+  :func:`apply_updates` — the incremental answer algebra
+  (``evaluate()`` returns the struct-of-arrays batch form).
 * Query/object state types and the grid k-NN search used for first-time
   answers and repairs.
 """
 
-from repro.core.updates import Update, apply_updates, diff_answers
+from repro.core.updates import (
+    Update,
+    UpdateBatch,
+    UpdateList,
+    apply_updates,
+    diff_answers,
+)
 from repro.core.state import (
     KnnQueryState,
     ObjectState,
@@ -29,6 +36,8 @@ from repro.core.client import Client
 
 __all__ = [
     "Update",
+    "UpdateBatch",
+    "UpdateList",
     "apply_updates",
     "diff_answers",
     "ObjectState",

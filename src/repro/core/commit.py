@@ -39,16 +39,24 @@ class CommittedAnswerStore:
         self._committed.pop(qid, None)
 
     def recovery_updates(
-        self, qid: int, current_answer: frozenset[int]
-    ) -> list[Update]:
+        self, qid: int, current_answer: frozenset[int], into=None
+    ) -> "list[Update] | object":
         """The +/- delta bringing a reconnecting client up to date.
 
         The client's stored answer equals the committed answer (every
         delivered-and-acknowledged update is folded into a commit), so
         the difference against the server's current answer is exactly
-        what the client is missing.
+        what the client is missing.  ``into`` (an
+        :class:`~repro.core.updates.UpdateBatch`) is forwarded to
+        :func:`diff_answers` so the server's recovery path stays on
+        the columnar stream representation.
         """
-        return diff_answers(qid, set(self.committed_answer(qid)), set(current_answer))
+        return diff_answers(
+            qid,
+            set(self.committed_answer(qid)),
+            set(current_answer),
+            into=into,
+        )
 
     def tracked_queries(self) -> set[int]:
         return set(self._committed)

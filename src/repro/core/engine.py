@@ -86,7 +86,7 @@ from repro.core.state import (
     QueryState,
     RangeQueryState,
 )
-from repro.core.updates import Update
+from repro.core.updates import Update, UpdateBatch, UpdateList
 from repro.geometry import Point, Rect, Velocity
 from repro.grid import Grid, GridIndex
 from repro.obs import (
@@ -256,6 +256,17 @@ class IncrementalEngine:
         server shares it so cycle/downlink spans nest around the
         engine's.  Pass a :class:`repro.obs.NullTracer` to disable
         trace recording (phase-second counters keep working).
+    emit_mode:
+        ``"batch"`` (default) emits the update stream as an
+        :class:`~repro.core.updates.UpdateBatch` — three parallel
+        columns appended without per-change :class:`Update`
+        allocation, materialised lazily on iteration.
+        ``"materialized"`` emits a ``list[Update]`` through the same
+        call sites (an :class:`~repro.core.updates.UpdateList`); it is
+        the measurement baseline ``benchmarks/bench_columnar.py`` holds
+        the batch representation against, and an escape hatch for
+        callers that require eager elements.  Both modes produce the
+        same values in the same order.
     """
 
     def __init__(
@@ -270,11 +281,17 @@ class IncrementalEngine:
         tracer: Tracer | None = None,
         freshness: "FreshnessTracker | None" = None,
         recorder: "FlightRecorder | None" = None,
+        emit_mode: str = "batch",
     ):
         if prediction_horizon < 0:
             raise ValueError(
                 f"prediction_horizon must be >= 0, got {prediction_horizon}"
             )
+        if emit_mode not in ("batch", "materialized"):
+            raise ValueError(
+                f"emit_mode must be 'batch' or 'materialized', got {emit_mode!r}"
+            )
+        self.emit_mode = emit_mode
         if pipeline not in (
             "cell-batched",
             "per-object",
@@ -386,7 +403,6 @@ class IncrementalEngine:
                 self.objects,
                 self.queries,
                 self._knn_qids,
-                Update,
                 self.columnar_backend,
                 self.registry,
                 self.tracer,
@@ -579,7 +595,18 @@ class IncrementalEngine:
         return len(self.queries)
 
     def answer_of(self, qid: int) -> frozenset[int]:
-        """The current (last evaluated) answer set of ``qid``."""
+        """The current (last evaluated) answer set of ``qid``.
+
+        Under the columnar pipeline this serves through the answer
+        store's cached sorted array when one is live — so external
+        readers (oracle, recovery) exercise store coherence — and
+        falls back to the per-query ``set`` otherwise.
+        """
+        evaluator = self._columnar_evaluator
+        if evaluator is not None:
+            view = evaluator.answer_view(qid, self.queries[qid].answer)
+            if view is not None:
+                return view
         return frozenset(self.queries[qid].answer)
 
     def complete_answers(self) -> dict[int, frozenset[int]]:
@@ -590,7 +617,7 @@ class IncrementalEngine:
     # Bulk evaluation
     # ------------------------------------------------------------------
 
-    def evaluate(self, now: float | None = None) -> list[Update]:
+    def evaluate(self, now: float | None = None) -> "UpdateBatch | UpdateList":
         """Apply all buffered input and return the incremental updates.
 
         Phases: unregistrations, object removals, new-query first-time
@@ -598,6 +625,11 @@ class IncrementalEngine:
         window refresh.  Applying the returned updates in order to the
         previously reported answers reproduces the current answers
         exactly (tested property).
+
+        The return value is an :class:`~repro.core.updates.UpdateBatch`
+        (or a ``list[Update]`` under ``emit_mode="materialized"``) —
+        sequence-shaped either way: iterate, index, and compare it like
+        the list it used to be.
 
         All buffered input is validated *before* any phase mutates state
         (a buffered move of an unknown query raises ``KeyError`` here,
@@ -628,7 +660,9 @@ class IncrementalEngine:
         self._m_query_moves.inc(len(self._pending_moves))
         self._m_query_unregistrations.inc(len(self._pending_unregistrations))
 
-        updates: list[Update] = []
+        updates: UpdateBatch | UpdateList = (
+            UpdateBatch() if self.emit_mode == "batch" else UpdateList()
+        )
         knn_dirty: set[int] = set(self._underfull_knn)
         # Cells whose object population (or a resident's motion state)
         # changed this evaluation — drives the predictive refresh.
@@ -736,7 +770,7 @@ class IncrementalEngine:
         self._pending_unregistrations.clear()
 
     def _apply_removals(
-        self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
+        self, updates, knn_dirty: set[int], churned_cells: set[int]
     ) -> None:
         ostore = self._ostore
         ingest = self._batch_ingest
@@ -756,7 +790,7 @@ class IncrementalEngine:
                 query.answer.discard(oid)
                 if evaluator is not None:
                     evaluator.invalidate_answer(qid)
-                updates.append(Update.negative(qid, oid))
+                updates.push(qid, oid, -1)
                 if query.kind is QueryKind.KNN:
                     knn_dirty.add(qid)
         self._pending_removals.clear()
@@ -767,7 +801,7 @@ class IncrementalEngine:
 
     def _apply_registrations(
         self,
-        updates: list[Update],
+        updates,
         knn_dirty: set[int],
         dirty_predictive: set[int],
     ) -> None:
@@ -804,15 +838,13 @@ class IncrementalEngine:
                 dirty_predictive.add(query.qid)
         self._pending_registrations.clear()
 
-    def _fill_range_answer(
-        self, query: RangeQueryState, updates: list[Update]
-    ) -> None:
+    def _fill_range_answer(self, query: RangeQueryState, updates) -> None:
         for oid in sorted(self.index.objects_overlapping(query.region)):
             state = self.objects[oid]
             if query.region.contains_point(state.location):
                 query.answer.add(oid)
                 state.answered.add(query.qid)
-                updates.append(Update.positive(query.qid, oid))
+                updates.push(query.qid, oid, 1)
 
     # ------------------------------------------------------------------
     # Phase 4: query movement
@@ -820,7 +852,7 @@ class IncrementalEngine:
 
     def _apply_query_moves(
         self,
-        updates: list[Update],
+        updates,
         knn_dirty: set[int],
         dirty_predictive: set[int],
     ) -> None:
@@ -851,7 +883,7 @@ class IncrementalEngine:
         self._pending_moves.clear()
 
     def _move_range(
-        self, query: RangeQueryState, new_region: Rect, updates: list[Update]
+        self, query: RangeQueryState, new_region: Rect, updates
     ) -> None:
         old_region = query.region
         query.region = new_region
@@ -861,7 +893,7 @@ class IncrementalEngine:
             if not new_region.contains_point(self.objects[oid].location):
                 query.answer.discard(oid)
                 self.objects[oid].answered.discard(query.qid)
-                updates.append(Update.negative(query.qid, oid))
+                updates.push(query.qid, oid, -1)
 
         # Positive updates: search only A_new - A_old.
         for piece in new_region.difference(old_region):
@@ -872,7 +904,7 @@ class IncrementalEngine:
                 if piece.contains_point(state.location):
                     query.answer.add(oid)
                     state.answered.add(query.qid)
-                    updates.append(Update.positive(query.qid, oid))
+                    updates.push(query.qid, oid, 1)
 
         self.index.place_query_region(query.qid, new_region)
         self._qstore.put(
@@ -888,9 +920,7 @@ class IncrementalEngine:
     # Phase 5: object movement
     # ------------------------------------------------------------------
 
-    def _apply_object_reports(
-        self, updates: list[Update], knn_dirty: set[int]
-    ) -> None:
+    def _apply_object_reports(self, updates, knn_dirty: set[int]) -> None:
         """Reference path: one report at a time (``pipeline="per-object"``).
 
         Re-derives the colocated candidate query set for every single
@@ -925,7 +955,7 @@ class IncrementalEngine:
         self._pending_reports.clear()
 
     def _apply_object_reports_batched(
-        self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
+        self, updates, knn_dirty: set[int], churned_cells: set[int]
     ) -> None:
         """Cell-batched pipeline: evaluate the whole batch as per-cell cohorts.
 
@@ -1133,7 +1163,7 @@ class IncrementalEngine:
             yield tuple(cells), states, False, False
 
     def _apply_object_reports_columnar(
-        self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
+        self, updates, knn_dirty: set[int], churned_cells: set[int]
     ) -> None:
         """Columnar pipeline: phase 5a grouping exactly as in the
         cell-batched pipeline, then one batch kernel pass over every
@@ -1162,7 +1192,7 @@ class IncrementalEngine:
             )
 
     def _apply_object_reports_parallel(
-        self, updates: list[Update], knn_dirty: set[int], churned_cells: set[int]
+        self, updates, knn_dirty: set[int], churned_cells: set[int]
     ) -> None:
         """Parallel pipeline: fan the cohort membership pass out over
         row-striped grid shards.
@@ -1257,10 +1287,10 @@ class IncrementalEngine:
         # Boundary cohorts overlap with the in-flight shard work: they
         # touch only their own objects, and per-pair outcomes are
         # independent of the snapshot-isolated workers.
-        boundary_updates: dict[int, list[Update]] = {}
+        boundary_updates: dict[int, object] = {}
         with tracer.span("boundary_cohorts"):
             for seq, cells, states, stay_put, point_pair in plan.boundary:
-                cohort_updates: list[Update] = []
+                cohort_updates = updates.__class__()
                 self._evaluate_cohort(
                     cells,
                     states,
@@ -1320,7 +1350,6 @@ class IncrementalEngine:
                 self.queries,
                 self.objects,
                 updates,
-                Update,
             )
         recorder.record(
             "shard_merge",
@@ -1402,7 +1431,7 @@ class IncrementalEngine:
         self,
         cells,
         states: list[ObjectState],
-        updates: list[Update],
+        updates,
         knn_dirty: set[int],
         cell_cache: dict[int, "_CellCandidates"],
         stay_put: bool,
@@ -1423,8 +1452,7 @@ class IncrementalEngine:
         ``point_pair`` marks a two-cell cohort of single-cell objects;
         for it the same argument skips queries covering *both* cells.
         """
-        append = updates.append
-        make_update = Update
+        push = updates.push
         multi = len(cells) > 1
         cached_cells = []
         for cell in cells:
@@ -1472,11 +1500,11 @@ class IncrementalEngine:
                             if soid not in answer:
                                 answer.add(soid)
                                 answered.add(qid)
-                                append(make_update(qid, soid, 1))
+                                push(qid, soid, 1)
                         elif soid in answer:
                             answer.discard(soid)
                             answered.discard(qid)
-                            append(make_update(qid, soid, -1))
+                            push(qid, soid, -1)
                 else:
                     for qid, min_x, min_y, max_x, max_y, answer in entries:
                         if multi and (qid in seen_qids or qid in skip_cover):
@@ -1486,11 +1514,11 @@ class IncrementalEngine:
                                 if oid not in answer:
                                     answer.add(oid)
                                     state.answered.add(qid)
-                                    append(make_update(qid, oid, 1))
+                                    push(qid, oid, 1)
                             elif oid in answer:
                                 answer.discard(oid)
                                 state.answered.discard(qid)
-                                append(make_update(qid, oid, -1))
+                                push(qid, oid, -1)
             if multi:
                 seen_qids.update(cached.all_qids)  # type: ignore[union-attr]
             else:
@@ -1511,18 +1539,18 @@ class IncrementalEngine:
                     knn_dirty.add(qid)
 
     def _update_range_membership(
-        self, query: RangeQueryState, state: ObjectState, updates: list[Update]
+        self, query: RangeQueryState, state: ObjectState, updates
     ) -> None:
         inside = query.region.contains_point(state.location)
         was_member = state.oid in query.answer
         if inside and not was_member:
             query.answer.add(state.oid)
             state.answered.add(query.qid)
-            updates.append(Update.positive(query.qid, state.oid))
+            updates.push(query.qid, state.oid, 1)
         elif not inside and was_member:
             query.answer.discard(state.oid)
             state.answered.discard(query.qid)
-            updates.append(Update.negative(query.qid, state.oid))
+            updates.push(query.qid, state.oid, -1)
 
     def _object_footprint(self, state: ObjectState) -> frozenset[int]:
         if state.is_predictive and self.prediction_horizon > 0:
@@ -1541,7 +1569,7 @@ class IncrementalEngine:
     # Phase 6: k-NN repair
     # ------------------------------------------------------------------
 
-    def _repair_knn(self, knn_dirty: set[int], updates: list[Update]) -> None:
+    def _repair_knn(self, knn_dirty: set[int], updates) -> None:
         for qid in sorted(knn_dirty):
             query = self.queries.get(qid)
             if query is None or query.kind is not QueryKind.KNN:
@@ -1549,7 +1577,7 @@ class IncrementalEngine:
             self._m_knn_repairs.inc()
             self._solve_knn(query, updates)
 
-    def _solve_knn(self, query: KnnQueryState, updates: list[Update]) -> None:
+    def _solve_knn(self, query: KnnQueryState, updates) -> None:
         """Re-solve a dirty k-NN query and emit the answer difference.
 
         The ring search starts from the query's center and is bounded by
@@ -1569,11 +1597,15 @@ class IncrementalEngine:
         for oid in sorted(query.answer - new_answer):
             query.answer.discard(oid)
             self.objects[oid].answered.discard(query.qid)
-            updates.append(Update.negative(query.qid, oid))
+            updates.push(query.qid, oid, -1)
         for oid in sorted(new_answer - query.answer):
             query.answer.add(oid)
             self.objects[oid].answered.add(query.qid)
-            updates.append(Update.positive(query.qid, oid))
+            updates.push(query.qid, oid, 1)
+        if self._columnar_evaluator is not None:
+            # Membership can change without changing length (one out,
+            # one in), so the store's len-check alone cannot detect it.
+            self._columnar_evaluator.invalidate_answer(query.qid)
 
         query.radius = ranked[-1][0] if ranked else 0.0
         footprint = self.grid.cells_overlapping_set(
@@ -1592,7 +1624,7 @@ class IncrementalEngine:
     # Phase 7: predictive window refresh
     # ------------------------------------------------------------------
 
-    def _refresh_predictive(self, updates: list[Update]) -> None:
+    def _refresh_predictive(self, updates) -> None:
         """Reference path: re-filter every predictive query, every cycle."""
         for qid, query in self.queries.items():
             if query.kind is not QueryKind.PREDICTIVE_RANGE:
@@ -1601,7 +1633,7 @@ class IncrementalEngine:
 
     def _refresh_predictive_batched(
         self,
-        updates: list[Update],
+        updates,
         churned_cells: set[int],
         dirty_predictive: set[int],
     ) -> None:
@@ -1646,7 +1678,7 @@ class IncrementalEngine:
         self,
         qid: int,
         query: PredictiveQueryState,
-        updates: list[Update],
+        updates,
         compute_flip: bool,
     ) -> None:
         candidates = set(query.answer)
@@ -1705,11 +1737,11 @@ class IncrementalEngine:
             if inside and not was_member:
                 answer.add(oid)
                 state.answered.add(qid)
-                updates.append(Update.positive(qid, oid))
+                updates.push(qid, oid, 1)
             elif not inside and was_member:
                 answer.discard(oid)
                 state.answered.discard(qid)
-                updates.append(Update.negative(qid, oid))
+                updates.push(qid, oid, -1)
             if compute_flip:
                 flip = self._membership_flip_time(query, state, inside)
                 if flip < next_flip:
@@ -1801,6 +1833,12 @@ class IncrementalEngine:
             assert self.index.contains_object(oid)
         for qid in self._predictive_qids:
             assert self.queries[qid].kind is QueryKind.PREDICTIVE_RANGE
+        # Any live answer-store view must agree with the set it mirrors.
+        evaluator = self._columnar_evaluator
+        if evaluator is not None:
+            for qid, query in self.queries.items():
+                view = evaluator.answer_view(qid, query.answer)
+                assert view is None or view == query.answer, qid
         # Struct-of-arrays mirrors stay coherent with the dataclass state.
         qstore = self._qstore
         assert len(qstore) == len(self.queries)

@@ -37,9 +37,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.columnar.backend import numpy_or_none
 from repro.core.commit import CommittedAnswerStore
 from repro.core.engine import DEFAULT_WORLD, IncrementalEngine
-from repro.core.updates import Update
+from repro.core.updates import Update, UpdateBatch
 from repro.geometry import Point, Rect, Velocity
 from repro.net import (
     ClientLink,
@@ -60,10 +61,16 @@ from repro.storage import HistoryRepository, LocationRecord
 
 @dataclass(slots=True)
 class CycleResult:
-    """What one evaluation cycle produced and shipped."""
+    """What one evaluation cycle produced and shipped.
+
+    ``updates`` is whatever stream shape the engine emitted — an
+    :class:`~repro.core.updates.UpdateBatch` by default (sequence-
+    shaped, lazily materialised) or a ``list[Update]`` under
+    ``emit_mode="materialized"``.
+    """
 
     now: float
-    updates: list[Update]
+    updates: "UpdateBatch | list[Update]"
     incremental_bytes: int
     complete_bytes: int
     delivered_updates: int = 0
@@ -422,7 +429,7 @@ class LocationAwareServer:
     # Uplink: wakeup / recovery
     # ------------------------------------------------------------------
 
-    def receive_wakeup(self, client_id: int) -> list[Update]:
+    def receive_wakeup(self, client_id: int) -> UpdateBatch:
         """Resynchronise a reconnecting client (Section 3.3).
 
         For every query the client owns, diff the current answer against
@@ -436,7 +443,8 @@ class LocationAwareServer:
         congested client forever: the server would diff future
         recoveries against a base the client never reached.)
 
-        Returns the updates delivered, for observability.
+        Returns the updates delivered (an
+        :class:`~repro.core.updates.UpdateBatch`), for observability.
         """
         self.stats.record_uplink(WakeupMessage(client_id))
         self._m_wakeups.inc()
@@ -448,29 +456,26 @@ class LocationAwareServer:
             link.new_cycle()
         self._notify("on_wakeup_begin", client_id)
         freshness = self.freshness
-        sent: list[Update] = []
+        sent = UpdateBatch()
         with self.tracer.span("recovery"):
             for qid in sorted(self._queries_of_client[client_id]):
                 current = self.engine.answer_of(qid)
                 # The client rolled back to the committed answer; every
                 # delivered update moves this base toward `current`.
                 reached = set(self.commits.committed_answer(qid))
-                for update in self.commits.recovery_updates(qid, current):
-                    if link.deliver(
-                        UpdateMessage(update.qid, update.oid, update.sign)
-                    ):
-                        if update.is_positive:
-                            reached.add(update.oid)
+                delta = self.commits.recovery_updates(
+                    qid, current, into=UpdateBatch()
+                )
+                for uqid, uoid, usign in delta.tuples():
+                    if link.deliver(UpdateMessage(uqid, uoid, usign)):
+                        if usign == 1:
+                            reached.add(uoid)
                         else:
-                            reached.discard(update.oid)
-                        sent.append(update)
-                        freshness.observe_delivered(
-                            update.qid, update.oid, update.sign
-                        )
+                            reached.discard(uoid)
+                        sent.push(uqid, uoid, usign)
+                        freshness.observe_delivered(uqid, uoid, usign)
                     else:
-                        freshness.observe_undelivered(
-                            update.qid, update.oid, update.sign
-                        )
+                        freshness.observe_undelivered(uqid, uoid, usign)
                 self._delivered_answers[qid] = reached
                 self.commits.commit(qid, frozenset(reached))
                 freshness.observe_committed(qid)
@@ -542,43 +547,29 @@ class LocationAwareServer:
             freshness = self.freshness
             recorder = self.recorder
             with self.tracer.span("downlink"):
-                for update in updates:
-                    binding = self._bindings.get(update.qid)
-                    if binding is None:
-                        continue  # query was unregistered in this same batch
-                    message = UpdateMessage(update.qid, update.oid, update.sign)
-                    result.incremental_bytes += message.size_bytes
-                    if self._links[binding.client_id].deliver(message):
-                        result.delivered_updates += 1
-                        # Advance the proven-delivered view so the next
-                        # uplink-triggered commit records what the client
-                        # actually holds.
-                        delivered = self._delivered_answers[update.qid]
-                        if update.is_positive:
-                            delivered.add(update.oid)
-                        else:
-                            delivered.discard(update.oid)
-                        freshness.observe_delivered(
-                            update.qid, update.oid, update.sign
-                        )
-                        recorder.record(
-                            "downlink",
-                            qid=update.qid,
-                            oid=update.oid,
-                            sign=update.sign,
-                            ok=True,
-                        )
-                    else:
-                        result.dropped_updates += 1
-                        freshness.observe_undelivered(
-                            update.qid, update.oid, update.sign
-                        )
-                        recorder.record(
-                            "downlink",
-                            qid=update.qid,
-                            oid=update.oid,
-                            sign=update.sign,
-                            ok=False,
+                np = numpy_or_none()
+                if (
+                    np is not None
+                    and getattr(updates, "qids", None) is not None
+                    and len(updates) > 1
+                ):
+                    self._ship_grouped(
+                        np, updates, result, freshness, recorder
+                    )
+                else:
+                    for uqid, uoid, usign in self._stream_tuples(updates):
+                        binding = self._bindings.get(uqid)
+                        if binding is None:
+                            # Query was unregistered in this same batch.
+                            continue
+                        self._ship_one(
+                            self._links[binding.client_id],
+                            uqid,
+                            uoid,
+                            usign,
+                            result,
+                            freshness,
+                            recorder,
                         )
         self._m_updates_delivered.inc(result.delivered_updates)
         self._m_updates_dropped.inc(result.dropped_updates)
@@ -586,6 +577,94 @@ class LocationAwareServer:
         self._m_complete_bytes.inc(result.complete_bytes)
         self._m_savings_ratio.set(result.savings_ratio)
         return result
+
+    @staticmethod
+    def _stream_tuples(updates):
+        """``(qid, oid, sign)`` triples of any stream shape."""
+        tuples = getattr(updates, "tuples", None)
+        if tuples is not None:
+            return tuples()
+        return ((u.qid, u.oid, u.sign) for u in updates)
+
+    def _ship_one(
+        self, link, qid: int, oid: int, sign: int, result, freshness, recorder
+    ) -> None:
+        """Deliver one update over ``link`` with full accounting."""
+        message = UpdateMessage(qid, oid, sign)
+        result.incremental_bytes += message.size_bytes
+        if link.deliver(message):
+            result.delivered_updates += 1
+            # Advance the proven-delivered view so the next
+            # uplink-triggered commit records what the client
+            # actually holds.
+            delivered = self._delivered_answers[qid]
+            if sign == 1:
+                delivered.add(oid)
+            else:
+                delivered.discard(oid)
+            freshness.observe_delivered(qid, oid, sign)
+            recorder.record(
+                "downlink", qid=qid, oid=oid, sign=sign, ok=True
+            )
+        else:
+            result.dropped_updates += 1
+            freshness.observe_undelivered(qid, oid, sign)
+            recorder.record(
+                "downlink", qid=qid, oid=oid, sign=sign, ok=False
+            )
+
+    def _ship_grouped(self, np, updates, result, freshness, recorder) -> None:
+        """Downlink shipping grouped by owning client (numpy path).
+
+        One ``np.unique`` resolves each distinct qid's binding once and
+        one **stable** argsort groups the batch by client, so the
+        per-update Python work drops to the delivery itself with the
+        link lookup hoisted per group.  Stability preserves stream
+        order within each client group — links are independent FIFO
+        channels with per-link cycle budgets, so per-link delivery
+        outcomes (and the freshness/commit bookkeeping derived from
+        them) are identical to the scalar loop's.
+        """
+        qid_arr = np.asarray(updates.qids, dtype=np.int64)
+        uniq, inverse = np.unique(qid_arr, return_inverse=True)
+        bindings = self._bindings
+        client_of_uniq = np.fromiter(
+            (
+                -1 if (b := bindings.get(qid)) is None else b.client_id
+                for qid in uniq.tolist()
+            ),
+            dtype=np.int64,
+            count=len(uniq),
+        )
+        clients = client_of_uniq[inverse]
+        order = np.argsort(clients, kind="stable")
+        sorted_clients = clients[order]
+        cuts = (
+            np.flatnonzero(sorted_clients[1:] != sorted_clients[:-1]) + 1
+        ).tolist()
+        starts = [0, *cuts]
+        stops = [*cuts, len(order)]
+        group_clients = sorted_clients[starts].tolist()
+        order_list = order.tolist()
+        qids = updates.qids
+        oids = updates.oids
+        signs = updates.signs
+        links = self._links
+        ship_one = self._ship_one
+        for cid, s, e in zip(group_clients, starts, stops):
+            if cid < 0:
+                continue  # queries unregistered in this same batch
+            link = links[cid]
+            for idx in order_list[s:e]:
+                ship_one(
+                    link,
+                    qids[idx],
+                    oids[idx],
+                    signs[idx],
+                    result,
+                    freshness,
+                    recorder,
+                )
 
     def savings_ratio(self) -> float:
         """Cumulative incremental bytes as a fraction of the complete

@@ -3,10 +3,10 @@
 Workers return ``(seq, deltas, knn_qids)`` per cohort, where ``deltas``
 are ``(qid, oid, sign)`` triples in exact serial emission order for
 that cohort; boundary cohorts were evaluated on the coordinator and
-already carry real ``Update`` lists.  The merge walks sequence numbers
-``0..total-1`` and emits each cohort's contribution verbatim, so the
-final stream is byte-identical to the one the serial cell-batched
-pipeline would have produced.
+already carry update streams in the engine's emission representation.
+The merge walks sequence numbers ``0..total-1`` and emits each
+cohort's contribution verbatim, so the final stream is byte-identical
+to the one the serial cell-batched pipeline would have produced.
 
 Applying a worker delta mutates the authoritative state the worker
 could not touch: the query's answer set and the object's reverse
@@ -14,8 +14,10 @@ could not touch: the query's answer set and the object's reverse
 pair is evaluated at most once per batch), so applying strictly in
 sequence order is both deterministic and correct.
 
-The ``Update`` class arrives as the ``make_update`` parameter instead
-of being imported: the engine imports this module, so importing
+Emission goes through the stream's ``push`` / ``extend_columns``
+contract (:class:`repro.core.updates.UpdateBatch` and its materialised
+twin both implement it); boundary streams are duck-typed on their
+column attributes because the engine imports this module, so importing
 :mod:`repro.core` from here would be circular.
 """
 
@@ -24,12 +26,11 @@ from __future__ import annotations
 
 def merge_ordered(
     total: int,
-    boundary_updates: dict[int, list],
+    boundary_updates: dict[int, object],
     shard_deltas: dict[int, list[tuple[int, int, int]]],
     queries,
     objects,
-    updates: list,
-    make_update,
+    updates,
 ) -> tuple[int, int]:
     """Append every cohort's updates to ``updates`` in sequence order,
     applying worker deltas to engine state as they are emitted.
@@ -38,13 +39,18 @@ def merge_ordered(
     came from coordinator-evaluated boundary cohorts versus worker
     deltas, which the flight recorder logs per merge.
     """
-    append = updates.append
+    push = updates.push
+    extend_columns = updates.extend_columns
     boundary_emitted = 0
     shard_emitted = 0
     for seq in range(total):
         ready = boundary_updates.get(seq)
         if ready is not None:
-            updates.extend(ready)
+            cols = getattr(ready, "qids", None)
+            if cols is not None:
+                extend_columns(cols, ready.oids, ready.signs)
+            else:
+                updates.extend(ready)
             boundary_emitted += len(ready)
             continue
         deltas = shard_deltas.get(seq)
@@ -58,5 +64,5 @@ def merge_ordered(
             else:
                 queries[qid].answer.discard(oid)
                 objects[oid].answered.discard(qid)
-            append(make_update(qid, oid, sign))
+            push(qid, oid, sign)
     return boundary_emitted, shard_emitted
