@@ -1,0 +1,220 @@
+"""Live-service load demo: 10k multiplexed clients over real sockets.
+
+The acceptance run for the ``repro.service`` runtime: boot the
+network-facing server with the consistency oracle attached, then drive
+it with the multiplexed load harness — 10,000 simulated clients sharing
+four OS threads/TCP sessions, replaying a deterministic generator
+workload (reports, query moves, commits) for 20 lock-step cycles.  The
+run must finish with **zero oracle divergences**, zero sampled-answer
+mismatches, and a healthy ``/metrics`` scrape; per-cycle wall times are
+measured at the driver (socket round trip included) and recorded.
+
+This is a gate and a record, not a sweep.  Runs two ways:
+
+* under pytest (with pytest-benchmark, scaled-down population)::
+
+      PYTHONPATH=src pytest benchmarks/bench_service.py --benchmark-only
+
+* as a plain script (CI's service smoke uses the loadgen CLI instead;
+  ``--quick`` here keeps local iteration fast)::
+
+      PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+
+Both modes write ``BENCH_service.json`` at the repo root with the
+per-cycle timings, the driver's full report, and the service registry
+snapshot (``service_*`` + ``server_*`` series).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import scaled, write_bench_json
+
+from repro.service.loadgen import LoadConfig, LoadDriver, http_get
+from repro.service.runtime import ServiceConfig, ServiceRuntime
+
+SEED = 11
+GRID_SIZE = 64
+
+FULL = dict(
+    clients=10_000,
+    objects=2_000,
+    range_queries=120,
+    knn_queries=30,
+    predictive_queries=20,
+    cycles=20,
+    sessions=4,
+    verify_samples=32,
+)
+QUICK = dict(
+    clients=1_000,
+    objects=400,
+    range_queries=30,
+    knn_queries=8,
+    predictive_queries=5,
+    cycles=8,
+    sessions=2,
+    verify_samples=16,
+)
+
+
+#: Metrics with more labeled series than this collapse to one summed
+#: series in the recorded snapshot.
+AGGREGATE_ABOVE = 16
+
+
+class SlimRegistry:
+    """A ``to_dict()`` view that aggregates high-cardinality metrics.
+
+    The service registry carries one labeled series per client — at
+    10k clients the raw snapshot is megabytes of mostly-zero rows.
+    Metrics past :data:`AGGREGATE_ABOVE` series collapse to a single
+    summed series (label values replaced by ``"*"``, original
+    cardinality recorded), so the totals still travel with the run but
+    ``BENCH_service.json`` stays reviewable.
+    """
+
+    def __init__(self, registry):
+        self._registry = registry
+
+    def to_dict(self) -> dict:
+        slim = {}
+        for name, metric in self._registry.to_dict().items():
+            series = metric.get("series", [])
+            if len(series) <= AGGREGATE_ABOVE:
+                slim[name] = metric
+                continue
+            label_keys = sorted(
+                {key for s in series for key in s.get("labels", {})}
+            )
+            merged = {
+                "labels": {key: "*" for key in label_keys},
+                "aggregated_series": len(series),
+            }
+            if "value" in series[0]:
+                merged["value"] = sum(s.get("value", 0.0) for s in series)
+            else:  # histogram: keep the total observation count only
+                merged["count"] = sum(s.get("count", 0) for s in series)
+            slim[name] = dict(metric, series=[merged])
+        return slim
+
+
+class TimedDriver(LoadDriver):
+    """LoadDriver that wall-clocks each lock-step round at the driver.
+
+    A round spans outbox handoff -> uplink flush + consume-confirmation
+    -> server cycle -> downlink drain, so the timing is the end-to-end
+    cycle cost a real deployment would see, sockets included.  The
+    first round (hellos + registrations) is setup, not steady state.
+    """
+
+    def __init__(self, address, config):
+        super().__init__(address, config)
+        self.round_timings: list[float] = []
+
+    def _round(self, workers, barrier, outboxes, control) -> None:
+        started = time.perf_counter()
+        super()._round(workers, barrier, outboxes, control)
+        self.round_timings.append(time.perf_counter() - started)
+
+    @property
+    def cycle_timings(self) -> list[float]:
+        return self.round_timings[1:]  # drop the setup round
+
+
+def run_demo(params: dict) -> tuple[dict, list[float], int, object]:
+    """One oracle-attached run; returns (report, timings, http, registry)."""
+    config = ServiceConfig(grid_size=GRID_SIZE, oracle=True)
+    with ServiceRuntime(config) as runtime:
+        driver = TimedDriver(
+            runtime.tcp_address, LoadConfig(seed=SEED, **params)
+        )
+        report = driver.run()
+        status, body = http_get(runtime.http_address, "/metrics")
+        registry = runtime.server.registry
+    # The acceptance gate: a clean run at scale, observable end to end.
+    assert report["ok"], report
+    assert report["divergences_total"] == 0, report
+    assert report["verify"]["mismatches"] == [], report["verify"]
+    assert report["counts"]["welcome"] == params["clients"]
+    assert report["worker_errors"] == []
+    assert status == 200
+    assert "service_sessions_active" in body
+    assert "service_admission_rejections_total" in body
+    return report, driver.cycle_timings, status, registry
+
+
+def test_service_load(benchmark):
+    params = dict(
+        FULL,
+        clients=scaled(2_000),
+        objects=scaled(500),
+        cycles=10,
+        verify_samples=16,
+    )
+    report, timings, _, _ = run_demo(params)
+    benchmark.extra_info["seed"] = SEED
+    benchmark.extra_info["clients"] = params["clients"]
+    benchmark.extra_info["cycles"] = params["cycles"]
+    benchmark.extra_info["divergences_total"] = report["divergences_total"]
+    benchmark.extra_info["uplink_lines"] = report["counts"]["uplink_lines"]
+    benchmark.extra_info["cycle_ms_mean"] = round(
+        sum(timings) / len(timings) * 1e3, 2
+    )
+    # The timed operation: a short oracle-attached run end to end
+    # (boot, load, verify, teardown) at a smaller population.
+    small = dict(params, clients=scaled(500), objects=scaled(200), cycles=4)
+    benchmark.pedantic(lambda: run_demo(small), rounds=2)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    params = QUICK if quick else FULL
+    label = "quick" if quick else "full"
+    print(
+        f"service load demo ({label}): {params['clients']} clients over "
+        f"{params['sessions']} sessions, {params['objects']} objects, "
+        f"{params['range_queries'] + params['knn_queries'] + params['predictive_queries']}"
+        f" queries, {params['cycles']} cycles, oracle attached"
+    )
+    started = time.perf_counter()
+    report, timings, http_status, registry = run_demo(params)
+    elapsed = time.perf_counter() - started
+
+    counts = report["counts"]
+    mean = sum(timings) / len(timings)
+    print(f"\n  run ok in {elapsed:.1f}s "
+          f"({mean * 1e3:.0f} ms/cycle steady-state mean)")
+    print(f"  uplink lines          {counts['uplink_lines']}")
+    print(f"  updates delivered     {counts.get('updates', 0)}")
+    print(f"  answers committed     {counts.get('committed', 0)}")
+    print(f"  oracle divergences    {report['divergences_total']}")
+    print(f"  verify mismatches     {len(report['verify']['mismatches'])}"
+          f"/{report['verify']['sampled']}")
+    print(f"  /metrics scrape       HTTP {http_status}")
+
+    path = write_bench_json(
+        "service",
+        timings,
+        seed=SEED,
+        params={"mode": label, "grid_size": GRID_SIZE, **params},
+        extra={
+            "elapsed_seconds": elapsed,
+            "clients_per_session": params["clients"] // params["sessions"],
+            "counts": dict(counts),
+            "divergences_total": report["divergences_total"],
+            "verify": report["verify"],
+            "last_cycle": report["last_cycle"],
+            "metrics_scrape_status": http_status,
+        },
+        registry=SlimRegistry(registry),
+    )
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(main(sys.argv[1:]))

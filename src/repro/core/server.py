@@ -492,30 +492,47 @@ class LocationAwareServer:
 
         Returns the bytes delivered; used by the recovery ablation
         benchmark.  Mirrors :meth:`receive_wakeup`'s accounting — the
-        wakeup uplink is recorded in :class:`NetworkStats` and a
-        throttled link gets a fresh cycle budget — so the ablation
+        wakeup uplink is recorded in :class:`NetworkStats`, a throttled
+        link gets a fresh cycle budget, the flight recorder sees
+        ``wakeup_begin``/``wakeup_end``, and every full-answer member
+        is attributed in the freshness tracker — so the ablation
         compares recovery strategies, not bookkeeping asymmetries.  A
         full answer the link rejects leaves the query uncommitted; the
         next recovery attempt retries it.
         """
         self.stats.record_uplink(WakeupMessage(client_id))
         self._m_wakeups.inc()
+        self.recorder.record("wakeup_begin", client=client_id, via="naive")
         link = self._links[client_id]
         link.reconnect()
         if isinstance(link, ThrottledLink):
             link.new_cycle()
         self._notify("on_wakeup_begin", client_id)
+        freshness = self.freshness
         total = 0
+        recovered = 0
         for qid in sorted(self._queries_of_client[client_id]):
             answer = self.engine.answer_of(qid)
             message = FullAnswerMessage(qid, answer)
             if link.deliver(message):
                 total += message.size_bytes
+                recovered += 1
+                # A delivered full answer lands every member at once;
+                # attribute each one exactly as the incremental path
+                # attributes its recovery updates.
+                for oid in answer:
+                    freshness.observe_delivered(qid, oid, 1)
                 self._delivered_answers[qid] = set(answer)
                 self.commits.commit(qid, answer)
-                self.freshness.observe_committed(qid)
+                freshness.observe_committed(qid)
                 self.recorder.record("commit", qid=qid, via="naive_recovery")
+            else:
+                for oid in answer:
+                    freshness.observe_undelivered(qid, oid, 1)
         self._notify("on_wakeup_end", client_id)
+        self.recorder.record(
+            "wakeup_end", client=client_id, via="naive", recovered=recovered
+        )
         return total
 
     # ------------------------------------------------------------------

@@ -43,6 +43,16 @@ class FaultInjector:
         self.server.engine.worker_crash_hook = self._worker_crash
         self._active = True
 
+    def bind_client(self, client_id: int) -> None:
+        """Hook a client that registered after :meth:`install`.
+
+        The live service runtime admits clients while a chaos plan is
+        running; each late arrival's downlink joins the same fault
+        schedule.  A no-op unless the injector is installed.
+        """
+        if self._active:
+            self.server.link_of(client_id).fault_hook = self._downlink_fault
+
     def uninstall(self) -> None:
         """Remove every hook and wake any still-dark client.
 

@@ -181,6 +181,10 @@ class ClientLink:
             self.stats.record(message, delivered=False)
             self._m_dropped.inc()
             self._m_dropped_bytes.inc(message.size_bytes)
+            # Refresh the queue-depth gauge on every outcome: a client
+            # that disconnects mid-cycle must not export the stale depth
+            # of its last successful delivery until the next drain.
+            self._m_queued.set(len(self._inbox))
             self._notify(message, False)
             return False
         self._accept(message, reorder=(action == REORDER))

@@ -53,7 +53,11 @@ class ThrottledLink(ClientLink):
         """Deliver within budget; over-budget messages are lost.
 
         Throttled messages are recorded separately from disconnection
-        drops so the congestion benchmark can tell the two apart.
+        drops so the congestion benchmark can tell the two apart.  The
+        budget is charged only when the base link *accepts* the
+        delivery: a message lost to disconnection or an injected fault
+        never occupied the wire slot, so it must not starve the
+        in-cycle messages that follow it.
         """
         if message.size_bytes > self.remaining_budget:
             self.throttled_messages += 1
@@ -63,5 +67,7 @@ class ThrottledLink(ClientLink):
             self.stats.record(message, delivered=False)
             self._notify(message, False)
             return False
-        self._spent_this_cycle += message.size_bytes
-        return super().deliver(message)
+        delivered = super().deliver(message)
+        if delivered:
+            self._spent_this_cycle += message.size_bytes
+        return delivered

@@ -1,0 +1,40 @@
+"""The live service runtime: the paper's server behind a real socket.
+
+Everything below :mod:`repro.core` is a library; this package is the
+deployment.  :class:`ServiceRuntime` binds a TCP listener speaking the
+line-delimited JSON protocol (:mod:`repro.service.protocol`), admits
+sessions and logical clients under explicit capacity limits
+(:mod:`repro.service.admission`), runs the evaluation cycle loop, and
+serves ``/state`` + ``/metrics`` over HTTP.  The
+:class:`~repro.service.loadgen.LoadDriver` replays generator workloads
+as tens of thousands of multiplexed wire clients from a few OS threads.
+
+Quick start::
+
+    python -m repro.service --port 4710 --http-port 4711 --interval 0.5
+    python -m repro.service.loadgen --clients 10000 --cycles 20 --self-host
+"""
+
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    downlink_op,
+    encode,
+)
+from repro.service.runtime import ServiceConfig, ServiceRuntime
+from repro.service.session import ClientSession
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ClientSession",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceConfig",
+    "ServiceRuntime",
+    "decode_line",
+    "downlink_op",
+    "encode",
+]

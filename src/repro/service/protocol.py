@@ -1,0 +1,173 @@
+"""The line-delimited JSON wire protocol of the live service.
+
+One request or event per line, UTF-8, compact JSON, ``\\n``-terminated —
+the shape a ``socket.makefile()`` / ``asyncio.StreamReader`` pair reads
+and writes without framing code.  Every object carries an ``"op"`` key;
+everything else is op-specific.
+
+Uplink (client → server)
+------------------------
+
+========== ============================================================
+op          fields
+========== ============================================================
+hello       ``client`` (int), optional ``budget`` (bytes/cycle →
+            :class:`~repro.net.ThrottledLink`), optional ``sync``
+            (bool: session wants ``cycle_end`` markers)
+report      ``client``, ``oid``, ``x``, ``y``, ``t``, optional
+            ``vx``/``vy``
+remove      ``oid``
+register    ``client``, ``qid``, ``kind`` (``range``/``knn``/
+            ``predictive``), region or center fields, ``k``,
+            ``horizon``, optional ``t``
+move        ``qid``, ``kind``, region/center fields, ``t``
+unregister  ``qid``
+commit      ``qid``
+wakeup      ``client``
+tick        optional ``now`` — run one evaluation cycle (control)
+query_answer ``qid`` — read back the live engine answer (control)
+chaos_off   uninstall the fault plan, wake dark clients (control)
+ping        liveness probe
+bye         orderly close
+========== ============================================================
+
+Downlink (server → client)
+--------------------------
+
+``welcome``/``reject`` answer ``hello``; ``update`` and ``answer``
+carry the engine's incremental stream and full-answer recoveries;
+``wakeup_begin``/``wakeup_end``/``committed`` mirror the server's
+protocol observer events so a wire client can maintain exactly the
+state the consistency oracle's mirror holds; ``cycle_end`` marks the
+end of one cycle's flush on sync sessions; ``busy`` (with
+``retry_after``) is the backpressure verdict; ``error`` reports a bad
+op without closing the session.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.net.messages import (
+    FullAnswerMessage,
+    Message,
+    UpdateMessage,
+)
+
+PROTOCOL_VERSION = 1
+
+#: Ops a client may send.  ``tick``/``query_answer``/``chaos_off`` are
+#: control-plane ops (the load driver and tests pace cycles with them).
+UPLINK_OPS = frozenset(
+    {
+        "hello",
+        "report",
+        "remove",
+        "register",
+        "move",
+        "unregister",
+        "commit",
+        "wakeup",
+        "tick",
+        "query_answer",
+        "chaos_off",
+        "ping",
+        "bye",
+    }
+)
+
+#: Ops handled immediately by the reader (admission, control plane,
+#: liveness); everything else queues for the next evaluation cycle.
+IMMEDIATE_OPS = frozenset(
+    {"hello", "tick", "query_answer", "chaos_off", "ping", "bye"}
+)
+
+_REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
+    "hello": ("client",),
+    "report": ("client", "oid", "x", "y", "t"),
+    "remove": ("oid",),
+    "register": ("client", "qid", "kind"),
+    "move": ("qid", "kind", "t"),
+    "unregister": ("qid",),
+    "commit": ("qid",),
+    "wakeup": ("client",),
+    "query_answer": ("qid",),
+}
+
+QUERY_KINDS = ("range", "knn", "predictive")
+
+
+class ProtocolError(ValueError):
+    """A malformed line or op; ``code`` travels on the error response."""
+
+    def __init__(self, code: str, detail: str):
+        super().__init__(detail)
+        self.code = code
+        self.detail = detail
+
+
+def encode(obj: dict) -> bytes:
+    """One wire line: compact JSON plus the terminating newline."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse and validate one uplink line into an op dict."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty", "empty line")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad_json", f"not JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad_json", "line must be a JSON object")
+    op = obj.get("op")
+    if op not in UPLINK_OPS:
+        raise ProtocolError("bad_op", f"unknown op {op!r}")
+    missing = [
+        field for field in _REQUIRED_FIELDS.get(op, ()) if field not in obj
+    ]
+    if missing:
+        raise ProtocolError(
+            "missing_field", f"op {op!r} missing fields {missing}"
+        )
+    if op in ("register", "move") and obj["kind"] not in QUERY_KINDS:
+        raise ProtocolError(
+            "bad_kind", f"kind must be one of {QUERY_KINDS}, got {obj['kind']!r}"
+        )
+    return obj
+
+
+def downlink_op(message: Message) -> dict:
+    """The wire form of one link-delivered message."""
+    if isinstance(message, UpdateMessage):
+        return {
+            "op": "update",
+            "qid": message.qid,
+            "oid": message.oid,
+            "sign": message.sign,
+        }
+    if isinstance(message, FullAnswerMessage):
+        return {
+            "op": "answer",
+            "qid": message.qid,
+            "oids": sorted(message.oids),
+        }
+    raise ProtocolError(
+        "bad_downlink", f"unencodable downlink message {type(message).__name__}"
+    )
+
+
+def error_op(code: str, detail: str) -> dict:
+    return {"op": "error", "code": code, "detail": detail}
+
+
+def busy_op(retry_after: float) -> dict:
+    return {"op": "busy", "retry_after": retry_after}
+
+
+def reject_op(reason: str, retry_after: float) -> dict:
+    return {"op": "reject", "reason": reason, "retry_after": retry_after}

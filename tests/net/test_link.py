@@ -120,3 +120,24 @@ class TestPerLinkTelemetry:
         assert self.link_value(stats, "link_dropped_messages_total", 5) == 1.0
         assert self.link_value(stats, "link_delivered_messages_total", 5) == 2.0
         assert self.link_value(stats, "link_queued_messages", 5) == 0.0
+
+
+class TestDropPathAccounting:
+    """Regression: the drop path must account bytes and refresh the
+    queue-depth gauge on every outcome, not only on accepted delivery."""
+
+    def test_drop_updates_bytes_and_gauge(self):
+        stats = NetworkStats()
+        link = ClientLink(1, stats)
+        link.deliver(update())
+        link.deliver(update())
+        link.disconnect()
+        assert not link.deliver(update())
+        labels = {"client": "1"}
+        registry = stats.registry
+        assert registry.value_of("link_dropped_messages_total", labels) == 1
+        assert registry.value_of("link_dropped_bytes_total", labels) == 17
+        # Gauge reflects true inbox depth right after the drop outcome.
+        assert registry.value_of("link_queued_messages", labels) == 2
+        link.drain()
+        assert registry.value_of("link_queued_messages", labels) == 0

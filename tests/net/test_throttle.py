@@ -127,3 +127,38 @@ class TestUplinkAccounting:
         Client(1, server)
         server.receive_wakeup(1)
         assert server.stats.by_type["uplink:WakeupMessage"] == 1
+
+class TestBudgetChargedOnlyOnAcceptedDelivery:
+    """Regression: the budget used to be charged before the base link
+    decided the delivery's fate, so outage/fault losses starved the
+    messages that followed them in the same cycle."""
+
+    def test_outage_rejections_cost_nothing(self):
+        link = ThrottledLink(1, budget_bytes_per_cycle=40)
+        link.disconnect()
+        assert not link.deliver(update())
+        assert not link.deliver(update())
+        assert link.remaining_budget == 40
+        link.reconnect()
+        assert link.deliver(update())
+        assert link.deliver(update())  # both fit: nothing was pre-charged
+        assert link.throttled_messages == 0
+
+    def test_faulted_rejections_cost_nothing(self):
+        from repro.net import DROP
+
+        link = ThrottledLink(1, budget_bytes_per_cycle=40)
+        link.fault_hook = lambda lnk, msg: DROP
+        assert not link.deliver(update())
+        assert link.remaining_budget == 40
+        link.fault_hook = None
+        assert link.deliver(update())
+        assert link.deliver(update())
+        assert link.remaining_budget == 40 - 34
+
+    def test_throttled_rejection_still_counts_against_nothing(self):
+        link = ThrottledLink(1, budget_bytes_per_cycle=20)
+        assert link.deliver(update())
+        assert not link.deliver(update())  # over budget: throttled
+        assert link.remaining_budget == 3  # only the accepted 17 charged
+        assert link.throttled_messages == 1

@@ -1,0 +1,98 @@
+"""Shared fixtures for the live-service tests: a background runtime
+factory and a tiny blocking wire client speaking the line protocol."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.service.runtime import ServiceConfig, ServiceRuntime
+
+
+class Wire:
+    """A blocking test client for one session (line-JSON over TCP)."""
+
+    def __init__(self, address: tuple[str, int], timeout: float = 30.0):
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.file = self.sock.makefile("rwb")
+
+    def send(self, op: str, **fields) -> None:
+        payload = {"op": op, **fields}
+        self.file.write(json.dumps(payload).encode() + b"\n")
+        self.file.flush()
+
+    def send_raw(self, raw: bytes) -> None:
+        self.file.write(raw)
+        self.file.flush()
+
+    def recv(self) -> dict:
+        line = self.file.readline()
+        assert line, "server closed the connection"
+        return json.loads(line)
+
+    def request(self, op: str, **fields) -> dict:
+        self.send(op, **fields)
+        return self.recv()
+
+    def recv_until(self, terminal: str) -> tuple[list[dict], dict]:
+        """Read ops until one named ``terminal``; returns (before, it)."""
+        seen: list[dict] = []
+        while True:
+            op = self.recv()
+            if op["op"] == terminal:
+                return seen, op
+            seen.append(op)
+
+    def settle(self) -> list[dict]:
+        """Confirm the server consumed everything sent so far; returns
+        any downlink ops that arrived before the pong."""
+        self.send("ping")
+        ops, _ = self.recv_until("pong")
+        return ops
+
+    def kill(self) -> None:
+        """Abrupt close (simulated outage): the server sees EOF.
+
+        ``makefile`` holds its own reference to the socket, so both
+        must be closed for the fd to actually close.
+        """
+        self.file.close()
+        self.sock.close()
+
+    def close(self) -> None:
+        try:
+            self.send("bye")
+        except (OSError, ValueError):
+            pass
+        self.kill()
+
+
+@pytest.fixture
+def make_runtime():
+    """Factory for background-thread runtimes on ephemeral ports."""
+    runtimes: list[ServiceRuntime] = []
+
+    def _make(**kwargs) -> ServiceRuntime:
+        runtime = ServiceRuntime(ServiceConfig(**kwargs)).start()
+        runtimes.append(runtime)
+        return runtime
+
+    yield _make
+    for runtime in runtimes:
+        runtime.stop()
+
+
+@pytest.fixture
+def make_wire():
+    wires: list[Wire] = []
+
+    def _make(runtime: ServiceRuntime, **kwargs) -> Wire:
+        wire = Wire(runtime.tcp_address, **kwargs)
+        wires.append(wire)
+        return wire
+
+    yield _make
+    for wire in wires:
+        wire.close()

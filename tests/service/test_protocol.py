@@ -1,0 +1,90 @@
+"""Wire grammar: encode/decode validation and downlink rendering."""
+
+import json
+
+import pytest
+
+from repro.net.messages import (
+    FullAnswerMessage,
+    UpdateMessage,
+    WakeupMessage,
+)
+from repro.service.protocol import (
+    IMMEDIATE_OPS,
+    UPLINK_OPS,
+    ProtocolError,
+    busy_op,
+    decode_line,
+    downlink_op,
+    encode,
+    error_op,
+    reject_op,
+)
+
+
+class TestEncode:
+    def test_one_compact_line(self):
+        raw = encode({"op": "ping"})
+        assert raw.endswith(b"\n")
+        assert b" " not in raw
+        assert json.loads(raw) == {"op": "ping"}
+
+    def test_roundtrip(self):
+        op = {"op": "report", "client": 1, "oid": 2, "x": 0.5, "y": 0.5, "t": 1.0}
+        assert decode_line(encode(op)) == op
+
+
+class TestDecode:
+    def test_accepts_str_and_bytes(self):
+        assert decode_line('{"op": "ping"}')["op"] == "ping"
+        assert decode_line(b'{"op": "ping"}\n')["op"] == "ping"
+
+    @pytest.mark.parametrize(
+        "line,code",
+        [
+            (b"", "empty"),
+            (b"   \n", "empty"),
+            (b"not json\n", "bad_json"),
+            (b"[1, 2]\n", "bad_json"),
+            (b'{"op": "explode"}\n', "bad_op"),
+            (b'{"no_op": 1}\n', "bad_op"),
+            (b'{"op": "report", "client": 1}\n', "missing_field"),
+            (b'{"op": "wakeup"}\n', "missing_field"),
+            (
+                b'{"op": "register", "client": 1, "qid": 2, "kind": "cube"}\n',
+                "bad_kind",
+            ),
+        ],
+    )
+    def test_rejections_carry_codes(self, line, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_line(line)
+        assert excinfo.value.code == code
+
+    def test_immediate_ops_are_uplink_ops(self):
+        assert IMMEDIATE_OPS <= UPLINK_OPS
+
+
+class TestDownlink:
+    def test_update_message(self):
+        assert downlink_op(UpdateMessage(qid=3, oid=7, sign=-1)) == {
+            "op": "update",
+            "qid": 3,
+            "oid": 7,
+            "sign": -1,
+        }
+
+    def test_full_answer_sorted(self):
+        op = downlink_op(FullAnswerMessage(5, frozenset({9, 2, 4})))
+        assert op == {"op": "answer", "qid": 5, "oids": [2, 4, 9]}
+
+    def test_unencodable_message_raises(self):
+        with pytest.raises(ProtocolError):
+            downlink_op(WakeupMessage(1))
+
+
+class TestHelpers:
+    def test_shapes(self):
+        assert error_op("x", "y") == {"op": "error", "code": "x", "detail": "y"}
+        assert busy_op(2.0)["retry_after"] == 2.0
+        assert reject_op("sessions", 1.0)["reason"] == "sessions"

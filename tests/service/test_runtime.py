@@ -1,0 +1,251 @@
+"""The live runtime over real sockets: protocol flow, backpressure,
+outage recovery, markers, and the HTTP plane."""
+
+import json
+import time
+
+import pytest
+
+from repro.service.loadgen import http_get
+
+
+def wait_for(predicate, timeout: float = 10.0, interval: float = 0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not reached in time")
+
+
+REGION = dict(minx=0.2, miny=0.2, maxx=0.8, maxy=0.8)
+
+
+class TestWireFlow:
+    def test_full_cycle_flow(self, make_runtime, make_wire):
+        runtime = make_runtime(grid_size=8)
+        wire = make_wire(runtime)
+        welcome = wire.request("hello", client=1, sync=True)
+        assert welcome["op"] == "welcome"
+        assert welcome["resumed"] is False
+        assert welcome["protocol"] == 1
+        wire.send("register", client=1, qid=5, kind="range", **REGION)
+        wire.send("report", client=1, oid=42, x=0.5, y=0.5, t=0.0)
+        assert wire.settle() == []  # consumed, no errors
+
+        wire.send("tick", now=1.0)
+        flushed, summary = wire.recv_until("cycle")
+        assert summary["uplinks_applied"] == 2
+        assert summary["uplink_errors"] == 0
+        assert {"op": "update", "qid": 5, "oid": 42, "sign": 1} in flushed
+        assert flushed[-1]["op"] == "cycle_end"
+
+        answer = wire.request("query_answer", qid=5)
+        assert answer == {"op": "answer_state", "qid": 5, "oids": [42]}
+
+    def test_commit_marker_follows_flush(self, make_runtime, make_wire):
+        runtime = make_runtime(grid_size=8)
+        wire = make_wire(runtime)
+        wire.request("hello", client=1, sync=True)
+        wire.send("register", client=1, qid=5, kind="range", **REGION)
+        wire.send("report", client=1, oid=7, x=0.5, y=0.5, t=0.0)
+        wire.send("tick", now=1.0)
+        wire.recv_until("cycle")
+
+        wire.send("commit", qid=5)
+        wire.send("tick", now=2.0)
+        flushed, _ = wire.recv_until("cycle")
+        assert {"op": "committed", "qid": 5} in flushed
+        assert runtime.server.commits.committed_answer(5) == {7}
+
+    def test_knn_and_predictive_registration(self, make_runtime, make_wire):
+        runtime = make_runtime(grid_size=8)
+        wire = make_wire(runtime)
+        wire.request("hello", client=1)
+        wire.send("report", client=1, oid=1, x=0.4, y=0.4, t=0.0)
+        wire.send("register", client=1, qid=10, kind="knn", cx=0.5, cy=0.5, k=2)
+        wire.send(
+            "register", client=1, qid=11, kind="predictive", horizon=5.0, **REGION
+        )
+        wire.send("move", qid=10, kind="knn", cx=0.6, cy=0.6, t=1.0)
+        wire.send("tick", now=1.0)
+        flushed, summary = wire.recv_until("cycle")
+        assert summary["uplink_errors"] == 0
+        # A moving query's report commits its previous answer (the
+        # paper's implicit-commit rule), so the marker hits the wire.
+        assert {"op": "committed", "qid": 10} in flushed
+        assert wire.request("query_answer", qid=10)["oids"] == [1]
+
+    def test_resume_after_session_loss_with_wakeup(
+        self, make_runtime, make_wire
+    ):
+        runtime = make_runtime(grid_size=8)
+        first = make_wire(runtime)
+        first.request("hello", client=7, sync=True)
+        first.send("register", client=7, qid=5, kind="range", **REGION)
+        first.send("report", client=7, oid=1, x=0.5, y=0.5, t=0.0)
+        first.send("tick", now=1.0)
+        first.recv_until("cycle")
+        first.kill()  # the outage: session dies with updates owed
+        wait_for(lambda: runtime.admission.sessions_active == 0)
+
+        # Traffic the dark client misses (object 2 enters the region).
+        feeder = make_wire(runtime)
+        feeder.request("hello", client=99)
+        feeder.send("report", client=99, oid=2, x=0.5, y=0.5, t=2.0)
+        assert feeder.request("tick", now=2.0)["op"] == "cycle"
+
+        second = make_wire(runtime)
+        welcome = second.request("hello", client=7, sync=True)
+        assert welcome["resumed"] is True
+        second.send("wakeup", client=7)
+        second.send("tick", now=3.0)
+        flushed, _ = second.recv_until("cycle")
+        kinds = [op["op"] for op in flushed]
+        begin = kinds.index("wakeup_begin")
+        end = kinds.index("wakeup_end")
+        assert begin < end
+        # Fold the recovery stream like a wire client: rollback to the
+        # committed base (nothing) at wakeup_begin, then apply updates.
+        mirror: set = set()
+        for op in flushed[begin:]:
+            if op["op"] == "update" and op["qid"] == 5:
+                (mirror.add if op["sign"] > 0 else mirror.discard)(op["oid"])
+            elif op["op"] == "answer" and op["qid"] == 5:
+                mirror = set(op["oids"])
+        assert mirror == {1, 2}
+        assert runtime.server.engine.answer_of(5) == {1, 2}
+
+    def test_client_busy_on_second_live_session(
+        self, make_runtime, make_wire
+    ):
+        runtime = make_runtime()
+        first = make_wire(runtime)
+        first.request("hello", client=3)
+        second = make_wire(runtime)
+        reply = second.request("hello", client=3)
+        assert reply["op"] == "error"
+        assert reply["code"] == "client_busy"
+
+
+class TestProtectionPaths:
+    def test_backpressure_busy(self, make_runtime, make_wire):
+        from repro.service.admission import AdmissionConfig
+
+        runtime = make_runtime(
+            admission=AdmissionConfig(max_backlog=2, retry_after=0.5)
+        )
+        wire = make_wire(runtime)
+        wire.request("hello", client=1)
+        for oid in range(4):
+            wire.send("report", client=1, oid=oid, x=0.1, y=0.1, t=0.0)
+        ops = wire.settle()
+        busy = [op for op in ops if op["op"] == "busy"]
+        assert len(busy) == 2
+        assert busy[0]["retry_after"] == 0.5
+        # The two admitted ops still apply on the next cycle.
+        assert wire.request("tick", now=1.0)["uplinks_applied"] == 2
+
+    def test_session_limit_rejects_connection(self, make_runtime, make_wire):
+        from repro.service.admission import AdmissionConfig
+
+        runtime = make_runtime(admission=AdmissionConfig(max_sessions=1))
+        keeper = make_wire(runtime)
+        keeper.request("hello", client=1)
+        surplus = make_wire(runtime)
+        reply = surplus.recv()
+        assert reply["op"] == "reject"
+        assert reply["reason"] == "sessions"
+
+    def test_client_limit(self, make_runtime, make_wire):
+        from repro.service.admission import AdmissionConfig
+
+        runtime = make_runtime(admission=AdmissionConfig(max_clients=1))
+        wire = make_wire(runtime)
+        assert wire.request("hello", client=1)["op"] == "welcome"
+        assert wire.request("hello", client=2)["op"] == "reject"
+
+    def test_malformed_lines_answer_errors(self, make_runtime, make_wire):
+        runtime = make_runtime()
+        wire = make_wire(runtime)
+        wire.send_raw(b"this is not json\n")
+        assert wire.recv()["code"] == "bad_json"
+        wire.send_raw(b'{"op": "fly"}\n')
+        assert wire.recv()["code"] == "bad_op"
+        wire.send("wakeup")  # missing client field
+        assert wire.recv()["code"] == "missing_field"
+
+    def test_unknown_move_does_not_poison_cycle(
+        self, make_runtime, make_wire
+    ):
+        runtime = make_runtime(grid_size=8)
+        wire = make_wire(runtime)
+        wire.request("hello", client=1, sync=True)
+        wire.send("register", client=1, qid=5, kind="range", **REGION)
+        wire.send("move", qid=404, kind="range", t=1.0, **REGION)
+        wire.send("report", client=1, oid=9, x=0.5, y=0.5, t=1.0)
+        wire.send("tick", now=1.0)
+        flushed, summary = wire.recv_until("cycle")
+        assert summary["uplink_errors"] == 1
+        assert summary["uplinks_applied"] == 2
+        errors = [op for op in flushed if op["op"] == "error"]
+        assert errors and errors[0]["code"] == "bad_op"
+        # The good ops landed despite the bad one.
+        assert {"op": "update", "qid": 5, "oid": 9, "sign": 1} in flushed
+
+
+class TestCycleLoop:
+    def test_interval_paced_cycles(self, make_runtime, make_wire):
+        runtime = make_runtime(cycle_interval=0.05)
+        wire = make_wire(runtime)
+        wire.request("hello", client=1, sync=True)
+        # cycle_end markers arrive without any tick from us.
+        _, marker = wire.recv_until("cycle_end")
+        assert marker["cycle"] >= 0
+        wait_for(lambda: runtime.cycle_count >= 2)
+
+
+class TestHttpPlane:
+    def test_endpoints(self, make_runtime, make_wire):
+        runtime = make_runtime(grid_size=8)
+        wire = make_wire(runtime)
+        wire.request("hello", client=1)
+        wire.send("report", client=1, oid=1, x=0.5, y=0.5, t=0.0)
+        wire.request("tick", now=1.0)
+
+        status, body = http_get(runtime.http_address, "/healthz")
+        assert (status, body) == (200, "ok")
+
+        status, body = http_get(runtime.http_address, "/state")
+        assert status == 200
+        state = json.loads(body)
+        assert state["clients"] == 1
+        assert state["sessions"] == 1
+        assert state["objects"] == 1
+        assert state["cycle"] == 1
+        assert state["oracle"] == {"attached": False}
+
+        status, body = http_get(runtime.http_address, "/metrics")
+        assert status == 200
+        assert "service_sessions_active 1.0" in body
+        assert "service_cycles_total 1.0" in body
+        assert 'service_admission_rejections_total{reason="sessions"} 0.0' in body
+        assert "server_cycle_seconds" in body  # existing repro.obs series
+
+        status, _ = http_get(runtime.http_address, "/nope")
+        assert status == 404
+
+
+@pytest.mark.parametrize("module", ["repro.service", "repro.service.loadgen"])
+def test_cli_help(module):
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", module, "--help"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0
+    assert "usage" in proc.stdout.lower()
